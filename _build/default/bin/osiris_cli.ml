@@ -1,0 +1,296 @@
+(* osiris — command-line front end to the simulated OS.
+
+   Subcommands:
+     suite     run the prototype test suite under a recovery policy
+     bench     run one Unixbench workload and print its score
+     coverage  print per-server recovery coverage (Table I style)
+     memory    print per-server memory overhead (Table VI style)
+     survive   fault-injection survivability campaign (Tables II/III)
+     disrupt   service-disruption sweep on one benchmark (Figure 3)
+     sites     profile and list fault sites
+*)
+
+open Cmdliner
+
+let policy_conv =
+  let parse s =
+    match Policy.by_name s with
+    | Some p -> Ok p
+    | None ->
+      Error (`Msg (Printf.sprintf
+                     "unknown policy %S (try: baseline, stateless, naive, \
+                      pessimistic, enhanced, enhanced-unopt)" s))
+  in
+  let print fmt (p : Policy.t) = Format.pp_print_string fmt p.Policy.name in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(value & opt policy_conv Policy.enhanced
+       & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"Recovery policy.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let arch_arg =
+  let arch_c =
+    Arg.enum [ ("microkernel", Kernel.Microkernel); ("monolithic", Kernel.Monolithic) ]
+  in
+  Arg.(value & opt arch_c Kernel.Microkernel
+       & info [ "arch" ] ~docv:"ARCH" ~doc:"System architecture (cost model).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the system log.")
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ] ~doc:"Log every IPC event (very verbose).")
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let suite_cmd =
+  let run policy seed verbose trace =
+    setup_logs ();
+    if trace then Logs.set_level (Some Logs.Debug);
+    let sys = System.build ~seed ~trace policy in
+    let halt = System.run sys ~root:Testsuite.driver in
+    let lines = System.log_lines sys in
+    if verbose then List.iter print_endline lines;
+    let r = Testsuite.parse_results lines in
+    Printf.printf "halt: %s\n" (Kernel.halt_to_string halt);
+    Printf.printf "tests: %d passed, %d failed, complete=%b\n" r.Testsuite.passed
+      r.Testsuite.failed r.Testsuite.complete;
+    List.iter
+      (fun (name, status) -> Printf.printf "  FAIL %s (status %d)\n" name status)
+      r.Testsuite.failures;
+    if r.Testsuite.complete && r.Testsuite.failed = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run the prototype test suite.")
+    Term.(const run $ policy_arg $ seed_arg $ verbose_arg $ trace_arg)
+
+let bench_cmd =
+  let bench_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"BENCH" ~doc:"Benchmark name or 'all'.")
+  in
+  let run policy seed arch name =
+    setup_logs ();
+    let run_one b =
+      let r = Experiment.run_bench ~arch ~seed policy b in
+      Printf.printf "%-18s %10.1f iters/s  (%d iters, %d cycles, %s)\n"
+        r.Experiment.br_name r.Experiment.br_score r.Experiment.br_iters
+        r.Experiment.br_cycles
+        (Kernel.halt_to_string r.Experiment.br_halt)
+    in
+    (match name with
+     | "all" -> List.iter run_one Unixbench.all
+     | n ->
+       (match Unixbench.find n with
+        | Some b -> run_one b
+        | None ->
+          Printf.eprintf "unknown benchmark %S\n" n;
+          Stdlib.exit 2));
+    0
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run Unixbench workloads.")
+    Term.(const run $ policy_arg $ seed_arg $ arch_arg $ bench_arg)
+
+let coverage_cmd =
+  let run seed =
+    setup_logs ();
+    let print_policy policy =
+      let rows, halt = Experiment.coverage_run ~seed policy in
+      Printf.printf "policy %-12s (halt: %s)\n" policy.Policy.name
+        (Kernel.halt_to_string halt);
+      List.iter
+        (fun r ->
+           Printf.printf "  %-6s %5.1f%%\n" r.Experiment.cov_server
+             (100. *. r.Experiment.cov_fraction))
+        rows;
+      Printf.printf "  %-6s %5.1f%% (weighted mean)\n" "all"
+        (100. *. Experiment.weighted_mean_coverage rows)
+    in
+    print_policy Policy.pessimistic;
+    print_policy Policy.enhanced;
+    0
+  in
+  Cmd.v (Cmd.info "coverage" ~doc:"Recovery coverage per server (Table I).")
+    Term.(const run $ seed_arg)
+
+let memory_cmd =
+  let run seed =
+    setup_logs ();
+    let rows = Experiment.memory_overhead ~seed () in
+    Printf.printf "%-8s %10s %10s %10s %10s\n" "server" "base(kB)" "clone(kB)"
+      "undo(kB)" "total(kB)";
+    List.iter
+      (fun r ->
+         Printf.printf "%-8s %10d %10d %10d %10d\n" r.Experiment.mem_server
+           r.Experiment.mem_base_kb r.Experiment.mem_clone_kb
+           r.Experiment.mem_undo_kb r.Experiment.mem_total_overhead_kb)
+      rows;
+    0
+  in
+  Cmd.v (Cmd.info "memory" ~doc:"Per-server memory overhead (Table VI).")
+    Term.(const run $ seed_arg)
+
+let survive_cmd =
+  let model_arg =
+    let model_c =
+      Arg.enum [ ("fail-stop", Edfi.Fail_stop); ("full-edfi", Edfi.Full_edfi) ]
+    in
+    Arg.(value & opt model_c Edfi.Fail_stop
+         & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 60
+         & info [ "sample" ] ~docv:"N" ~doc:"Fault sites per policy (0 = all).")
+  in
+  let run model sample seed =
+    setup_logs ();
+    ignore seed;
+    let rows = Campaign.survivability ~sample model Policy.all_evaluated in
+    Printf.printf "%-14s %6s %6s %9s %6s (%d runs each)
+" "policy" "pass%"
+      "fail%" "shutdown%" "crash%" (match rows with r :: _ -> r.Campaign.runs | [] -> 0);
+    List.iter
+      (fun r ->
+         let f o = 100. *. Campaign.fraction r o in
+         Printf.printf "%-14s %6.1f %6.1f %9.1f %6.1f
+" r.Campaign.row_policy
+           (f Campaign.Pass) (f Campaign.Fail) (f Campaign.Shutdown)
+           (f Campaign.Crash))
+      rows;
+    0
+  in
+  Cmd.v (Cmd.info "survive" ~doc:"Survivability campaign (Tables II/III).")
+    Term.(const run $ model_arg $ sample_arg $ seed_arg)
+
+let disrupt_cmd =
+  let bench_arg =
+    Arg.(value & pos 0 string "spawn"
+         & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+  in
+  let run name seed =
+    setup_logs ();
+    ignore seed;
+    match Unixbench.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %S
+" name;
+      2
+    | Some bench ->
+      List.iter
+        (fun r ->
+           Printf.printf "interval %10d  score %12.0f  recoveries %4d  %s
+"
+             r.Disruption.dis_interval r.Disruption.dis_score
+             r.Disruption.dis_restarts
+             (if r.Disruption.dis_completed then "ok" else "DEGRADED"))
+        (Disruption.sweep bench);
+      0
+  in
+  Cmd.v (Cmd.info "disrupt" ~doc:"Service-disruption sweep (Figure 3).")
+    Term.(const run $ bench_arg $ seed_arg)
+
+let sites_cmd =
+  let run policy seed =
+    setup_logs ();
+    let sites = Campaign.profile_sites ~seed policy in
+    Printf.printf "%d distinct post-boot fault sites in the core servers
+"
+      (List.length sites);
+    let by_server = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+         let name = Endpoint.server_name s.Kernel.site_ep in
+         Hashtbl.replace by_server name
+           (1 + Option.value ~default:0 (Hashtbl.find_opt by_server name)))
+      sites;
+    Hashtbl.iter (fun name n -> Printf.printf "  %-5s %5d sites
+" name n)
+      by_server;
+    0
+  in
+  Cmd.v (Cmd.info "sites" ~doc:"Profile and summarize fault sites.")
+    Term.(const run $ policy_arg $ seed_arg)
+
+let stress_cmd =
+  let count_arg =
+    Arg.(value & opt int 20
+         & info [ "runs" ] ~docv:"N" ~doc:"Number of generated workloads.")
+  in
+  let run policy seed count verbose =
+    setup_logs ();
+    let failures = ref 0 in
+    for i = 0 to count - 1 do
+      let wseed = seed + i in
+      let sys = System.build ~seed:wseed policy in
+      let halt = System.run sys ~root:(Workgen.generate ~seed:wseed ()) in
+      let ok = halt = Kernel.H_completed 0 in
+      if not ok then begin
+        incr failures;
+        Printf.printf "seed %d: %s\n" wseed (Kernel.halt_to_string halt);
+        if verbose then
+          List.iter (fun a -> Printf.printf "    %s\n" a)
+            (Workgen.describe ~seed:wseed ())
+      end
+    done;
+    Printf.printf "%d/%d generated workloads clean under %s\n"
+      (count - !failures) count policy.Policy.name;
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Run randomly generated workloads (deterministic per seed).")
+    Term.(const run $ policy_arg $ seed_arg $ count_arg $ verbose_arg)
+
+let fsck_cmd =
+  let run policy seed =
+    setup_logs ();
+    let sys = System.build ~seed policy in
+    let halt = System.run sys ~root:Testsuite.driver in
+    Printf.printf "suite: %s\n" (Kernel.halt_to_string halt);
+    (match Mfs.check_invariants (System.mfs sys) ~bdev:(System.bdev sys) with
+     | Ok () ->
+       print_endline "fsck: clean (block conservation holds)";
+       0
+     | Error m ->
+       Printf.printf "fsck: CORRUPT: %s\n" m;
+       1)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Run the suite, then verify filesystem block conservation.")
+    Term.(const run $ policy_arg $ seed_arg)
+
+let timeline_cmd =
+  let last_arg =
+    Arg.(value & opt int 40
+         & info [ "last" ] ~docv:"N" ~doc:"Events to show (from the end).")
+  in
+  let run policy seed last =
+    setup_logs ();
+    let sys = System.build ~seed policy in
+    let tracer = Tracer.create ~capacity:(max 1 last) () in
+    Tracer.attach tracer (System.kernel sys);
+    let halt = System.run sys ~root:(Workgen.generate ~seed ()) in
+    List.iter print_endline (Tracer.timeline tracer);
+    Printf.printf "(%d events total; halted: %s)\n" (Tracer.recorded tracer)
+      (Kernel.halt_to_string halt);
+    0
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run a generated workload and print the tail of its IPC timeline.")
+    Term.(const run $ policy_arg $ seed_arg $ last_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "osiris" ~version:"1.0.0"
+       ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
+    [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
+      disrupt_cmd; sites_cmd; fsck_cmd; stress_cmd; timeline_cmd ]
+
+let () = Stdlib.exit (Cmd.eval' main)

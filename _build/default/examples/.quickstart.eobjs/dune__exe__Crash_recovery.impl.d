@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Endpoint Errno Kernel List Message Policy Printf Prog Syscall System Tracer

@@ -1,0 +1,1 @@
+examples/observability.ml: Array Endpoint Kernel List Message Mfs Policy Printf Sys System Tracer Workgen

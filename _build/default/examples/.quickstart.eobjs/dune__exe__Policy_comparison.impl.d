@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Endpoint Errno Kernel List Message Policy Printf Prog String Syscall System

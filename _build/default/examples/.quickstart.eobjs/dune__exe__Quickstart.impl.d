@@ -1,0 +1,1 @@
+examples/quickstart.ml: Costs Errno Kernel List Message Policy Printf Prog Syscall System

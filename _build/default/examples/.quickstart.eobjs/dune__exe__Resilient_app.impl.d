@@ -1,0 +1,1 @@
+examples/resilient_app.ml: Endpoint Errno Kernel List Policy Printf Prog String Syscall System

@@ -1,0 +1,1 @@
+examples/service_disruption.ml: Array Disruption List Printf String Sys Unixbench

@@ -1,0 +1,1 @@
+examples/static_analysis.ml: Endpoint Experiment Kernel List Message Policy Printf Static_window Summary System Testsuite

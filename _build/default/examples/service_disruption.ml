@@ -1,0 +1,44 @@
+(* Figure 3 in miniature: run one Unixbench workload under an
+   increasingly aggressive fault load (fail-stop crashes injected into
+   PM inside its recovery windows) and watch the score degrade while the
+   benchmark keeps completing.
+
+     dune exec examples/service_disruption.exe [bench]     (default: spawn) *)
+
+let () =
+  let bench_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "spawn" in
+  match Unixbench.find bench_name with
+  | None ->
+    Printf.eprintf "unknown benchmark %S; try one of: %s\n" bench_name
+      (String.concat ", " (List.map (fun b -> b.Unixbench.b_name) Unixbench.all));
+    exit 2
+  | Some bench ->
+    Printf.printf
+      "benchmark: %s (PM-dependent: %b)\n\
+       injecting fail-stop faults into PM, only inside recovery windows,\n\
+       at shrinking intervals; every crash is recovered by RS.\n\n"
+      bench.Unixbench.b_name bench.Unixbench.b_uses_pm;
+    Printf.printf "%14s %14s %10s %10s %6s\n" "interval(cyc)" "score(it/s)"
+      "rel." "recoveries" "ok?";
+    let reference = ref None in
+    List.iter
+      (fun interval ->
+         let r = Disruption.run ~bench ~interval () in
+         let ref_score =
+           match !reference with
+           | None ->
+             reference := Some r.Disruption.dis_score;
+             r.Disruption.dis_score
+           | Some s -> s
+         in
+         Printf.printf "%14s %14.0f %9.1f%% %10d %6s\n"
+           (if interval = 0 then "none" else string_of_int interval)
+           r.Disruption.dis_score
+           (100. *. r.Disruption.dis_score /. ref_score)
+           r.Disruption.dis_restarts
+           (if r.Disruption.dis_completed then "yes" else "DEGRADED"))
+      [ 0; 12_800_000; 3_200_000; 800_000; 200_000; 100_000; 50_000 ];
+    print_endline
+      "\n(the paper's Figure 3: PM-heavy tests sink as the fault influx\n\
+       doubles; tests that never touch PM are flat. '!'-free completion\n\
+       under every interval is the survivability guarantee.)"

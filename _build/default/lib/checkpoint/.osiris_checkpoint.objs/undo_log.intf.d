@@ -1,0 +1,1 @@
+lib/checkpoint/undo_log.mli: Memimage

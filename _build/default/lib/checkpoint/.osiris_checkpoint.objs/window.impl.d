@@ -1,0 +1,1 @@
+lib/checkpoint/window.ml: Hashtbl Memimage Undo_log

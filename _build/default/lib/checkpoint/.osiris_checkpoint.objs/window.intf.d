@@ -1,0 +1,1 @@
+lib/checkpoint/window.mli: Memimage Undo_log

@@ -1,0 +1,44 @@
+type entry = { e_offset : int; e_old : bytes }
+
+(* Per-entry header accounted at 16 bytes: offset word + length word,
+   approximating the C implementation's entry layout. *)
+let entry_header_bytes = 16
+
+type t = {
+  mutable log : entry list;
+  mutable count : int;
+  mutable bytes : int;
+  mutable peak : int;
+  mutable lifetime : int;
+}
+
+let create () = { log = []; count = 0; bytes = 0; peak = 0; lifetime = 0 }
+
+let record t ~offset ~old =
+  t.log <- { e_offset = offset; e_old = old } :: t.log;
+  t.count <- t.count + 1;
+  t.lifetime <- t.lifetime + 1;
+  t.bytes <- t.bytes + entry_header_bytes + Bytes.length old;
+  if t.bytes > t.peak then t.peak <- t.bytes
+
+let entries t = t.count
+
+let bytes_used t = t.bytes
+
+let peak_bytes t = t.peak
+
+let total_records t = t.lifetime
+
+let clear t =
+  t.log <- [];
+  t.count <- 0;
+  t.bytes <- 0
+
+let rollback t image =
+  (* Newest-first order is the list's natural order. Suspend the hook:
+     undoing must not generate fresh undo entries. *)
+  Memimage.set_write_hook image None;
+  List.iter
+    (fun { e_offset; e_old } -> Memimage.set_bytes image ~off:e_offset e_old)
+    t.log;
+  clear t

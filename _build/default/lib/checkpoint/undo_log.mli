@@ -1,0 +1,42 @@
+(** Per-component undo log — the paper's incremental in-memory
+    checkpoint (Vogt et al., DSN 2015, as used by OSIRIS Section IV-C).
+
+    Each entry records the absolute offset and previous contents of an
+    overwritten range. Rolling back replays entries newest-first,
+    restoring the image to its state at the last {!clear} (the
+    checkpoint taken at the top of the request-processing loop).
+
+    This module is part of the Reliable Computing Base: it is trusted,
+    never fault-injected, and its writes bypass instrumentation. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> offset:int -> old:bytes -> unit
+(** Append an entry. Called from the image write hook while the
+    recovery window is open (or unconditionally in the unoptimized
+    instrumentation mode). *)
+
+val entries : t -> int
+(** Entries currently in the log. *)
+
+val bytes_used : t -> int
+(** Live log size: sum of entry payloads plus per-entry header, the
+    metric reported in Table VI. *)
+
+val peak_bytes : t -> int
+(** High-water mark of {!bytes_used} since creation. *)
+
+val total_records : t -> int
+(** Lifetime number of {!record} calls (monotonic; survives {!clear}).
+    Used to measure instrumentation overhead. *)
+
+val rollback : t -> Memimage.t -> unit
+(** Undo all logged writes, newest first, then clear the log. The
+    image's write hook is suspended during rollback so the undo itself
+    is not re-logged. *)
+
+val clear : t -> unit
+(** Drop all entries — taken a new checkpoint or the window closed and
+    the log is discarded. *)

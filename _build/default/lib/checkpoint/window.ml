@@ -1,0 +1,107 @@
+type instrumentation = Always | When_open | Never | Snapshot
+
+type t = {
+  mode : instrumentation;
+  dedup : bool;
+  img : Memimage.t;
+  undo : Undo_log.t;
+  logged_offsets : (int, unit) Hashtbl.t;  (* per-window, when dedup *)
+  mutable snap : bytes option;
+  mutable window_open : bool;
+  mutable opens : int;
+  mutable policy_closes : int;
+  mutable skipped : int;
+  mutable deduped : int;
+}
+
+let log_store t ~offset ~old =
+  (* First-write-wins: rollback only needs the oldest value at each
+     location, so later stores to a logged offset can be elided. The
+     check is per exact offset, which covers the word-stores that
+     dominate hot paths. *)
+  if t.dedup && Hashtbl.mem t.logged_offsets offset then
+    t.deduped <- t.deduped + 1
+  else begin
+    if t.dedup then Hashtbl.replace t.logged_offsets offset ();
+    Undo_log.record t.undo ~offset ~old
+  end
+
+let hook t ~offset ~old =
+  match t.mode with
+  | Never | Snapshot -> t.skipped <- t.skipped + 1
+  | Always -> log_store t ~offset ~old
+  | When_open ->
+    if t.window_open then log_store t ~offset ~old
+    else t.skipped <- t.skipped + 1
+
+let reinstall_hook t = Memimage.set_write_hook t.img (Some (hook t))
+
+let create ?(dedup = false) mode img =
+  let t =
+    { mode;
+      dedup;
+      img;
+      undo = Undo_log.create ();
+      logged_offsets = Hashtbl.create 64;
+      snap = None;
+      window_open = false;
+      opens = 0;
+      policy_closes = 0;
+      skipped = 0;
+      deduped = 0 }
+  in
+  reinstall_hook t;
+  t
+
+let image t = t.img
+let log t = t.undo
+
+let is_open t = t.window_open
+
+let would_log t =
+  match t.mode with
+  | Never | Snapshot -> false
+  | Always -> true
+  | When_open -> t.window_open
+
+let instrumentation t = t.mode
+
+let open_window t =
+  Undo_log.clear t.undo;
+  if t.dedup then Hashtbl.reset t.logged_offsets;
+  if t.mode = Snapshot then t.snap <- Some (Memimage.snapshot t.img);
+  t.window_open <- true;
+  t.opens <- t.opens + 1
+
+let close_window t =
+  if t.window_open then begin
+    t.window_open <- false;
+    t.snap <- None;
+    if t.dedup then Hashtbl.reset t.logged_offsets;
+    Undo_log.clear t.undo
+  end
+
+let rollback t =
+  if not t.window_open then
+    invalid_arg "Window.rollback: window closed — unsafe recovery refused";
+  (match t.mode, t.snap with
+   | Snapshot, Some snap -> Memimage.restore t.img snap
+   | Snapshot, None -> invalid_arg "Window.rollback: snapshot missing"
+   | _ ->
+     Undo_log.rollback t.undo t.img;
+     (* Undo_log.rollback suspends the hook; restore it. *)
+     reinstall_hook t);
+  t.snap <- None;
+  t.window_open <- false
+
+let opens t = t.opens
+
+let closes_by_policy t = t.policy_closes
+
+let note_policy_close t = t.policy_closes <- t.policy_closes + 1
+
+let logged_stores t = Undo_log.total_records t.undo
+
+let skipped_stores t = t.skipped
+
+let deduped_stores t = t.deduped

@@ -1,0 +1,93 @@
+(** Recovery-window management (OSIRIS Sections III-B, IV-B, IV-D).
+
+    A window opens when a server receives a request (a checkpoint is
+    taken by clearing the undo log — the image as it stands *is* the
+    checkpoint, the log describes how to get back to it). The window
+    closes at the first interaction the active recovery policy forbids,
+    after which component-local rollback can no longer be proven
+    globally consistent.
+
+    Instrumentation modes reproduce the paper's optimization study
+    (Table V):
+    - [Always]: every store is logged, window open or not — the
+      "without optimization" configuration;
+    - [When_open]: stores are logged only inside the window — the
+      function-cloning optimization;
+    - [Never]: no logging (the stateless / naive baseline policies,
+      and the uninstrumented baseline system). *)
+
+type instrumentation =
+  | Always
+  | When_open
+  | Never
+  | Snapshot
+      (** Full-copy checkpointing: no per-store logging at all; opening
+          a window copies the whole image, rolling back restores it.
+          The alternative design the paper's undo log is traded against
+          (Section IV-C: "favoring a simple undo log organization over
+          more sophisticated memory shadowing schemes"). *)
+
+type t
+
+val create : ?dedup:bool -> instrumentation -> Memimage.t -> t
+(** Attach to [image]: installs the write hook implementing the chosen
+    instrumentation mode. The window starts closed.
+
+    [dedup] (default false) enables first-write-wins log deduplication:
+    a second store to an offset already logged in this window is not
+    logged again. Rollback needs only the *oldest* value per location,
+    so this is correctness-preserving and shrinks logs on write-hot
+    state (one of the representation trade-offs of the DSN'15
+    checkpointing study). *)
+
+val image : t -> Memimage.t
+val log : t -> Undo_log.t
+
+val is_open : t -> bool
+
+val would_log : t -> bool
+(** Whether a store executed now would be appended to the undo log —
+    used by the kernel to charge the logging cost exactly when the
+    instrumentation pays it. *)
+
+val instrumentation : t -> instrumentation
+
+val open_window : t -> unit
+(** Take a checkpoint (clear the log) and open the window. *)
+
+val close_window : t -> unit
+(** Close the window and discard the now-useless log, as the system
+    will never roll back past a closed window. No-op if closed. *)
+
+val rollback : t -> unit
+(** Restore the image to the last checkpoint (undo-log replay, or the
+    snapshot in [Snapshot] mode) and close the window. Caller must have
+    verified {!is_open}; raises [Invalid_argument] otherwise (rolling
+    back a closed window is exactly the unsafe recovery OSIRIS is
+    designed to refuse). *)
+
+val reinstall_hook : t -> unit
+(** Re-attach the write hook after an operation that suspended it
+    (rollback, state transfer to a clone). *)
+
+(** {2 Accounting for Table I and Table V} *)
+
+val opens : t -> int
+(** Number of windows opened (= checkpoints taken). *)
+
+val closes_by_policy : t -> int
+(** Windows closed early by a policy-forbidden interaction, as opposed
+    to closing at the reply. *)
+
+val note_policy_close : t -> unit
+(** Record that the imminent {!close_window} is policy-induced. *)
+
+val logged_stores : t -> int
+(** Stores that went through the undo log (lifetime). *)
+
+val skipped_stores : t -> int
+(** Stores executed with logging suppressed — the savings from the
+    [When_open] optimization. *)
+
+val deduped_stores : t -> int
+(** Stores elided by first-write-wins deduplication (lifetime). *)

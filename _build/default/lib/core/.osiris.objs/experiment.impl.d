@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Costs Kernel List Osiris_util Policy Prog Syscall System Testsuite Unixbench

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Endpoint Kernel Message Policy Unixbench

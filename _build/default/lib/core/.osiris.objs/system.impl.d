@@ -1,0 +1,1 @@
+lib/core/system.ml: Bdev Buffer Ds Endpoint Kernel List Mfs Pm Policy Printf Registry Rs Testsuite Unixbench Vfs Vm

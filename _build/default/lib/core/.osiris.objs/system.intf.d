@@ -1,0 +1,1 @@
+lib/core/system.mli: Bdev Endpoint Kernel Mfs Policy Prog Registry Summary Vfs

@@ -1,0 +1,91 @@
+type t = {
+  sys_kernel : Kernel.t;
+  sys_registry : Registry.t;
+  sys_policy : Policy.t;
+  sys_bdev : Bdev.t;
+  sys_mfs : Mfs.t;
+  sys_vfs : Vfs.t;
+  sys_log : string list ref;  (* newest first *)
+}
+
+let core_servers = [ Endpoint.pm; Endpoint.vfs; Endpoint.vm; Endpoint.ds; Endpoint.rs ]
+
+let summaries = [ Pm.summary; Vfs.summary; Vm.summary; Ds.summary; Rs.summary ]
+
+(* /etc/data: a deterministic 1 KiB text file the shell utilities chew
+   on. *)
+let etc_data =
+  let b = Buffer.create 1024 in
+  let rec fill i =
+    if Buffer.length b < 1024 then begin
+      Buffer.add_string b (Printf.sprintf "line %04d of the osiris corpus\n" i);
+      fill (i + 1)
+    end
+  in
+  fill 0;
+  Buffer.sub b 0 1024
+
+let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
+    ?(trace = false) ?extra_register policy =
+  let registry = Registry.create () in
+  Testsuite.register registry;
+  Unixbench.register registry;
+  (match extra_register with Some f -> f registry | None -> ());
+  let pm = Pm.create () in
+  let vfs = Vfs.create () in
+  let vm = Vm.create () in
+  let ds = Ds.create () in
+  let rs = Rs.create policy in
+  let mfs = Mfs.create () in
+  let bdev = Bdev.create () in
+  (* mkfs: /tmp, /etc/data, and one file per registered executable so
+     exec-time path validation works. *)
+  Mfs.add_dir mfs "/tmp";
+  Mfs.add_dir mfs "/etc";
+  Mfs.add_file mfs ~bdev ~path:"/etc/data" ~content:etc_data;
+  Mfs.add_dir mfs "/bin";
+  List.iter
+    (fun path -> Mfs.add_file mfs ~bdev ~path ~content:"#!osiris\n")
+    (Registry.paths registry);
+  let log = ref [] in
+  let cfg =
+    let base =
+      Kernel.default_config ~arch ~seed policy
+        ~lookup_program:(Registry.lookup registry) ()
+    in
+    { base with
+      Kernel.log_sink = Some (fun line -> log := line :: !log);
+      trace;
+      max_ops = (match max_ops with Some m -> m | None -> base.Kernel.max_ops);
+      max_crashes =
+        (match max_crashes with Some m -> m | None -> base.Kernel.max_crashes) }
+  in
+  let kernel = Kernel.create cfg in
+  List.iter (Kernel.add_server kernel)
+    [ Pm.server pm; Vfs.server vfs; Vm.server vm; Ds.server ds;
+      Rs.server rs; Mfs.server mfs; Bdev.server bdev ];
+  Kernel.boot kernel;
+  { sys_kernel = kernel;
+    sys_registry = registry;
+    sys_policy = policy;
+    sys_bdev = bdev;
+    sys_mfs = mfs;
+    sys_vfs = vfs;
+    sys_log = log }
+
+let kernel t = t.sys_kernel
+let registry t = t.sys_registry
+let policy t = t.sys_policy
+let bdev t = t.sys_bdev
+let mfs t = t.sys_mfs
+let vfs t = t.sys_vfs
+
+let run t ~root =
+  let ep =
+    Kernel.spawn_user t.sys_kernel ~name:"init" ~prog:root ~parent:0
+  in
+  assert (ep = Endpoint.first_user);
+  Kernel.set_halt_on_exit t.sys_kernel ep;
+  Kernel.run t.sys_kernel
+
+let log_lines t = List.rev !(t.sys_log)

@@ -1,0 +1,57 @@
+(** The assembled OSIRIS system: kernel + the seven system processes +
+    executable registry + populated filesystem.
+
+    This is the library's main entry point. Typical use:
+    {[
+      let sys = System.build Policy.enhanced in
+      let halt = System.run sys ~root:Testsuite.driver in
+      match halt with
+      | Kernel.H_completed 0 -> ...  (* inspect System.log_lines *)
+      | _ -> ...
+    ]}
+
+    Every system is fully deterministic for a given configuration and
+    seed. Build one fresh system per experiment run; systems are not
+    reusable after {!run} returns. *)
+
+type t
+
+val build :
+  ?arch:Kernel.arch ->
+  ?seed:int ->
+  ?max_ops:int ->
+  ?max_crashes:int ->
+  ?trace:bool ->
+  ?extra_register:(Registry.t -> unit) ->
+  Policy.t ->
+  t
+(** Create and boot a system: servers installed, filesystem populated
+    with /bin (every registered executable), /etc/data and /tmp, boot
+    snapshots taken. The prototype test suite and the Unixbench
+    programs are always registered; add more via [extra_register]. *)
+
+val kernel : t -> Kernel.t
+val registry : t -> Registry.t
+val policy : t -> Policy.t
+val bdev : t -> Bdev.t
+
+val mfs : t -> Mfs.t
+(** White-box handle for filesystem invariant checks in tests. *)
+
+val vfs : t -> Vfs.t
+(** White-box handle for VFS state dumps in tests. *)
+
+val run : t -> root:unit Prog.t -> Kernel.halt
+(** Spawn [root] as the primordial user process (endpoint
+    [Endpoint.first_user], pre-registered in PM) and interpret until a
+    halt condition. The run completes when [root] exits. *)
+
+val log_lines : t -> string list
+(** Diagnostic lines received so far, oldest first. *)
+
+val core_servers : Endpoint.t list
+(** The five recoverable servers of the evaluation: PM, VFS, VM, DS,
+    RS. *)
+
+val summaries : Summary.t list
+(** Static interaction summaries of the five core servers. *)

@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Array Edfi Hashtbl Kernel List Option Osiris_util Policy System Testsuite

@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Edfi Kernel Policy

@@ -1,0 +1,1 @@
+lib/fault/disruption.ml: Costs Endpoint Kernel List Policy System Unixbench

@@ -1,0 +1,1 @@
+lib/fault/disruption.mli: Unixbench

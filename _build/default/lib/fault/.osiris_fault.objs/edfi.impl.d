@@ -1,0 +1,1 @@
+lib/fault/edfi.ml: Hashtbl Kernel List

@@ -1,0 +1,153 @@
+type outcome = Pass | Fail | Shutdown | Crash
+
+let outcome_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Shutdown -> "shutdown"
+  | Crash -> "crash"
+
+let core_server_site (s : Kernel.site) =
+  List.mem s.Kernel.site_ep System.core_servers
+
+let profile_sites ?(seed = 42) policy =
+  let sys = System.build ~seed policy in
+  let seen = Hashtbl.create 4096 in
+  let order = ref [] in
+  Kernel.set_site_recorder (System.kernel sys)
+    (Some
+       (fun site ->
+          if core_server_site site && not (Hashtbl.mem seen site) then begin
+            Hashtbl.replace seen site ();
+            order := site :: !order
+          end));
+  let (_ : Kernel.halt) = System.run sys ~root:Testsuite.driver in
+  List.rev !order
+
+let select_sites ?(seed = 7) ~sample sites =
+  if sample <= 0 || sample >= List.length sites then sites
+  else begin
+    let arr = Array.of_list sites in
+    Osiris_util.Rng.shuffle (Osiris_util.Rng.create seed) arr;
+    Array.to_list (Array.sub arr 0 sample)
+  end
+
+let classify halt (results : Testsuite.results) =
+  match halt with
+  | Kernel.H_shutdown _ -> Shutdown
+  | Kernel.H_panic _ | Kernel.H_hang -> Crash
+  | Kernel.H_completed status ->
+    if not results.Testsuite.complete then Crash
+    else if results.Testsuite.failed > 0 || status <> 0 then Fail
+    else Pass
+
+let run_one ?(seed = 42) policy site action =
+  let sys = System.build ~seed policy in
+  let fired = ref false in
+  Kernel.set_fault_hook (System.kernel sys)
+    (Some
+       (fun s ->
+          if (not !fired) && Kernel.compare_site s site = 0 then begin
+            fired := true;
+            Some action
+          end
+          else None));
+  let halt = System.run sys ~root:Testsuite.driver in
+  let results = Testsuite.parse_results (System.log_lines sys) in
+  classify halt results
+
+type row = {
+  row_policy : string;
+  runs : int;
+  pass : int;
+  fail : int;
+  shutdown : int;
+  crash : int;
+}
+
+let run_multi ?(seed = 42) policy faults =
+  let sys = System.build ~seed policy in
+  let armed =
+    List.map (fun (site, action) -> (site, action, ref false)) faults
+  in
+  Kernel.set_fault_hook (System.kernel sys)
+    (Some
+       (fun s ->
+          let rec find = function
+            | [] -> None
+            | (site, action, fired) :: rest ->
+              if (not !fired) && Kernel.compare_site s site = 0 then begin
+                fired := true;
+                Some action
+              end
+              else find rest
+          in
+          find armed));
+  let halt = System.run sys ~root:Testsuite.driver in
+  classify halt (Testsuite.parse_results (System.log_lines sys))
+
+let survivability_multi ?(seed = 42) ?(sample = 60) ~k model policies =
+  let sites = Array.of_list (profile_sites ~seed Policy.enhanced) in
+  let rng = Osiris_util.Rng.create (seed + 2) in
+  let groups =
+    List.init (max 1 sample) (fun _ ->
+        (* k distinct sites per run *)
+        let chosen = Hashtbl.create k in
+        let rec pick acc n =
+          if n = 0 then acc
+          else
+            let i = Osiris_util.Rng.int rng (Array.length sites) in
+            if Hashtbl.mem chosen i then pick acc n
+            else begin
+              Hashtbl.replace chosen i ();
+              let site = sites.(i) in
+              pick ((site, Edfi.action_for model site) :: acc) (n - 1)
+            end
+        in
+        pick [] (min k (Array.length sites)))
+  in
+  List.map
+    (fun policy ->
+       let counts = Hashtbl.create 4 in
+       let bump o =
+         Hashtbl.replace counts o
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+       in
+       List.iter (fun faults -> bump (run_multi ~seed policy faults)) groups;
+       let get o = Option.value ~default:0 (Hashtbl.find_opt counts o) in
+       { row_policy = policy.Policy.name;
+         runs = List.length groups;
+         pass = get Pass;
+         fail = get Fail;
+         shutdown = get Shutdown;
+         crash = get Crash })
+    policies
+
+
+let fraction row outcome =
+  let n = match outcome with
+    | Pass -> row.pass
+    | Fail -> row.fail
+    | Shutdown -> row.shutdown
+    | Crash -> row.crash
+  in
+  if row.runs = 0 then 0. else float_of_int n /. float_of_int row.runs
+
+let survivability ?(seed = 42) ?(sample = 120) model policies =
+  let sites = profile_sites ~seed Policy.enhanced in
+  let sites = select_sites ~seed:(seed + 1) ~sample sites in
+  let faults = List.map (fun s -> (s, Edfi.action_for model s)) sites in
+  List.map
+    (fun policy ->
+       let counts = Hashtbl.create 4 in
+       let bump o =
+         Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+       in
+       List.iter (fun (site, action) -> bump (run_one ~seed policy site action)) faults;
+       let get o = Option.value ~default:0 (Hashtbl.find_opt counts o) in
+       { row_policy = policy.Policy.name;
+         runs = List.length faults;
+         pass = get Pass;
+         fail = get Fail;
+         shutdown = get Shutdown;
+         crash = get Crash })
+    policies

@@ -1,0 +1,30 @@
+(** Service-disruption experiment (Figure 3).
+
+    Injects fail-stop faults into PM at regular virtual-time intervals,
+    but only while PM's recovery window is open, so every crash is
+    consistently recoverable under the enhanced policy. The Unixbench
+    drivers retry [E_CRASH] results (safe: the rollback guarantees no
+    side effects), so the benchmark runs to completion and the cost of
+    periodic crash recovery shows up as a lower score.
+
+    Sweeping the interval downward (each step doubling the fault influx)
+    reproduces the figure's curves: PM-heavy workloads (shell1, shell8,
+    execl, spawn) degrade; PM-independent ones (dhry2reg,
+    whetstone-double, fsdisk, fsbuffer) are unaffected. *)
+
+type result = {
+  dis_bench : string;
+  dis_interval : int;       (** Cycles between injected faults. *)
+  dis_score : float;        (** Iterations per simulated second. *)
+  dis_restarts : int;       (** Recoveries performed during the run. *)
+  dis_completed : bool;     (** Benchmark finished with status 0. *)
+}
+
+val run : ?seed:int -> bench:Unixbench.bench -> interval:int -> unit -> result
+(** One run under the enhanced policy with the given injection
+    interval. [interval <= 0] disables injection (the reference
+    score). *)
+
+val sweep : ?seed:int -> ?intervals:int list -> Unixbench.bench -> result list
+(** The figure's x-axis sweep, default intervals from effectively-none
+    down to one fault every 100k cycles, halving each step. *)

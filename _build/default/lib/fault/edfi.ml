@@ -1,0 +1,38 @@
+type model = Fail_stop | Full_edfi
+
+let model_name = function
+  | Fail_stop -> "fail-stop"
+  | Full_edfi -> "full-edfi"
+
+let site_hash (s : Kernel.site) =
+  let h = Hashtbl.hash (Kernel.site_to_string s) in
+  h land 0x3FFFFFFF
+
+(* The full-EDFI mix, weighted towards the common C fault patterns:
+   crashes (bad pointer / assertion), corrupted or missing stores
+   (wrong value / missing assignment), corrupted call parameters, and
+   control-flow faults (early return, infinite loop). *)
+let action_for model site =
+  match model with
+  | Fail_stop -> Kernel.F_crash "injected null dereference"
+  | Full_edfi ->
+    let h = site_hash site in
+    let applicable =
+      (* Roughly a third of triggered realistic faults do not manifest
+         (wrong values that are dead or masked); the rest split between
+         fail-stop-like crashes and fail-silent corruption. *)
+      match site.Kernel.site_kind with
+      | Kernel.Op_store ->
+        [ Kernel.F_crash "injected fault"; Kernel.F_corrupt_store;
+          Kernel.F_drop_store; Kernel.F_corrupt_store; Kernel.F_skip_handler;
+          Kernel.F_benign; Kernel.F_benign; Kernel.F_benign ]
+      | Kernel.Op_send | Kernel.Op_call | Kernel.Op_reply ->
+        [ Kernel.F_crash "injected fault"; Kernel.F_corrupt_msg;
+          Kernel.F_corrupt_msg; Kernel.F_skip_handler; Kernel.F_hang;
+          Kernel.F_benign; Kernel.F_benign ]
+      | _ ->
+        [ Kernel.F_crash "injected fault"; Kernel.F_skip_handler;
+          Kernel.F_crash "injected fault"; Kernel.F_hang;
+          Kernel.F_benign; Kernel.F_benign ]
+    in
+    List.nth applicable (h mod List.length applicable)

@@ -1,0 +1,24 @@
+(** EDFI-style fault models (paper Section VI-B).
+
+    EDFI instruments static program locations with realistic software
+    faults. The simulation analogue: a fault site is an executed server
+    operation identified by (component, handler, op kind, occurrence);
+    a profiling run enumerates the sites the workload triggers, and a
+    campaign arms one site per run.
+
+    Two models, as in the paper:
+    - {!Fail_stop}: the NULL-dereference analogue — the component
+      crashes at the site.
+    - {!Full_edfi}: the full realistic mix, including fail-silent
+      corruption that violates the fail-stop assumption (expect more
+      uncontrolled crashes, as in Table III). *)
+
+type model = Fail_stop | Full_edfi
+
+val model_name : model -> string
+
+val action_for : model -> Kernel.site -> Kernel.fault_action
+(** Deterministic fault choice for a site: hashing the site selects
+    among the fault types applicable to its operation kind (stores can
+    be corrupted or dropped; messages corrupted; any op can crash, hang
+    or abort the handler). *)

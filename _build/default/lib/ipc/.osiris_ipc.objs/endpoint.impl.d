@@ -1,0 +1,1 @@
+lib/ipc/endpoint.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/ipc/endpoint.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ipc/errno.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ipc/errno.pp.mli: Ppx_deriving_runtime

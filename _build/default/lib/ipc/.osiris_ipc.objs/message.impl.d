@@ -1,0 +1,1 @@
+lib/ipc/message.pp.ml: Bytes Char Errno List Osiris_util Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/ipc/message.pp.mli: Errno Osiris_util Ppx_deriving_runtime

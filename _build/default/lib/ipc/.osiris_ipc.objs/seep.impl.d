@@ -1,0 +1,1 @@
+lib/ipc/seep.pp.ml: List Message Ppx_deriving_runtime

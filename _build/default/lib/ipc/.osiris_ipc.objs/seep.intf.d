@@ -1,0 +1,1 @@
+lib/ipc/seep.pp.mli: Endpoint Message Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ipc/summary.pp.ml: Endpoint Message Option

@@ -1,0 +1,25 @@
+type t = int [@@deriving show, eq]
+
+let kernel = 0
+let pm = 1
+let vfs = 2
+let vm = 3
+let ds = 4
+let rs = 5
+let mfs = 6
+let bdev = 7
+
+let first_user = 100
+
+let is_server ep = ep >= pm && ep <= bdev
+
+let server_name = function
+  | 0 -> "kernel"
+  | 1 -> "pm"
+  | 2 -> "vfs"
+  | 3 -> "vm"
+  | 4 -> "ds"
+  | 5 -> "rs"
+  | 6 -> "mfs"
+  | 7 -> "bdev"
+  | ep -> Printf.sprintf "user%d" ep

@@ -1,0 +1,32 @@
+(** Stable communication endpoints.
+
+    An endpoint names a logical component, not a particular incarnation:
+    when the Recovery Server replaces a crashed server with a recovered
+    clone, the clone inherits the endpoint, so other components'
+    references stay valid (the paper's "replace" step of the restart
+    phase). The kernel maintains the endpoint -> live process mapping. *)
+
+type t = int [@@deriving show, eq]
+
+(** Well-known endpoints of the core system servers. *)
+
+val kernel : t
+(** Pseudo-endpoint for kernel-provided sinks (diagnostics). *)
+
+val pm : t
+val vfs : t
+val vm : t
+val ds : t
+val rs : t
+val mfs : t
+val bdev : t
+
+val first_user : t
+(** User-process endpoints are allocated from here upward. *)
+
+val is_server : t -> bool
+(** True for the core system server endpoints (including MFS and the
+    block device driver). *)
+
+val server_name : t -> string
+(** Human name for well-known endpoints; ["user<N>"] otherwise. *)

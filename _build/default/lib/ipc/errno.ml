@@ -1,0 +1,75 @@
+type t =
+  | E_OK
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOTEMPTY
+  | ENAMETOOLONG
+  | E_CRASH
+[@@deriving show, eq]
+
+let to_string = function
+  | E_OK -> "OK"
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EIO -> "EIO"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | ENFILE -> "ENFILE"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | EPIPE -> "EPIPE"
+  | ENOSYS -> "ENOSYS"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | E_CRASH -> "E_CRASH"
+
+let to_code = function
+  | E_OK -> 0
+  | EPERM -> -1
+  | ENOENT -> -2
+  | ESRCH -> -3
+  | EINTR -> -4
+  | EIO -> -5
+  | EBADF -> -9
+  | ECHILD -> -10
+  | EAGAIN -> -11
+  | ENOMEM -> -12
+  | EACCES -> -13
+  | EEXIST -> -17
+  | ENOTDIR -> -20
+  | EISDIR -> -21
+  | EINVAL -> -22
+  | ENFILE -> -23
+  | EMFILE -> -24
+  | ENOSPC -> -28
+  | EPIPE -> -32
+  | ENOSYS -> -38
+  | ENOTEMPTY -> -39
+  | ENAMETOOLONG -> -36
+  | E_CRASH -> -999

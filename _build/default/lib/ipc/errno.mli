@@ -1,0 +1,37 @@
+(** POSIX-style error codes plus OSIRIS' [E_CRASH].
+
+    [E_CRASH] is the error-virtualization code: the Recovery Server
+    replies with it on behalf of a component that crashed inside an open
+    recovery window, letting requesters handle the failure like any
+    other error return (paper Section III-C). *)
+
+type t =
+  | E_OK
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOTEMPTY
+  | ENAMETOOLONG
+  | E_CRASH
+[@@deriving show, eq]
+
+val to_string : t -> string
+
+val to_code : t -> int
+(** Stable numeric code (negative, MINIX-style, except [E_OK] = 0). *)

@@ -1,0 +1,157 @@
+(** The complete message vocabulary of the simulated OS.
+
+    Messages mirror the MINIX 3 call map that OSIRIS instrumented:
+    user processes call PM (process management), VFS (files), VM
+    (memory), DS (key-value store) and RS (service status); VFS calls
+    MFS (the actual file system), which calls the block driver; the
+    kernel notifies RS about crashes.
+
+    Every constructor has a {!Tag.t} used for three purposes: handler
+    dispatch inside servers, SEEP side-effect classification
+    ({!Seep.classify}), and fault-site identity in the injection
+    campaigns. *)
+
+type whence = Seek_set | Seek_cur | Seek_end [@@deriving show, eq]
+
+type open_flags = { o_create : bool; o_trunc : bool; o_append : bool }
+[@@deriving show, eq]
+
+val rdonly : open_flags
+(** Plain open for reading/writing an existing file. *)
+
+val creat : open_flags
+(** Create-or-truncate, the common write-path flags. *)
+
+type stat_info = { st_ino : int; st_size : int; st_is_dir : bool }
+[@@deriving show, eq]
+
+type t =
+  (* --- user -> PM ------------------------------------------------ *)
+  | Fork
+  | Exec of { path : string; arg : int }
+  | Exit of { status : int }
+  | Waitpid of { pid : int }
+  | Getpid
+  | Getppid
+  | Kill of { pid : int; signal : int }
+  | Signal_set of { signal : int; ignore : bool }
+      (** Set the caller's disposition for a signal: ignore or default.
+          SIGKILL (9) cannot be ignored. *)
+  (* --- PM -> VM --------------------------------------------------- *)
+  | Vm_fork of { parent : int; child : int }
+  | Vm_exec of { proc : int; size : int }
+  | Vm_exit of { proc : int }
+  (* --- PM -> VFS -------------------------------------------------- *)
+  | Vfs_fork of { parent : int; child : int }
+  | Vfs_exec of { proc : int; path : string }
+  | Vfs_exit of { proc : int }
+  (* --- user -> VFS ------------------------------------------------ *)
+  | Open of { path : string; flags : open_flags }
+  | Close of { fd : int }
+  | Read of { fd : int; len : int }
+  | Write of { fd : int; data : string }
+  | Lseek of { fd : int; off : int; whence : whence }
+  | Pipe
+  | Dup of { fd : int }
+  | Unlink of { path : string }
+  | Mkdir of { path : string }
+  | Rmdir of { path : string }
+  | Stat of { path : string }
+  | Fstat of { fd : int }
+  | Rename of { src : string; dst : string }
+  | Chdir of { path : string }
+  | Readdir of { path : string }
+  | Dup2 of { fd : int; tofd : int }
+  | Sync
+  (* --- VFS -> MFS ------------------------------------------------- *)
+  | Mfs_lookup of { path : string }
+  | Mfs_create of { path : string }
+  | Mfs_read of { ino : int; off : int; len : int }
+  | Mfs_write of { ino : int; off : int; data : string }
+  | Mfs_trunc of { ino : int; len : int }
+  | Mfs_unlink of { path : string }
+  | Mfs_mkdir of { path : string }
+  | Mfs_rmdir of { path : string }
+  | Mfs_stat of { ino : int }
+  | Mfs_readdir of { ino : int }
+  | Mfs_rename of { src : string; dst : string }
+  | Mfs_sync
+  (* --- MFS -> block driver ---------------------------------------- *)
+  | Bdev_read of { block : int }
+  | Bdev_write of { block : int; data : string }
+  (* --- user -> VM ------------------------------------------------- *)
+  | Brk of { delta : int }
+  | Brk_query
+  | Mmap of { len : int }
+  | Munmap of { id : int }
+  | Vm_info
+  (* --- user/servers -> DS ----------------------------------------- *)
+  | Ds_publish of { key : string; value : int }
+  | Ds_retrieve of { key : string }
+  | Ds_delete of { key : string }
+  | Ds_subscribe of { prefix : string }
+  | Ds_notify of { key : string }            (* DS -> subscriber, notification *)
+  (* --- user -> RS, RS -> servers ---------------------------------- *)
+  | Rs_status
+  | Rs_lookup of { label : string }
+  | Ping
+  (* --- kernel-adjacent -------------------------------------------- *)
+  | Crash_notify of { ep : int; reason : string }  (* kernel -> RS *)
+  | Alarm                                          (* kernel -> subscriber *)
+  | Diag of { line : string }                      (* any -> kernel log sink *)
+  (* --- replies ----------------------------------------------------- *)
+  | R_ok of int
+  | R_err of Errno.t
+  | R_fork of { child : int }
+  | R_wait of { pid : int; status : int }
+  | R_read of { data : string }
+  | R_pipe of { rfd : int; wfd : int }
+  | R_stat of stat_info
+  | R_lookup of { ino : int; size : int; is_dir : bool }
+  | R_ds_value of { value : int }
+  | R_brk of { break : int }
+  | R_mmap of { id : int }
+  | R_vm_info of { pages_used : int; pages_free : int }
+  | R_rs_status of { restarts : int; shutdowns : int; services : int }
+  | R_names of { names : string list }
+  | R_pong
+[@@deriving show, eq]
+
+module Tag : sig
+  type msg = t
+
+  type t =
+    | T_fork | T_exec | T_exit | T_waitpid | T_getpid | T_getppid | T_kill
+    | T_signal_set
+    | T_vm_fork | T_vm_exec | T_vm_exit
+    | T_vfs_fork | T_vfs_exec | T_vfs_exit
+    | T_open | T_close | T_read | T_write | T_lseek | T_pipe | T_dup
+    | T_unlink | T_mkdir | T_rmdir | T_stat | T_fstat | T_rename | T_chdir
+    | T_readdir | T_dup2
+    | T_sync
+    | T_mfs_lookup | T_mfs_create | T_mfs_read | T_mfs_write | T_mfs_trunc
+    | T_mfs_unlink | T_mfs_mkdir | T_mfs_rmdir | T_mfs_stat | T_mfs_readdir
+    | T_mfs_rename
+    | T_mfs_sync
+    | T_bdev_read | T_bdev_write
+    | T_brk | T_brk_query | T_mmap | T_munmap | T_vm_info
+    | T_ds_publish | T_ds_retrieve | T_ds_delete | T_ds_subscribe | T_ds_notify
+    | T_rs_status | T_rs_lookup | T_ping
+    | T_crash_notify | T_alarm | T_diag
+    | T_kcall  (* pseudo-tag: privileged kernel call (no message form) *)
+    | T_reply
+  [@@deriving show, eq]
+
+  val of_msg : msg -> t
+
+  val to_string : t -> string
+  (** Short lowercase name, e.g. ["fork"], ["mfs_read"]. *)
+end
+
+val is_reply : t -> bool
+(** True for the [R_*] constructors. *)
+
+val corrupt : Osiris_util.Rng.t -> t -> t
+(** Mutate one field of the message (integer skew, truncated or
+    altered string) — the "corrupted outbound message" fault of the
+    full-EDFI model. Structure-preserving: the tag never changes. *)

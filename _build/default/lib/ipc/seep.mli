@@ -1,0 +1,34 @@
+(** Side Effect Engraved Passages (paper Sections III-A, IV-B).
+
+    Every outbound message from an instrumented server travels through a
+    SEEP, whose static classification says whether the interaction can
+    create a state dependency at the receiver:
+
+    - [Read_only]: the receiver answers from its current state without
+      updating it (lookups, reads, stats, diagnostics). Under the
+      enhanced policy these do not close the recovery window.
+    - [State_modifying]: the receiver's state changes; any rollback of
+      the sender past this point would orphan that change, so the
+      window must close.
+    - [Reply]: the response to the request being handled. Sending it
+      publishes the handler's results, so it also closes the window.
+
+    The classification is conservative and static — the simulation
+    analogue of the paper's compile-time SEEP annotation pass. *)
+
+type cls = Read_only | State_modifying | Reply [@@deriving show, eq]
+
+val classify : dst:Endpoint.t -> Message.Tag.t -> cls
+(** Class of the channel carrying messages with the given tag to [dst].
+    The destination matters only for documentation today (the tag fully
+    determines the class) but keeps the signature faithful to per-channel
+    engraving. *)
+
+val classify_msg : dst:Endpoint.t -> Message.t -> cls
+
+val read_only_tags : Message.Tag.t list
+(** The complete list of tags engraved as [Read_only], exposed for the
+    static recovery-window analysis and for tests. Note that
+    [T_bdev_read] is deliberately {e not} read-only: device reads
+    mutate driver and controller state (request queues, statistics), so
+    the conservative engraving treats them as state-modifying. *)

@@ -1,0 +1,28 @@
+type outbound = {
+  out_dst : Endpoint.t;
+  out_tag : Message.Tag.t;
+  out_maybe : bool;
+}
+
+type segment = {
+  seg_weight : int;
+  seg_then : outbound option;
+}
+
+type handler = {
+  h_tag : Message.Tag.t;
+  h_replies : bool;
+  h_segments : segment list;
+}
+
+type t = { sum_ep : Endpoint.t; sum_handlers : handler list }
+
+let seg ?out ?(maybe = false) weight =
+  { seg_weight = weight;
+    seg_then =
+      Option.map (fun (dst, tag) -> { out_dst = dst; out_tag = tag; out_maybe = maybe }) out }
+
+let handler ?(replies = true) tag segments =
+  { h_tag = tag; h_replies = replies; h_segments = segments }
+
+let make ep handlers = { sum_ep = ep; sum_handlers = handlers }

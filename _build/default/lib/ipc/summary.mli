@@ -1,0 +1,42 @@
+(** Static per-handler interaction summaries.
+
+    Each server publishes, per request type it handles, the sequence of
+    outbound SEEP interactions its handler performs, with approximate
+    weights for the local work between them. This is the input to the
+    static recovery-window analysis (the paper's compile-time pass that
+    decides where windows close), which predicts recovery coverage
+    without running the system — checked against dynamic measurement in
+    the test suite. *)
+
+type outbound = {
+  out_dst : Endpoint.t;
+  out_tag : Message.Tag.t;
+  out_maybe : bool;
+      (** Conditionally executed (e.g. only on the create path). The
+          conservative analysis assumes it happens. *)
+}
+
+type segment = {
+  seg_weight : int;
+      (** Approximate units of local work before the next interaction
+          (or before the reply, for the last segment). *)
+  seg_then : outbound option;
+      (** The interaction ending this segment; [None] for the final
+          segment, which ends at the reply. *)
+}
+
+type handler = {
+  h_tag : Message.Tag.t;
+  h_replies : bool;  (** Whether the handler normally sends a reply. *)
+  h_segments : segment list;
+}
+
+type t = { sum_ep : Endpoint.t; sum_handlers : handler list }
+
+val seg : ?out:Endpoint.t * Message.Tag.t -> ?maybe:bool -> int -> segment
+(** [seg ~out:(dst, tag) w] is a segment of weight [w] ending in an
+    outbound interaction; omit [out] for the final segment. *)
+
+val handler : ?replies:bool -> Message.Tag.t -> segment list -> handler
+
+val make : Endpoint.t -> handler list -> t

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Costs Endpoint Errno Filename Hashtbl List Logs Memimage Message Option Osiris_util Policy Printf Prog Queue Seep Undo_log Window

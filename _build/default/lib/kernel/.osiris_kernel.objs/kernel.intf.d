@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Costs Endpoint Memimage Message Policy Prog

@@ -1,0 +1,55 @@
+type t = {
+  c_load : int;
+  c_store : int;
+  c_store_per_byte : int;
+  c_log : int;
+  c_log_per_byte : int;
+  c_send : int;
+  c_call : int;
+  c_reply : int;
+  c_receive : int;
+  c_kcall : int;
+  c_spawn : int;
+  c_yield : int;
+  c_checkpoint : int;
+  c_disk_block : int;
+  c_instr_op : int;
+}
+
+let microkernel =
+  { c_load = 4;
+    c_store = 6;
+    c_store_per_byte = 1;
+    c_log = 40;
+    c_log_per_byte = 2;
+    c_send = 900;
+    c_call = 1800;   (* two domain switches + message copy *)
+    c_reply = 900;
+    c_receive = 300;
+    c_kcall = 600;
+    c_spawn = 150;
+    c_yield = 80;
+    c_checkpoint = 40;
+    c_disk_block = 1_200;
+    c_instr_op = 20 }
+
+let monolithic =
+  { c_load = 4;
+    c_store = 6;
+    c_store_per_byte = 1;
+    c_log = 14;
+    c_log_per_byte = 1;
+    c_send = 60;
+    c_call = 120;    (* trap + return *)
+    c_reply = 60;
+    c_receive = 30;
+    c_kcall = 60;
+    c_spawn = 80;
+    c_yield = 40;
+    c_checkpoint = 40;
+    c_disk_block = 1_200;
+    c_instr_op = 20 }
+
+let scaled_ghz = 2.3
+
+let cycles_to_seconds c = float_of_int c /. (scaled_ghz *. 1e9)

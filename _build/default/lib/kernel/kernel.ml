@@ -1,0 +1,1429 @@
+let src = Logs.Src.create "osiris.kernel" ~doc:"OSIRIS simulated kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type arch = Microkernel | Monolithic
+
+type op_kind =
+  | Op_compute
+  | Op_load
+  | Op_store
+  | Op_send
+  | Op_call
+  | Op_reply
+  | Op_receive
+  | Op_kcall
+  | Op_spawn
+  | Op_yield
+
+let op_kind_index = function
+  | Op_compute -> 0
+  | Op_load -> 1
+  | Op_store -> 2
+  | Op_send -> 3
+  | Op_call -> 4
+  | Op_reply -> 5
+  | Op_receive -> 6
+  | Op_kcall -> 7
+  | Op_spawn -> 8
+  | Op_yield -> 9
+
+let n_op_kinds = 10
+
+let op_kind_to_string = function
+  | Op_compute -> "compute"
+  | Op_load -> "load"
+  | Op_store -> "store"
+  | Op_send -> "send"
+  | Op_call -> "call"
+  | Op_reply -> "reply"
+  | Op_receive -> "receive"
+  | Op_kcall -> "kcall"
+  | Op_spawn -> "spawn"
+  | Op_yield -> "yield"
+
+let all_op_kinds =
+  [ Op_compute; Op_load; Op_store; Op_send; Op_call; Op_reply; Op_receive;
+    Op_kcall; Op_spawn; Op_yield ]
+
+type site = {
+  site_ep : Endpoint.t;
+  site_handler : Message.Tag.t option;
+  site_kind : op_kind;
+  site_occ : int;
+}
+
+let site_to_string s =
+  Printf.sprintf "%s/%s/%s/%d"
+    (Endpoint.server_name s.site_ep)
+    (match s.site_handler with
+     | None -> "-"
+     | Some tag -> Message.Tag.to_string tag)
+    (op_kind_to_string s.site_kind)
+    s.site_occ
+
+let compare_site a b = compare a b
+
+type fault_action =
+  | F_crash of string
+  | F_hang
+  | F_corrupt_store
+  | F_drop_store
+  | F_corrupt_msg
+  | F_skip_handler
+  | F_benign
+
+type server = {
+  srv_ep : Endpoint.t;
+  srv_name : string;
+  srv_image : Memimage.t;
+  srv_clone_extra_kb : int;
+  srv_init : unit Prog.t;
+  srv_loop : unit Prog.t;
+  srv_multithreaded : bool;
+}
+
+type halt =
+  | H_completed of int
+  | H_shutdown of string
+  | H_panic of string
+  | H_hang
+
+let halt_to_string = function
+  | H_completed status -> Printf.sprintf "completed(%d)" status
+  | H_shutdown reason -> Printf.sprintf "shutdown(%s)" reason
+  | H_panic reason -> Printf.sprintf "panic(%s)" reason
+  | H_hang -> "hang"
+
+type config = {
+  arch : arch;
+  policy : Policy.t;
+  costs : Costs.t;
+  seed : int;
+  max_ops : int;
+  max_vtime : int;
+  hang_detect_cycles : int;
+  max_crashes : int;
+  lookup_program : string -> (int -> unit Prog.t) option;
+  log_sink : (string -> unit) option;
+  trace : bool;
+}
+
+let default_config ?(arch = Microkernel) ?(seed = 42) policy ~lookup_program () =
+  { arch;
+    policy;
+    costs = (match arch with
+        | Microkernel -> Costs.microkernel
+        | Monolithic -> Costs.monolithic);
+    seed;
+    max_ops = 400_000_000;
+    max_vtime = 2_000_000_000;
+    hang_detect_cycles = 2_000_000;
+    max_crashes = 64;
+    lookup_program;
+    log_sink = None;
+    trace = false }
+
+(* ------------------------------------------------------------------ *)
+(* Processes and threads                                               *)
+(* ------------------------------------------------------------------ *)
+
+type req = {
+  rq_src : Endpoint.t;
+  rq_src_tid : int;
+  rq_tag : Message.Tag.t;
+  rq_call : bool;
+  rq_msg : Message.t;
+}
+
+type tstate =
+  | T_ready of unit Prog.t
+  | T_call_wait of { callee : Endpoint.t; k : Message.t -> unit Prog.t }
+  | T_recv_wait of { k : Endpoint.t * Message.t -> unit Prog.t }
+
+type thread = {
+  tid : int;
+  mutable tstate : tstate;
+  mutable treq : req option;
+  mutable started : bool;
+  occ : int array;
+}
+
+type inbox_entry = {
+  ib_src : Endpoint.t;
+  ib_src_tid : int;
+  ib_msg : Message.t;
+  ib_call : bool;
+  ib_time : int;  (* sender's clock at send: receive cannot precede it *)
+}
+
+type crash_ctx = {
+  cc_window_open : bool;
+  cc_requester : (Endpoint.t * int) option;
+  cc_reason : string;
+  cc_request : req option;
+  cc_rlocal : bool;  (* a requester-local SEEP was crossed in-window *)
+}
+
+type kind = Server_proc | User_proc
+
+type proc = {
+  ep : Endpoint.t;
+  mutable pname : string;
+  kind : kind;
+  image : Memimage.t option;
+  window : Window.t option;
+  mutable threads : thread list;
+  runq : thread Queue.t;
+  mutable active : thread option;
+  mutable vtime : int;
+  inbox : inbox_entry Queue.t;
+  mutable alive : bool;
+  mutable stalled : bool;
+  mutable hung : bool;
+  mutable in_heap : bool;
+  mutable loop_prog : unit Prog.t option;
+  mutable boot_snapshot : bytes option;
+  clone_extra_kb : int;
+  multithreaded : bool;
+  mutable crash_ctx : crash_ctx option;
+  mutable rlocal_crossed : bool;
+  mutable window_seeps : int;
+  mutable crashed_at : int;
+  handler_tally : (Message.Tag.t, int) Hashtbl.t;
+  mutable tid_counter : int;
+  mutable ops_total : int;
+  mutable ops_in_window : int;
+  mutable busy_cycles : int;
+  mutable restart_count : int;
+}
+
+type sched_item = S_run of Endpoint.t | S_alarm of Endpoint.t | S_hangcheck of Endpoint.t
+
+type event =
+  | E_msg of { time : int; src : Endpoint.t; dst : Endpoint.t;
+               tag : Message.Tag.t; call : bool }
+  | E_reply of { time : int; src : Endpoint.t; dst : Endpoint.t;
+                 tag : Message.Tag.t }
+  | E_crash of { time : int; ep : Endpoint.t; reason : string;
+                 window_open : bool }
+  | E_restart of { time : int; ep : Endpoint.t }
+  | E_halt of { time : int; halt : halt }
+
+type t = {
+  cfg : config;
+  rng : Osiris_util.Rng.t;
+  procs : (int, proc) Hashtbl.t;
+  mutable servers : Endpoint.t list;
+  heap : sched_item Osiris_util.Vheap.t;
+  mutable seq : int;
+  mutable run_items : int;
+  mutable booted : bool;
+  mutable halted : halt option;
+  mutable halt_on_exit : Endpoint.t option;
+  mutable next_user_ep : int;
+  mutable fault_hook : (site -> fault_action option) option;
+  mutable site_recorder : (site -> unit) option;
+  mutable event_hook : (event -> unit) option;
+  mutable n_ops : int;
+  mutable n_crashes : int;
+  mutable n_restarts : int;
+  mutable n_orphans : int;
+  mutable n_delivered : int;
+  mutable n_users : int;
+  mutable global_now : int;
+  mutable recovery_latencies : int list;
+}
+
+let create cfg =
+  { cfg;
+    rng = Osiris_util.Rng.create cfg.seed;
+    procs = Hashtbl.create 64;
+    servers = [];
+    heap = Osiris_util.Vheap.create ();
+    seq = 0;
+    run_items = 0;
+    booted = false;
+    halted = None;
+    halt_on_exit = None;
+    next_user_ep = Endpoint.first_user;
+    fault_hook = None;
+    site_recorder = None;
+    event_hook = None;
+    n_ops = 0;
+    n_crashes = 0;
+    n_restarts = 0;
+    n_orphans = 0;
+    n_delivered = 0;
+    n_users = 0;
+    global_now = 0;
+    recovery_latencies = [] }
+
+let set_fault_hook t hook = t.fault_hook <- hook
+
+let set_event_hook t hook = t.event_hook <- hook
+
+let emit t ev = match t.event_hook with Some f -> f ev | None -> ()
+let set_site_recorder t recorder = t.site_recorder <- recorder
+let set_halt_on_exit t ep = t.halt_on_exit <- Some ep
+
+let fresh_thread p ?(started = true) ?req prog =
+  let tid = p.tid_counter in
+  p.tid_counter <- p.tid_counter + 1;
+  { tid; tstate = T_ready prog; treq = req; started; occ = Array.make n_op_kinds 0 }
+
+let proc_of t ep = Hashtbl.find_opt t.procs ep
+
+let get_proc t ep =
+  match proc_of t ep with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "kernel: unknown endpoint %d" ep)
+
+let runnable p =
+  p.alive && (not p.stalled) && (not p.hung)
+  && (p.active <> None || not (Queue.is_empty p.runq))
+
+let push_heap t item ~key =
+  t.seq <- t.seq + 1;
+  (match item with S_run _ -> t.run_items <- t.run_items + 1 | _ -> ());
+  Osiris_util.Vheap.push t.heap ~key ~seq:t.seq item
+
+let schedule t p =
+  if (not p.in_heap) && runnable p then begin
+    p.in_heap <- true;
+    push_heap t (S_run p.ep) ~key:p.vtime
+  end
+
+(* Wake a receive-parked thread if a message is available. *)
+let wake_receiver t p =
+  if p.alive && not p.stalled && not (Queue.is_empty p.inbox) then begin
+    let rec find = function
+      | [] -> None
+      | th :: rest ->
+        (match th.tstate with T_recv_wait { k } -> Some (th, k) | _ -> find rest)
+    in
+    match find p.threads with
+    | None -> ()
+    | Some (th, k) ->
+      th.tstate <- T_ready (Prog.Receive k);
+      Queue.push th p.runq;
+      schedule t p
+  end
+
+let halt t h =
+  if t.halted = None then begin
+    t.halted <- Some h;
+    emit t (E_halt { time = t.global_now; halt = h })
+  end
+
+let panic t reason =
+  Log.err (fun m -> m "PANIC: %s" reason);
+  halt t (H_panic reason)
+
+(* ------------------------------------------------------------------ *)
+(* Windows and coverage                                                *)
+(* ------------------------------------------------------------------ *)
+
+let close_window_if_open p =
+  match p.window with
+  | Some w when Window.is_open w -> Window.close_window w
+  | _ -> ()
+
+let policy_close ?tag t p cls =
+  (* The sender's recovery window closes when a policy-forbidden SEEP
+     is crossed (paper Section IV-B). Requester-local SEEPs (extension,
+     Section VII) keep the window open but are remembered: crossing one
+     switches the reconciliation to kill-requester. *)
+  let requester_local =
+    match tag with
+    | Some tag -> List.mem tag t.cfg.policy.Policy.requester_local
+    | None -> false
+  in
+  match p.window with
+  | Some w when Window.is_open w ->
+    p.window_seeps <- p.window_seeps + 1;
+    (* Graduated policies (extension): past the budget, the window
+       hardens to pessimistic and any interaction closes it. *)
+    let hardened =
+      match t.cfg.policy.Policy.graduated with
+      | Some k -> p.window_seeps > k
+      | None -> false
+    in
+    if requester_local && not hardened then p.rlocal_crossed <- true
+    else if hardened || t.cfg.policy.Policy.closes_window cls then begin
+      Window.note_policy_close w;
+      Window.close_window w
+    end
+  | _ -> ()
+
+let open_handler_window t p =
+  if t.cfg.policy.Policy.window_on_receive then
+    match p.window with
+    | Some w ->
+      if Window.is_open w then Window.close_window w;
+      p.rlocal_crossed <- false;
+      p.window_seeps <- 0;
+      Window.open_window w;
+      (* Full-copy checkpointing pays for the image copy at every
+         window open; the undo log pays per store instead. *)
+      let cost =
+        if Window.instrumentation w = Window.Snapshot then
+          max t.cfg.costs.Costs.c_checkpoint (Memimage.size (Window.image w) / 8)
+        else t.cfg.costs.Costs.c_checkpoint
+      in
+      p.vtime <- p.vtime + cost
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let requester_of p =
+  (* The endpoint whose in-flight request was being handled by the
+     active thread when the crash hit, if it is still awaiting a
+     reply. *)
+  match p.active with
+  | None -> None
+  | Some th ->
+    (match th.treq with
+     | Some r when r.rq_call -> Some (r.rq_src, r.rq_src_tid)
+     | _ -> None)
+
+let deliver_to_inbox t ?at ~src ~src_tid ~call dst msg =
+  let at = match at with Some a -> a | None -> t.global_now in
+  match proc_of t dst with
+  | None ->
+    t.n_orphans <- t.n_orphans + 1;
+    Log.debug (fun m -> m "message to unknown endpoint %d dropped" dst)
+  | Some p ->
+    if not p.alive && not p.stalled then
+      (* Retired process: request is lost; a calling sender stays
+         blocked forever (visible as a hang). *)
+      t.n_orphans <- t.n_orphans + 1
+    else begin
+      if t.cfg.trace then
+        Log.debug (fun m ->
+            m "t=%-10d %s -> %s  %s%s" at (Endpoint.server_name src)
+              (Endpoint.server_name dst)
+              (Message.Tag.to_string (Message.Tag.of_msg msg))
+              (if call then " (call)" else ""));
+      emit t (E_msg { time = at; src; dst; tag = Message.Tag.of_msg msg; call });
+      Queue.push
+        { ib_src = src; ib_src_tid = src_tid; ib_msg = msg; ib_call = call;
+          ib_time = at }
+        p.inbox;
+      t.n_delivered <- t.n_delivered + 1;
+      wake_receiver t p;
+      schedule t p
+    end
+
+let rec crash_proc t p reason =
+  t.n_crashes <- t.n_crashes + 1;
+  Log.info (fun m -> m "crash: %s (%s) at t=%d" p.pname reason p.vtime);
+  if t.n_crashes > t.cfg.max_crashes then
+    panic t (Printf.sprintf "crash storm (> %d crashes)" t.cfg.max_crashes)
+  else begin
+    let window_open =
+      match p.window with Some w -> Window.is_open w | None -> false
+    in
+    let requester = requester_of p in
+    let request = match p.active with Some th -> th.treq | None -> None in
+    p.crash_ctx <-
+      Some
+        { cc_window_open = window_open;
+          cc_requester = requester;
+          cc_reason = reason;
+          cc_request = request;
+          cc_rlocal = p.rlocal_crossed };
+    (* Inactive threads are part of the component state and survive
+       recovery (paper Section IV-E): call-waiting threads and yielded
+       ready threads persist. The crashing active thread dies, and the
+       receive-parked main loop is replaced by a fresh one at K_go. *)
+    let active_tid = match p.active with Some th -> th.tid | None -> -1 in
+    p.threads <-
+      List.filter
+        (fun th ->
+           match th.tstate with
+           | T_call_wait _ -> true
+           | T_ready _ -> th.tid <> active_tid
+           | T_recv_wait _ -> false)
+        p.threads;
+    (* The run queue already contains exactly the non-active ready
+       threads; leave it as the surviving schedule. *)
+    p.active <- None;
+    p.alive <- false;
+    p.stalled <- true;
+    p.hung <- false;
+    p.crashed_at <- max p.vtime t.global_now;
+    emit t (E_crash { time = p.crashed_at; ep = p.ep; reason; window_open });
+    match t.cfg.policy.Policy.recovery with
+    | Policy.No_recovery -> panic t (Printf.sprintf "unrecovered crash in %s: %s" p.pname reason)
+    | _ ->
+      if p.ep = Endpoint.rs then kernel_recover_rs t p
+      else
+        deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false Endpoint.rs
+          (Message.Crash_notify { ep = p.ep; reason })
+  end
+
+(* Recovery primitives, shared between RS-driven recovery (kcalls) and
+   the kernel's self-recovery path for RS itself. *)
+
+and k_mk_clone t p =
+  p.restart_count <- p.restart_count + 1;
+  t.n_restarts <- t.n_restarts + 1;
+  Log.info (fun m -> m "restart: clone of %s takes over endpoint %d" p.pname p.ep)
+
+and k_clear_state t p =
+  Queue.clear p.runq;
+  (match p.image, p.boot_snapshot with
+   | Some img, Some snap ->
+     Memimage.restore img snap;
+     (match p.window with
+      | Some w -> Window.close_window w; Window.reinstall_hook w
+      | None -> ())
+   | _ -> ());
+  p.threads <- [];
+  Queue.clear p.inbox;
+  ignore t
+
+and k_rollback _t p =
+  match p.window, p.crash_ctx with
+  | Some w, Some ctx when ctx.cc_window_open -> Window.rollback w; true
+  | _ -> false
+
+and k_go t p =
+  if p.kind = Server_proc then
+    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep });
+  if p.kind = Server_proc && p.crashed_at > 0 then begin
+    t.recovery_latencies <-
+      (max 0 (max t.global_now p.vtime - p.crashed_at)) :: t.recovery_latencies;
+    p.crashed_at <- 0
+  end;
+  (match p.kind with
+   | Server_proc ->
+     (match p.loop_prog with
+      | Some loop ->
+        let th = fresh_thread p loop in
+        p.threads <- p.threads @ [ th ];
+        Queue.push th p.runq
+      | None -> ())
+   | User_proc -> ());
+  p.alive <- true;
+  p.stalled <- false;
+  p.crash_ctx <- None;
+  p.vtime <- max p.vtime t.global_now;
+  wake_receiver t p;
+  schedule t p
+
+and k_reply_error t ~target ~err =
+  (* Error virtualization: resume the requester that will never get a
+     real reply from the crashed component. *)
+  match proc_of t target with
+  | None -> false
+  | Some rp ->
+    let rec find = function
+      | [] -> None
+      | th :: rest ->
+        (match th.tstate with
+         | T_call_wait { callee; k } ->
+           (match proc_of t callee with
+            | Some cp when (not cp.alive) || cp.stalled -> Some (th, k)
+            | _ -> find rest)
+         | _ -> find rest)
+    in
+    (match find rp.threads with
+     | None -> false
+     | Some (th, k) ->
+       th.tstate <- T_ready (k (Message.R_err err));
+       rp.vtime <- max rp.vtime t.global_now;
+       Queue.push th rp.runq;
+       schedule t rp;
+       true)
+
+and kernel_recover_rs t p =
+  (* RS cannot recover itself through message passing; the kernel holds
+     a prepared clone and applies the active policy directly (paper
+     Section IV-C: "for core system servers, RS replaces the deceased
+     component with a clone prepared ahead of time" — for RS the kernel
+     plays that role). *)
+  let ctx = match p.crash_ctx with Some c -> c | None -> assert false in
+  match t.cfg.policy.Policy.recovery with
+  | Policy.No_recovery -> ()
+  | Policy.Restart_fresh ->
+    k_mk_clone t p; k_clear_state t p; k_go t p
+  | Policy.Restart_keep_state ->
+    k_mk_clone t p;
+    k_go t p
+  | Policy.Rollback_or_shutdown | Policy.Rollback_replay ->
+    (* RS recovers itself with error virtualization even under the
+       replay extension: replaying into RS itself risks recursion. *)
+    if ctx.cc_window_open then begin
+      k_mk_clone t p;
+      ignore (k_rollback t p);
+      (match ctx.cc_requester with
+       | Some (req_ep, _) -> ignore (k_reply_error t ~target:req_ep ~err:Errno.E_CRASH)
+       | None -> ());
+      k_go t p
+    end
+    else halt t (H_shutdown (Printf.sprintf "rs crashed outside recovery window (%s)" ctx.cc_reason))
+
+(* ------------------------------------------------------------------ *)
+(* Server / user creation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_server t srv =
+  let window =
+    if t.cfg.policy.Policy.instrumentation <> Window.Never
+       || t.cfg.policy.Policy.window_on_receive
+    then
+      Some
+        (Window.create ~dedup:t.cfg.policy.Policy.dedup_log
+           t.cfg.policy.Policy.instrumentation srv.srv_image)
+    else None
+  in
+  let p =
+    { ep = srv.srv_ep;
+      pname = srv.srv_name;
+      kind = Server_proc;
+      image = Some srv.srv_image;
+      window;
+      threads = [];
+      runq = Queue.create ();
+      active = None;
+      vtime = 0;
+      inbox = Queue.create ();
+      alive = true;
+      stalled = false;
+      hung = false;
+      in_heap = false;
+      loop_prog = Some srv.srv_loop;
+      boot_snapshot = None;
+      clone_extra_kb = srv.srv_clone_extra_kb;
+      multithreaded = srv.srv_multithreaded;
+      crash_ctx = None;
+      rlocal_crossed = false;
+      window_seeps = 0;
+      crashed_at = 0;
+      handler_tally = Hashtbl.create 32;
+      tid_counter = 0;
+      ops_total = 0;
+      ops_in_window = 0;
+      busy_cycles = 0;
+      restart_count = 0 }
+  in
+  let main =
+    fresh_thread p (Prog.bind srv.srv_init (fun () -> srv.srv_loop))
+  in
+  p.threads <- [ main ];
+  Queue.push main p.runq;
+  Hashtbl.replace t.procs srv.srv_ep p;
+  t.servers <- t.servers @ [ srv.srv_ep ];
+  schedule t p
+
+let spawn_user t ~name ~prog ~parent:_ =
+  let ep = t.next_user_ep in
+  t.next_user_ep <- t.next_user_ep + 1;
+  t.n_users <- t.n_users + 1;
+  let p =
+    { ep;
+      pname = name;
+      kind = User_proc;
+      image = None;
+      window = None;
+      threads = [];
+      runq = Queue.create ();
+      active = None;
+      vtime = t.global_now;
+      inbox = Queue.create ();
+      alive = true;
+      stalled = false;
+      hung = false;
+      in_heap = false;
+      loop_prog = None;
+      boot_snapshot = None;
+      clone_extra_kb = 0;
+      multithreaded = false;
+      crash_ctx = None;
+      rlocal_crossed = false;
+      window_seeps = 0;
+      crashed_at = 0;
+      handler_tally = Hashtbl.create 32;
+      tid_counter = 0;
+      ops_total = 0;
+      ops_in_window = 0;
+      busy_cycles = 0;
+      restart_count = 0 }
+  in
+  let th = fresh_thread p prog in
+  p.threads <- [ th ];
+  Queue.push th p.runq;
+  Hashtbl.replace t.procs ep p;
+  schedule t p;
+  ep
+
+let destroy_user t p =
+  p.alive <- false;
+  p.stalled <- true;
+  p.threads <- [];
+  Queue.clear p.runq;
+  Queue.clear p.inbox;
+  p.active <- None;
+  ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Live update (extension)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let live_update_internal t ep loop =
+  match proc_of t ep with
+  | None -> Error "unknown endpoint"
+  | Some p when p.kind <> Server_proc -> Error "not a server"
+  | Some p when not p.alive || p.stalled -> Error "component is recovering"
+  | Some p ->
+    (* Quiescence: every thread parked in Receive, nothing scheduled,
+       window closed. The same condition under which a checkpoint is a
+       complete description of the component. *)
+    let quiescent =
+      p.active = None
+      && Queue.is_empty p.runq
+      && List.for_all
+           (fun th -> match th.tstate with T_recv_wait _ -> true | _ -> false)
+           p.threads
+      && (match p.window with Some w -> not (Window.is_open w) | None -> true)
+    in
+    if not quiescent then Error "component is mid-request"
+    else begin
+      p.loop_prog <- Some loop;
+      (* Retire the old loop thread(s) and start the new code over the
+         preserved state, exactly like a recovered clone. *)
+      p.threads <- [];
+      let th = fresh_thread p loop in
+      p.threads <- [ th ];
+      Queue.push th p.runq;
+      p.vtime <- max p.vtime t.global_now;
+      (* A real update would also transfer the image into the new
+         version's layout; versions here share the layout, so the
+         state carries over as-is. Charge the state-transfer cost. *)
+      (match p.image with
+       | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+       | None -> ());
+      wake_receiver t p;
+      schedule t p;
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Kcall execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let exec_kcall t p kc : Prog.kresult =
+  match kc with
+  | Prog.K_fork { parent } ->
+    (match proc_of t parent with
+     | None -> Prog.Kr_err Errno.ESRCH
+     | Some pp ->
+       let rec find_k = function
+         | [] -> None
+         | th :: rest ->
+           (match th.tstate with
+            | T_call_wait { callee; k } when callee = p.ep -> Some k
+            | _ -> find_k rest)
+       in
+       (match find_k pp.threads with
+        | None -> Prog.Kr_err Errno.EINVAL
+        | Some k ->
+          let child_prog = k (Message.R_fork { child = 0 }) in
+          let cep =
+            spawn_user t ~name:(pp.pname ^ "+") ~prog:child_prog ~parent
+          in
+          let cp = get_proc t cep in
+          (* The child starts running only after PM finishes the fork
+             bookkeeping and issues K_go. *)
+          cp.stalled <- true;
+          cp.vtime <- max cp.vtime p.vtime;
+          Prog.Kr_ep cep))
+  | Prog.K_exec { proc; path; arg } ->
+    (match proc_of t proc with
+     | None -> Prog.Kr_err Errno.ESRCH
+     | Some pp ->
+       (match t.cfg.lookup_program path with
+        | None -> Prog.Kr_err Errno.ENOENT
+        | Some f ->
+          let th = fresh_thread pp (f arg) in
+          pp.threads <- [ th ];
+          Queue.clear pp.runq;
+          pp.active <- None;
+          Queue.push th pp.runq;
+          pp.pname <- Filename.basename path;
+          pp.vtime <- max pp.vtime p.vtime;
+          schedule t pp;
+          Prog.Kr_ok))
+  | Prog.K_kill { proc; status } ->
+    (match proc_of t proc with
+     | None -> Prog.Kr_err Errno.ESRCH
+     | Some pp ->
+       destroy_user t pp;
+       (match t.halt_on_exit with
+        | Some root when root = proc -> halt t (H_completed status)
+        | _ -> ());
+       Prog.Kr_ok)
+  | Prog.K_crash_context ep ->
+    (match proc_of t ep with
+     | Some { crash_ctx = Some c; _ } ->
+       Prog.Kr_context
+         { window_open = c.cc_window_open;
+           requester = Option.map fst c.cc_requester;
+           reason = c.cc_reason;
+           rlocal = c.cc_rlocal }
+     | _ -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_mk_clone ep ->
+    (match proc_of t ep with
+     | Some cp when cp.crash_ctx <> None ->
+       k_mk_clone t cp;
+       (* The restart phase copies the dead component's data sections
+          into the clone; the Recovery Server pays for the transfer
+          (~8 bytes/cycle). *)
+       (match cp.image with
+        | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+        | None -> ());
+       Prog.Kr_ok
+     | _ -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_rollback ep ->
+    (match proc_of t ep with
+     | Some cp when cp.crash_ctx <> None ->
+       if k_rollback t cp then Prog.Kr_ok else Prog.Kr_err Errno.EINVAL
+     | _ -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_clear_state ep ->
+    (match proc_of t ep with
+     | Some cp ->
+       k_clear_state t cp;
+       (match cp.image with
+        | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+        | None -> ());
+       Prog.Kr_ok
+     | None -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_go ep ->
+    (match proc_of t ep with
+     | Some cp -> k_go t cp; Prog.Kr_ok
+     | None -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_reply_error { proc; err } ->
+    if k_reply_error t ~target:proc ~err then Prog.Kr_ok
+    else Prog.Kr_err Errno.ESRCH
+  | Prog.K_shutdown reason ->
+    halt t (H_shutdown reason);
+    Prog.Kr_ok
+  | Prog.K_alarm { ticks } ->
+    push_heap t (S_alarm p.ep) ~key:(p.vtime + ticks);
+    Prog.Kr_ok
+  | Prog.K_mmu { proc = _ } ->
+    (* Page-table manipulation: observable cost only. *)
+    Prog.Kr_ok
+  | Prog.K_replay ep ->
+    (match proc_of t ep with
+     | Some ({ crash_ctx = Some { cc_request = Some rq; _ }; _ } as cp) ->
+       Queue.push
+         { ib_src = rq.rq_src; ib_src_tid = rq.rq_src_tid; ib_msg = rq.rq_msg;
+           ib_call = rq.rq_call; ib_time = p.vtime }
+         cp.inbox;
+       Prog.Kr_ok
+     | _ -> Prog.Kr_err Errno.ESRCH)
+  | Prog.K_live_update { proc; loop } ->
+    (match live_update_internal t proc loop with
+     | Ok () -> Prog.Kr_ok
+     | Error _ -> Prog.Kr_err Errno.EAGAIN)
+  | Prog.K_kill_requester { proc } ->
+    (match proc_of t proc with
+     | Some rp when rp.kind = User_proc && rp.alive ->
+       (* Terminate through the normal exit path so PM/VM/VFS clean up
+          every trace of the requester. *)
+       List.iter
+         (fun th ->
+            th.tstate <-
+              T_ready
+                (Prog.Call (Endpoint.pm, Message.Exit { status = 137 },
+                            fun _ -> Prog.Done ())))
+         rp.threads;
+       Queue.clear rp.runq;
+       (match rp.threads with
+        | th :: _ ->
+          Queue.push th rp.runq;
+          rp.active <- None;
+          rp.vtime <- max rp.vtime p.vtime;
+          schedule t rp
+        | [] -> ());
+       Prog.Kr_ok
+     | _ -> Prog.Kr_err Errno.ESRCH)
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let charge t p c =
+  (* Instrumentation drag: while stores are being logged, every
+     operation of the component carries the undo-log cost of the
+     machine-level stores it stands for. *)
+  let c =
+    match p.window with
+    | Some w when Window.would_log w -> c + t.cfg.costs.Costs.c_instr_op
+    | _ -> c
+  in
+  p.vtime <- p.vtime + c;
+  p.busy_cycles <- p.busy_cycles + c
+
+let coverage t p =
+  if t.booted && p.kind = Server_proc then begin
+    p.ops_total <- p.ops_total + 1;
+    match p.window with
+    | Some w when Window.is_open w -> p.ops_in_window <- p.ops_in_window + 1
+    | _ -> ()
+  end
+
+(* Build the site for this op and consult recorder/fault hook. *)
+let op_site t p th kind =
+  if t.booted && p.kind = Server_proc
+     && (t.fault_hook <> None || t.site_recorder <> None)
+  then begin
+    let idx = op_kind_index kind in
+    (* Cap the occurrence index: a fault site models a *static* program
+       location, and loop iterations re-execute the same location. The
+       cap collapses spins and long scans into one trailing site. *)
+    let occ = min th.occ.(idx) 16 in
+    th.occ.(idx) <- th.occ.(idx) + 1;
+    let site =
+      { site_ep = p.ep;
+        site_handler = Option.map (fun r -> r.rq_tag) th.treq;
+        site_kind = kind;
+        site_occ = occ }
+    in
+    (match t.site_recorder with Some f -> f site | None -> ());
+    match t.fault_hook with
+    | Some hook -> hook site
+    | None -> None
+  end
+  else None
+
+exception Thread_parked
+exception Thread_finished
+
+let deactivate p =
+  (* The active thread stops running: in a multithreaded component the
+     next thread's writes would interleave, so the window must close
+     (paper Section IV-E). *)
+  if p.multithreaded && List.length p.threads > 1 then close_window_if_open p;
+  p.active <- None
+
+let finish_thread t p th =
+  (match p.kind with
+   | Server_proc ->
+     if p.multithreaded then close_window_if_open p;
+     p.threads <- List.filter (fun x -> x.tid <> th.tid) p.threads;
+     p.active <- None
+   | User_proc ->
+     (* A user program that returns without calling exit() is given an
+        implicit exit(0) through PM, keeping the process table sound. *)
+     th.tstate <-
+       T_ready (Prog.Call (Endpoint.pm, Message.Exit { status = 0 },
+                           fun _ -> Prog.Done ()));
+     ignore t)
+
+(* Execute exactly one operation of the active thread. Raises
+   Thread_parked / Thread_finished to signal scheduling changes. *)
+let step t p th prog =
+  let costs = t.cfg.costs in
+  t.n_ops <- t.n_ops + 1;
+  if t.n_ops > t.cfg.max_ops then halt t H_hang;
+  match prog with
+  | Prog.Done () -> finish_thread t p th; raise Thread_finished
+  | Prog.Fail reason ->
+    (match p.kind with
+     | Server_proc -> crash_proc t p reason; raise Thread_finished
+     | User_proc ->
+       (* Abnormal user termination: routed through PM as exit(255) so
+          the process table stays consistent. *)
+       Log.debug (fun m -> m "user %s fail-stop: %s" p.pname reason);
+       th.tstate <-
+         T_ready (Prog.Call (Endpoint.pm, Message.Exit { status = 255 },
+                             fun _ -> Prog.Done ())))
+  | Prog.Compute (c, k) ->
+    coverage t p;
+    (match op_site t p th Op_compute with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang -> p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+     | _ -> ());
+    charge t p (max c 1);
+    th.tstate <- T_ready (k ())
+  | Prog.Load (off, k) ->
+    coverage t p;
+    (match p.image with
+     | None -> panic t (p.pname ^ ": memory op in user process"); raise Thread_finished
+     | Some img ->
+       (match op_site t p th Op_load with
+        | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+        | Some F_hang -> p.hung <- true;
+          push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+          raise Thread_parked
+        | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+        | _ -> ());
+       charge t p costs.Costs.c_load;
+       th.tstate <- T_ready (k (Memimage.get_word img off)))
+  | Prog.Store (off, v, k) ->
+    coverage t p;
+    (match p.image with
+     | None -> panic t (p.pname ^ ": memory op in user process"); raise Thread_finished
+     | Some img ->
+       let action = op_site t p th Op_store in
+       (match action with
+        | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+        | Some F_hang -> p.hung <- true;
+          push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+          raise Thread_parked
+        | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+        | _ -> ());
+       let logged =
+         match p.window with Some w -> Window.would_log w | None -> false
+       in
+       charge t p (costs.Costs.c_store + if logged then costs.Costs.c_log else 0);
+       (match action with
+        | Some F_drop_store -> ()
+        | Some F_corrupt_store ->
+          Memimage.set_word img off (v lxor (1 lsl Osiris_util.Rng.int t.rng 16))
+        | _ -> Memimage.set_word img off v);
+       th.tstate <- T_ready (k ()))
+  | Prog.Load_str { off; len; k } ->
+    coverage t p;
+    (match p.image with
+     | None -> panic t (p.pname ^ ": memory op in user process"); raise Thread_finished
+     | Some img ->
+       (match op_site t p th Op_load with
+        | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+        | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+        | _ -> ());
+       charge t p (costs.Costs.c_load + (len / 8));
+       th.tstate <- T_ready (k (Memimage.get_string img ~off ~len)))
+  | Prog.Store_str { off; len; v; k } ->
+    coverage t p;
+    (match p.image with
+     | None -> panic t (p.pname ^ ": memory op in user process"); raise Thread_finished
+     | Some img ->
+       let action = op_site t p th Op_store in
+       (match action with
+        | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+        | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+        | _ -> ());
+       let logged =
+         match p.window with Some w -> Window.would_log w | None -> false
+       in
+       let cost =
+         costs.Costs.c_store + (len * costs.Costs.c_store_per_byte)
+         + (if logged then costs.Costs.c_log + (len * costs.Costs.c_log_per_byte) else 0)
+       in
+       charge t p cost;
+       (match action with
+        | Some F_drop_store -> ()
+        | Some F_corrupt_store ->
+          Memimage.set_string img ~off ~len
+            (Message.(match corrupt t.rng (Diag { line = v }) with
+                 | Diag { line } -> line
+                 | _ -> v))
+        | _ -> Memimage.set_string img ~off ~len v);
+       th.tstate <- T_ready (k ()))
+  | Prog.Send (dst, msg, k) ->
+    coverage t p;
+    let action = op_site t p th Op_send in
+    (match action with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang ->
+       p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+     | _ -> ());
+    let msg =
+      match action with
+      | Some F_corrupt_msg -> Message.corrupt t.rng msg
+      | _ -> msg
+    in
+    charge t p costs.Costs.c_send;
+    if p.kind = Server_proc then
+      policy_close ~tag:(Message.Tag.of_msg msg) t p (Seep.classify_msg ~dst msg);
+    (if dst = Endpoint.kernel then
+       match msg, t.cfg.log_sink with
+       | Message.Diag { line }, Some sink -> sink line
+       | _ -> ()
+     else deliver_to_inbox t ~src:p.ep ~src_tid:th.tid ~call:false dst msg);
+    th.tstate <- T_ready (k ())
+  | Prog.Call (dst, msg, k) ->
+    coverage t p;
+    let action = op_site t p th Op_call in
+    (match action with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang ->
+       p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+     | _ -> ());
+    let msg =
+      match action with
+      | Some F_corrupt_msg -> Message.corrupt t.rng msg
+      | _ -> msg
+    in
+    charge t p costs.Costs.c_call;
+    if p.kind = Server_proc then
+      policy_close ~tag:(Message.Tag.of_msg msg) t p (Seep.classify_msg ~dst msg);
+    if dst = Endpoint.kernel then begin
+      (match msg, t.cfg.log_sink with
+       | Message.Diag { line }, Some sink -> sink line
+       | _ -> ());
+      th.tstate <- T_ready (k (Message.R_ok 0))
+    end
+    else begin
+      th.tstate <- T_call_wait { callee = dst; k };
+      deliver_to_inbox t ~at:p.vtime ~src:p.ep ~src_tid:th.tid ~call:true dst msg;
+      deactivate p;
+      raise Thread_parked
+    end
+  | Prog.Receive k ->
+    coverage t p;
+    (* Back at the top of the loop: the previous request is done and its
+       effects are committed — even when the handler sent no reply (a
+       deferred waitpid, a notification). Rolling back past this point
+       would silently undo state other components rely on, so the
+       window must close here, not at the next checkpoint. *)
+    th.treq <- None;
+    if p.kind = Server_proc then close_window_if_open p;
+    (match op_site t p th Op_receive with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang ->
+       p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | _ -> ());
+    charge t p costs.Costs.c_receive;
+    if p.kind = User_proc then begin
+      panic t (p.pname ^ ": receive in user process");
+      raise Thread_finished
+    end;
+    if Queue.is_empty p.inbox then begin
+      th.tstate <- T_recv_wait { k };
+      deactivate p;
+      raise Thread_parked
+    end
+    else begin
+      let entry = Queue.pop p.inbox in
+      if entry.ib_time > p.vtime then p.vtime <- entry.ib_time;
+      th.treq <-
+        Some { rq_src = entry.ib_src;
+               rq_src_tid = entry.ib_src_tid;
+               rq_tag = Message.Tag.of_msg entry.ib_msg;
+               rq_call = entry.ib_call;
+               rq_msg = entry.ib_msg };
+      if t.booted then begin
+        let tag = Message.Tag.of_msg entry.ib_msg in
+        Hashtbl.replace p.handler_tally tag
+          (1 + Option.value ~default:0 (Hashtbl.find_opt p.handler_tally tag))
+      end;
+      Array.fill th.occ 0 n_op_kinds 0;
+      open_handler_window t p;
+      th.tstate <- T_ready (k (entry.ib_src, entry.ib_msg))
+    end
+  | Prog.Reply (dst, msg, k) ->
+    coverage t p;
+    let action = op_site t p th Op_reply in
+    (match action with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang ->
+       p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+     | _ -> ());
+    let msg =
+      match action with
+      | Some F_corrupt_msg -> Message.corrupt t.rng msg
+      | _ -> msg
+    in
+    charge t p costs.Costs.c_reply;
+    if p.kind = Server_proc then policy_close t p Seep.Reply;
+    (match proc_of t dst with
+     | None -> t.n_orphans <- t.n_orphans + 1
+     | Some rp ->
+       let preferred_tid =
+         match th.treq with
+         | Some r when r.rq_src = dst -> Some r.rq_src_tid
+         | _ -> None
+       in
+       let candidates =
+         List.filter
+           (fun x -> match x.tstate with
+              | T_call_wait { callee; _ } -> callee = p.ep
+              | _ -> false)
+           rp.threads
+       in
+       let target =
+         match preferred_tid with
+         | Some tid ->
+           (match List.find_opt (fun x -> x.tid = tid) candidates with
+            | Some th' -> Some th'
+            | None -> (match candidates with [] -> None | th' :: _ -> Some th'))
+         | None -> (match candidates with [] -> None | th' :: _ -> Some th')
+       in
+       (match target with
+        | None -> t.n_orphans <- t.n_orphans + 1
+        | Some th' ->
+          (match th'.tstate with
+           | T_call_wait { k = k'; _ } ->
+             if t.cfg.trace then
+               Log.debug (fun m ->
+                   m "t=%-10d %s => %s  reply %s" p.vtime
+                     (Endpoint.server_name p.ep) (Endpoint.server_name dst)
+                     (Message.Tag.to_string (Message.Tag.of_msg msg)));
+             emit t
+               (E_reply { time = p.vtime; src = p.ep; dst;
+                          tag = Message.Tag.of_msg msg });
+             th'.tstate <- T_ready (k' msg);
+             rp.vtime <- max rp.vtime p.vtime;
+             Queue.push th' rp.runq;
+             schedule t rp
+           | _ -> assert false)));
+    th.tstate <- T_ready (k ())
+  | Prog.Yield k ->
+    coverage t p;
+    charge t p costs.Costs.c_yield;
+    th.tstate <- T_ready (k ());
+    Queue.push th p.runq;
+    deactivate p;
+    raise Thread_parked
+  | Prog.Spawn (prog, k) ->
+    coverage t p;
+    (match op_site t p th Op_spawn with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | _ -> ());
+    charge t p costs.Costs.c_spawn;
+    let nth = fresh_thread p ~started:false ?req:th.treq prog in
+    p.threads <- p.threads @ [ nth ];
+    Queue.push nth p.runq;
+    th.tstate <- T_ready (k ())
+  | Prog.Kcall (kc, k) ->
+    coverage t p;
+    (match op_site t p th Op_kcall with
+     | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
+     | Some F_hang ->
+       p.hung <- true;
+       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       raise Thread_parked
+     | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
+     | _ -> ());
+    charge t p costs.Costs.c_kcall;
+    if p.kind = Server_proc then begin
+      let cls =
+        match kc with
+        | Prog.K_crash_context _ -> Seep.Read_only
+        | _ -> Seep.State_modifying
+      in
+      policy_close t p cls
+    end;
+    let r = exec_kcall t p kc in
+    th.tstate <- T_ready (k r)
+  | Prog.Rand (bound, k) ->
+    coverage t p;
+    charge t p 1;
+    th.tstate <- T_ready (k (Osiris_util.Rng.int t.rng (max bound 1)))
+  | Prog.Now k ->
+    coverage t p;
+    charge t p 1;
+    th.tstate <- T_ready (k p.vtime)
+
+(* Activate the next ready thread of [p], handling window bookkeeping
+   for handler threads that start running for the first time. *)
+let activate_next t p =
+  match p.active with
+  | Some _ -> true
+  | None ->
+    if Queue.is_empty p.runq then false
+    else begin
+      let th = Queue.pop p.runq in
+      p.active <- Some th;
+      if not th.started then begin
+        th.started <- true;
+        Array.fill th.occ 0 n_op_kinds 0;
+        if p.kind = Server_proc then open_handler_window t p
+      end;
+      true
+    end
+
+let exec_proc t p =
+  let continue = ref true in
+  while !continue && t.halted = None do
+    if not (p.alive && (not p.stalled) && not p.hung) then continue := false
+    else if not (activate_next t p) then continue := false
+    else begin
+      match p.active with
+      | None -> continue := false
+      | Some th ->
+        (match th.tstate with
+         | T_ready prog ->
+           (try step t p th prog with
+            | Thread_parked -> ()
+            | Thread_finished -> ())
+         | T_call_wait _ | T_recv_wait _ ->
+           (* Parked while marked active: clear and pick next. *)
+           p.active <- None);
+        (* Preemption check: if another item in the heap is due before
+           this process' clock, give it the CPU. *)
+        (match Osiris_util.Vheap.peek_key t.heap with
+         | Some key when p.vtime > key ->
+           continue := false;
+           schedule t p
+         | _ -> ())
+    end
+  done;
+  if p.vtime > t.global_now then t.global_now <- p.vtime
+
+(* ------------------------------------------------------------------ *)
+(* Main loops                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t item =
+  match item with
+  | S_run ep ->
+    t.run_items <- t.run_items - 1;
+    (match proc_of t ep with
+     | None -> ()
+     | Some p ->
+       p.in_heap <- false;
+       if runnable p then exec_proc t p)
+  | S_alarm ep ->
+    deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false ep Message.Alarm
+  | S_hangcheck ep ->
+    (match proc_of t ep with
+     | Some p when p.hung && p.alive ->
+       p.hung <- false;
+       crash_proc t p "hang detected by heartbeat"
+     | _ -> ())
+
+let pump t ~until_quiescent =
+  let continue = ref true in
+  while !continue && t.halted = None do
+    if until_quiescent && t.run_items = 0 then continue := false
+    else
+      match Osiris_util.Vheap.pop t.heap with
+      | None -> continue := false
+      | Some (key, _, item) ->
+        if key > t.global_now then t.global_now <- key;
+        (* Virtual-time cutoff: a system that is past the deadline is
+           hung (deadlocked processes, spinning readers, or an idle
+           timer chain with no forward progress). *)
+        if (not until_quiescent) && key > t.cfg.max_vtime then
+          halt t H_hang
+        else dispatch t item
+  done
+
+let boot t =
+  pump t ~until_quiescent:true;
+  (match t.halted with
+   | Some h -> failwith ("kernel: boot failed: " ^ halt_to_string h)
+   | None -> ());
+  Hashtbl.iter
+    (fun _ p ->
+       match p.image with
+       | Some img when p.kind = Server_proc ->
+         p.boot_snapshot <- Some (Memimage.snapshot img)
+       | _ -> ())
+    t.procs;
+  t.booted <- true
+
+let run t =
+  pump t ~until_quiescent:false;
+  match t.halted with
+  | Some h -> h
+  | None -> H_hang
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let now t = t.global_now
+
+let total_ops t = t.n_ops
+
+type server_stats = {
+  ss_name : string;
+  ss_ops_total : int;
+  ss_ops_in_window : int;
+  ss_busy_cycles : int;
+  ss_logged_stores : int;
+  ss_skipped_stores : int;
+  ss_deduped_stores : int;
+  ss_undo_peak_bytes : int;
+  ss_undo_entries_lifetime : int;
+  ss_image_bytes : int;
+  ss_image_used_bytes : int;
+  ss_clone_extra_kb : int;
+  ss_window_opens : int;
+  ss_policy_closes : int;
+  ss_restarts : int;
+}
+
+let server_stats t ep =
+  let p = get_proc t ep in
+  let logged, skipped, deduped, peak, lifetime, opens, closes =
+    match p.window with
+    | Some w ->
+      ( Window.logged_stores w,
+        Window.skipped_stores w,
+        Window.deduped_stores w,
+        Undo_log.peak_bytes (Window.log w),
+        Undo_log.total_records (Window.log w),
+        Window.opens w,
+        Window.closes_by_policy w )
+    | None -> (0, 0, 0, 0, 0, 0, 0)
+  in
+  { ss_name = p.pname;
+    ss_ops_total = p.ops_total;
+    ss_ops_in_window = p.ops_in_window;
+    ss_busy_cycles = p.busy_cycles;
+    ss_logged_stores = logged;
+    ss_skipped_stores = skipped;
+    ss_deduped_stores = deduped;
+    ss_undo_peak_bytes = peak;
+    ss_undo_entries_lifetime = lifetime;
+    ss_image_bytes = (match p.image with Some i -> Memimage.size i | None -> 0);
+    ss_image_used_bytes =
+      (match p.image with Some i -> Memimage.allocated i | None -> 0);
+    ss_clone_extra_kb = p.clone_extra_kb;
+    ss_window_opens = opens;
+    ss_policy_closes = closes;
+    ss_restarts = p.restart_count }
+
+let server_endpoints t = t.servers
+
+let handler_counts t ep =
+  match proc_of t ep with
+  | None -> []
+  | Some p -> Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) p.handler_tally []
+
+let recovery_latencies t = t.recovery_latencies
+
+let crashes t = t.n_crashes
+let restarts t = t.n_restarts
+let orphaned_replies t = t.n_orphans
+let messages_delivered t = t.n_delivered
+
+let proc_alive t ep =
+  match proc_of t ep with Some p -> p.alive | None -> false
+
+let proc_vtime t ep =
+  match proc_of t ep with Some p -> p.vtime | None -> 0
+
+let window_is_open t ep =
+  match proc_of t ep with
+  | Some { window = Some w; _ } -> Window.is_open w
+  | _ -> false
+
+let user_count t = t.n_users
+
+let live_update = live_update_internal

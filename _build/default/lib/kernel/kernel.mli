@@ -1,0 +1,240 @@
+(** The discrete-event microkernel.
+
+    The kernel owns the virtual clock, schedules processes by virtual
+    time, interprets {!Prog.t} operation trees one step at a time, and
+    implements the privileged mechanics of OSIRIS' recovery protocol
+    (restart / rollback / reconciliation primitives invoked by the
+    Recovery Server through [Kcall]s).
+
+    Simulation structure:
+    - every process (OS server or user process) is an event-driven
+      entity with one or more cooperative threads;
+    - synchronous [Call]s follow MINIX sendrec semantics — the caller
+      blocks until the receiver replies;
+    - recovery windows open when a handler starts and close according
+      to the active {!Policy.t} and the SEEP class of outbound messages
+      (multithreaded servers additionally close the window whenever the
+      active thread is switched out, per paper Section IV-E);
+    - every executed server operation is counted for recovery coverage
+      (Table I) and offered to the fault hook (Tables II/III);
+    - every operation advances the owning process' virtual time by its
+      {!Costs.t} entry.
+
+    Everything is deterministic for a fixed configuration and seed. *)
+
+type arch = Microkernel | Monolithic
+
+(** {1 Fault interface}
+
+    The fault library installs hooks; the kernel only defines the
+    vocabulary. A {!site} identifies an executed server operation the
+    way EDFI identifies a static program location: by component,
+    handler, operation kind, and occurrence index within the handler
+    activation. *)
+
+type op_kind =
+  | Op_compute
+  | Op_load
+  | Op_store
+  | Op_send
+  | Op_call
+  | Op_reply
+  | Op_receive
+  | Op_kcall
+  | Op_spawn
+  | Op_yield
+
+val op_kind_to_string : op_kind -> string
+val all_op_kinds : op_kind list
+
+type site = {
+  site_ep : Endpoint.t;
+  site_handler : Message.Tag.t option;  (** None in loop/init code. *)
+  site_kind : op_kind;
+  site_occ : int;  (** nth op of this kind within the handler activation. *)
+}
+
+val site_to_string : site -> string
+val compare_site : site -> site -> int
+
+type fault_action =
+  | F_crash of string      (** Fail-stop: NULL-deref analogue. *)
+  | F_hang                 (** Component stops making progress. *)
+  | F_corrupt_store        (** Stored value is corrupted (fail-silent). *)
+  | F_drop_store           (** Store silently dropped (fail-silent). *)
+  | F_corrupt_msg          (** Outbound message corrupted (fail-silent). *)
+  | F_skip_handler         (** Handler aborts early without replying. *)
+  | F_benign
+      (** Triggered but non-manifesting (e.g. a wrong value that is
+          overwritten before use) — a large fraction of realistic
+          injected faults behave this way. *)
+
+(** {1 Server registration} *)
+
+type server = {
+  srv_ep : Endpoint.t;
+  srv_name : string;
+  srv_image : Memimage.t;
+  srv_clone_extra_kb : int;
+      (** Memory the Recovery Server pre-allocates for this component's
+          clone beyond the image itself (large for VM — Table VI). *)
+  srv_init : unit Prog.t;
+      (** Instrumented initialization, run once at boot. *)
+  srv_loop : unit Prog.t;
+      (** The request-processing loop; also used to restart clones. *)
+  srv_multithreaded : bool;
+}
+
+(** {1 Halting} *)
+
+type halt =
+  | H_completed of int
+      (** The designated root process exited with this status. *)
+  | H_shutdown of string
+      (** Controlled shutdown performed by the recovery protocol. *)
+  | H_panic of string
+      (** Kernel invariant broken or unrecoverable crash. *)
+  | H_hang
+      (** No runnable work before completion, or op budget exhausted. *)
+
+val halt_to_string : halt -> string
+
+(** {1 Configuration} *)
+
+type config = {
+  arch : arch;
+  policy : Policy.t;
+  costs : Costs.t;
+  seed : int;
+  max_ops : int;            (** Total op budget; exceeding it means hang. *)
+  max_vtime : int;          (** Virtual-time deadline; past it, hang. *)
+  hang_detect_cycles : int; (** Heartbeat latency for hung components. *)
+  max_crashes : int;        (** Crash-storm cutoff (panic beyond it). *)
+  lookup_program : string -> (int -> unit Prog.t) option;
+      (** Executable registry used by [K_exec]. *)
+  log_sink : (string -> unit) option;
+      (** Receives [Diag] lines. *)
+  trace : bool;
+}
+
+val default_config : ?arch:arch -> ?seed:int -> Policy.t ->
+  lookup_program:(string -> (int -> unit Prog.t) option) -> unit -> config
+
+type t
+
+val create : config -> t
+
+val add_server : t -> server -> unit
+(** Register a server before {!boot}. *)
+
+val boot : t -> unit
+(** Run all server init programs and their loops until the system is
+    quiescent (all servers blocked in Receive), then snapshot each
+    server image as its pristine boot state (used by stateless
+    restart). Site/coverage accounting starts after boot. *)
+
+val spawn_user : t -> name:string -> prog:unit Prog.t -> parent:Endpoint.t ->
+  Endpoint.t
+(** Create a user process (the workload root; everything else is
+    forked/exec'd through PM). It must be registered in PM separately
+    — the core library's boot protocol handles that. *)
+
+val set_halt_on_exit : t -> Endpoint.t -> unit
+(** When this process exits, the run completes. *)
+
+val run : t -> halt
+(** Interpret until a halt condition. *)
+
+(** {1 Event tracing} *)
+
+type event =
+  | E_msg of { time : int; src : Endpoint.t; dst : Endpoint.t;
+               tag : Message.Tag.t; call : bool }
+      (** A request or notification was delivered to [dst]'s inbox. *)
+  | E_reply of { time : int; src : Endpoint.t; dst : Endpoint.t;
+                 tag : Message.Tag.t }
+  | E_crash of { time : int; ep : Endpoint.t; reason : string;
+                 window_open : bool }
+  | E_restart of { time : int; ep : Endpoint.t }
+  | E_halt of { time : int; halt : halt }
+
+val set_event_hook : t -> (event -> unit) option -> unit
+(** Structured observability: invoked for every IPC delivery, reply,
+    crash, restart and halt. Costs one branch per event when unset. *)
+
+val live_update : t -> Endpoint.t -> unit Prog.t -> (unit, string) result
+(** Replace a server's request-processing loop with a new version,
+    preserving its state — a live update built from the recovery
+    substrate (paper Section VII, "generality of the framework"): the
+    component must be quiescent (blocked in Receive with a closed
+    window); the update replaces its loop and resumes it like a
+    recovered clone. Fails with a reason when the component is mid-
+    request, mid-recovery, or unknown. *)
+
+(** {1 Fault hooks} *)
+
+val set_fault_hook : t -> (site -> fault_action option) option -> unit
+(** Consulted for every post-boot server operation. *)
+
+val set_site_recorder : t -> (site -> unit) option -> unit
+(** Profiling support: called for every post-boot server operation. *)
+
+(** {1 Introspection} *)
+
+val now : t -> int
+(** Virtual time in cycles (max over process clocks so far). *)
+
+val total_ops : t -> int
+
+type server_stats = {
+  ss_name : string;
+  ss_ops_total : int;          (** Post-boot ops executed. *)
+  ss_ops_in_window : int;      (** Of which inside an open window. *)
+  ss_busy_cycles : int;
+  ss_logged_stores : int;
+  ss_skipped_stores : int;
+  ss_deduped_stores : int;
+  ss_undo_peak_bytes : int;
+  ss_undo_entries_lifetime : int;
+  ss_image_bytes : int;
+  ss_image_used_bytes : int;
+  ss_clone_extra_kb : int;
+  ss_window_opens : int;
+  ss_policy_closes : int;
+  ss_restarts : int;
+}
+
+val server_stats : t -> Endpoint.t -> server_stats
+
+val handler_counts : t -> Endpoint.t -> (Message.Tag.t * int) list
+(** How many times each request type was handled (post-boot), the
+    workload-frequency input to the static recovery-window analysis. *)
+
+val recovery_latencies : t -> int list
+(** Virtual-cycle durations of completed recoveries (crash to restart),
+    newest first. *)
+
+val server_endpoints : t -> Endpoint.t list
+(** Registered servers in registration order. *)
+
+val crashes : t -> int
+(** Crash events observed (including hangs detected). *)
+
+val restarts : t -> int
+
+val orphaned_replies : t -> int
+
+val messages_delivered : t -> int
+
+val proc_alive : t -> Endpoint.t -> bool
+
+val window_is_open : t -> Endpoint.t -> bool
+(** Whether the component's recovery window is currently open (false
+    for components without instrumentation). Used by the service-
+    disruption experiment, which only injects faults inside windows. *)
+
+val proc_vtime : t -> Endpoint.t -> int
+(** The process' own clock (0 for unknown endpoints). *)
+
+val user_count : t -> int
+(** User processes created over the run's lifetime. *)

@@ -1,0 +1,1 @@
+lib/memimage/layout.ml: Memimage Printf

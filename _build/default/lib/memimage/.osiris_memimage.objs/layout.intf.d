@@ -1,0 +1,1 @@
+lib/memimage/layout.mli: Memimage

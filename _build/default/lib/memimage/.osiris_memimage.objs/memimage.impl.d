@@ -1,0 +1,1 @@
+lib/memimage/memimage.ml: Bytes Int64 Printf String

@@ -1,0 +1,1 @@
+lib/memimage/memimage.mli:

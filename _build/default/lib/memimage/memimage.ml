@@ -1,0 +1,88 @@
+type write_hook = offset:int -> old:bytes -> unit
+
+type t = {
+  img_name : string;
+  data : Bytes.t;
+  mutable cursor : int;
+  mutable hook : write_hook option;
+  mutable writes : int;
+  mutable bytes_written : int;
+}
+
+let create ~name ~size =
+  { img_name = name;
+    data = Bytes.make size '\000';
+    cursor = 0;
+    hook = None;
+    writes = 0;
+    bytes_written = 0 }
+
+let name t = t.img_name
+
+let size t = Bytes.length t.data
+
+let alloc t ?(align = 8) n =
+  let base = (t.cursor + align - 1) / align * align in
+  if base + n > Bytes.length t.data then
+    failwith (Printf.sprintf "Memimage.alloc: %s exhausted (%d + %d > %d)"
+                t.img_name base n (Bytes.length t.data));
+  t.cursor <- base + n;
+  base
+
+let allocated t = t.cursor
+
+let set_write_hook t hook = t.hook <- hook
+
+let pre_write t ~off ~len =
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + len;
+  match t.hook with
+  | None -> ()
+  | Some hook -> hook ~offset:off ~old:(Bytes.sub t.data off len)
+
+let get_word t off = Int64.to_int (Bytes.get_int64_le t.data off)
+
+let set_word t off v =
+  pre_write t ~off ~len:8;
+  Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let get_bytes t ~off ~len = Bytes.sub t.data off len
+
+let set_bytes t ~off b =
+  pre_write t ~off ~len:(Bytes.length b);
+  Bytes.blit b 0 t.data off (Bytes.length b)
+
+let get_string t ~off ~len =
+  let raw = Bytes.sub_string t.data off len in
+  match String.index_opt raw '\000' with
+  | None -> raw
+  | Some i -> String.sub raw 0 i
+
+let set_string t ~off ~len s =
+  if String.length s > len then
+    invalid_arg
+      (Printf.sprintf "Memimage.set_string: %S exceeds field of %d bytes" s len);
+  pre_write t ~off ~len;
+  Bytes.fill t.data off len '\000';
+  Bytes.blit_string s 0 t.data off (String.length s)
+
+let snapshot t = Bytes.copy t.data
+
+let restore t snap =
+  if Bytes.length snap <> Bytes.length t.data then
+    invalid_arg "Memimage.restore: size mismatch";
+  Bytes.blit snap 0 t.data 0 (Bytes.length snap)
+
+let clone t ~name =
+  { img_name = name;
+    data = Bytes.copy t.data;
+    cursor = t.cursor;
+    hook = None;
+    writes = 0;
+    bytes_written = 0 }
+
+let clear t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
+let writes t = t.writes
+
+let bytes_written t = t.bytes_written

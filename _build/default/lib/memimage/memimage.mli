@@ -1,0 +1,75 @@
+(** Component memory image.
+
+    Every OSIRIS server keeps its recoverable state in a [Memimage.t] — a
+    flat, bytes-backed memory area standing in for the data sections of
+    the original MINIX C servers. All mutations go through accessors that
+    invoke a write hook *before* overwriting, which is where the
+    checkpointing library's undo log attaches (the simulation analogue of
+    the paper's LLVM store instrumentation).
+
+    Direct accessors here are reserved for the Reliable Computing Base
+    (kernel, recovery server, checkpoint library); instrumented server
+    code reaches memory through the program DSL, which adds simulated
+    cost and fault-injection points on top of these primitives. *)
+
+type t
+
+type write_hook = offset:int -> old:bytes -> unit
+(** Called before a write with the overwritten range's previous
+    contents. [old] is a fresh copy; the hook may retain it. *)
+
+val create : name:string -> size:int -> t
+(** Zero-filled image of [size] bytes. *)
+
+val name : t -> string
+
+val size : t -> int
+
+val alloc : t -> ?align:int -> int -> int
+(** Bump-allocate [n] bytes of layout space; returns the base offset.
+    Used once at server-definition time to place tables and cells.
+    @raise Failure if the image is exhausted. *)
+
+val allocated : t -> int
+(** Bytes handed out by {!alloc} so far. *)
+
+val set_write_hook : t -> write_hook option -> unit
+
+(** {2 Word access} — words are 8 bytes, little-endian. *)
+
+val get_word : t -> int -> int
+val set_word : t -> int -> int -> unit
+
+(** {2 Raw byte-range access} *)
+
+val get_bytes : t -> off:int -> len:int -> bytes
+val set_bytes : t -> off:int -> bytes -> unit
+
+(** {2 Fixed-size string fields} — NUL-padded, like C char arrays. *)
+
+val get_string : t -> off:int -> len:int -> string
+val set_string : t -> off:int -> len:int -> string -> unit
+(** @raise Invalid_argument if the string exceeds the field length. *)
+
+(** {2 Whole-image operations (RCB only)} *)
+
+val snapshot : t -> bytes
+(** Copy of the full contents (used to seed clones). *)
+
+val restore : t -> bytes -> unit
+(** Overwrite contents from a snapshot of equal size, bypassing the
+    write hook. *)
+
+val clone : t -> name:string -> t
+(** Fresh image with identical contents and layout cursor, no hook. *)
+
+val clear : t -> unit
+(** Zero the contents, bypassing the hook. *)
+
+(** {2 Accounting} *)
+
+val writes : t -> int
+(** Number of hook-visible write operations since creation. *)
+
+val bytes_written : t -> int
+(** Total bytes covered by hook-visible writes. *)

@@ -1,0 +1,105 @@
+type recovery_action =
+  | No_recovery
+  | Restart_fresh
+  | Restart_keep_state
+  | Rollback_or_shutdown
+  | Rollback_replay
+
+type t = {
+  name : string;
+  instrumentation : Window.instrumentation;
+  window_on_receive : bool;
+  closes_window : Seep.cls -> bool;
+  recovery : recovery_action;
+  requester_local : Message.Tag.t list;
+  dedup_log : bool;
+  graduated : int option;
+}
+
+let close_never (_ : Seep.cls) = false
+
+let close_any (_ : Seep.cls) = true
+
+let close_state_modifying = function
+  | Seep.Read_only -> false
+  | Seep.State_modifying | Seep.Reply -> true
+
+let stateless =
+  { name = "stateless";
+    instrumentation = Window.Never;
+    window_on_receive = false;
+    closes_window = close_never;
+    recovery = Restart_fresh;
+    requester_local = [];
+    dedup_log = false;
+    graduated = None }
+
+let naive =
+  { name = "naive";
+    instrumentation = Window.Never;
+    window_on_receive = false;
+    closes_window = close_never;
+    recovery = Restart_keep_state;
+    requester_local = [];
+    dedup_log = false;
+    graduated = None }
+
+let pessimistic =
+  { name = "pessimistic";
+    instrumentation = Window.When_open;
+    window_on_receive = true;
+    closes_window = close_any;
+    recovery = Rollback_or_shutdown;
+    requester_local = [];
+    dedup_log = false;
+    graduated = None }
+
+let enhanced =
+  { name = "enhanced";
+    instrumentation = Window.When_open;
+    window_on_receive = true;
+    closes_window = close_state_modifying;
+    recovery = Rollback_or_shutdown;
+    requester_local = [];
+    dedup_log = false;
+    graduated = None }
+
+let enhanced_unoptimized =
+  { enhanced with name = "enhanced-unopt"; instrumentation = Window.Always }
+
+let none =
+  { name = "baseline";
+    instrumentation = Window.Never;
+    window_on_receive = false;
+    closes_window = close_never;
+    recovery = No_recovery;
+    requester_local = [];
+    dedup_log = false;
+    graduated = None }
+
+let enhanced_dedup =
+  { enhanced with name = "enhanced-dedup"; dedup_log = true }
+
+let enhanced_replay =
+  { enhanced with name = "enhanced-replay"; recovery = Rollback_replay }
+
+let enhanced_snapshot =
+  { enhanced with
+    name = "enhanced-snapshot";
+    instrumentation = Window.Snapshot }
+
+let with_requester_local tags =
+  { enhanced with name = "enhanced-killreq"; requester_local = tags }
+
+let enhanced_graduated k =
+  { enhanced with
+    name = Printf.sprintf "enhanced-grad%d" k;
+    graduated = Some k }
+
+let all_evaluated = [ stateless; naive; pessimistic; enhanced ]
+
+let by_name n =
+  List.find_opt
+    (fun p -> p.name = n)
+    [ stateless; naive; pessimistic; enhanced; enhanced_unoptimized; none;
+      enhanced_replay; enhanced_snapshot; enhanced_dedup ]

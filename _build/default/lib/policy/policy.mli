@@ -1,0 +1,100 @@
+(** Recovery policies (paper Sections IV-B, VI).
+
+    A policy bundles the three decisions that parameterize OSIRIS:
+    how stores are instrumented, which SEEP classes close the recovery
+    window, and what the Recovery Server does when a component crashes.
+
+    The four evaluation policies:
+
+    - {!stateless} — "microreboot" baseline: replace the crashed
+      component with a pristine copy. No checkpointing, no rollback, no
+      error virtualization; in-flight requesters are left waiting and
+      accumulated state is lost.
+    - {!naive} — best-effort baseline: restart the component with its
+      crashed state as-is. No consistency reasoning at all.
+    - {!pessimistic} — safe recovery where *any* outbound message
+      closes the window.
+    - {!enhanced} (default) — SEEP-aware: read-only interactions keep
+      the window open.
+
+    Two more configurations support the evaluation:
+    - {!enhanced_unoptimized} — enhanced semantics with unconditional
+      store logging, the "without optimization" column of Table V;
+    - {!none} — no recovery at all: the uninstrumented baseline system
+      whose Unixbench scores anchor Tables IV and V. *)
+
+type recovery_action =
+  | No_recovery
+      (** Crashes are fatal: the system panics (baseline). *)
+  | Restart_fresh
+      (** Stateless restart from the boot-time image; no reply to the
+          requester, pending inbox dropped. *)
+  | Restart_keep_state
+      (** Restart with the crashed memory image unchanged; no
+          reconciliation of any kind (in-flight requesters are left
+          waiting). *)
+  | Rollback_or_shutdown
+      (** OSIRIS proper: if the recovery window is open, roll back and
+          virtualize the error; otherwise perform a controlled
+          shutdown. *)
+  | Rollback_replay
+      (** Extension (Section IV-C discussion): roll back and re-deliver
+          the crashed request instead of replying [E_CRASH]. Fully
+          transparent for transient faults, but a persistent fault
+          crash-loops — the reason OSIRIS rejects replay. *)
+
+type t = {
+  name : string;
+  instrumentation : Window.instrumentation;
+  window_on_receive : bool;
+      (** Take a checkpoint and open a window when a handler starts. *)
+  closes_window : Seep.cls -> bool;
+      (** Does sending through a SEEP of this class close the window? *)
+  recovery : recovery_action;
+  requester_local : Message.Tag.t list;
+      (** Extension (paper Section VII): SEEPs whose effects are
+          confined to state owned by the requester. They do not close
+          the window; if one was crossed when the crash hit,
+          reconciliation kills the requester instead of replying,
+          cleaning those effects up through the normal exit path. *)
+  dedup_log : bool;
+      (** First-write-wins undo-log deduplication (see
+          {!Window.create}). *)
+  graduated : int option;
+      (** Extension (paper Section VII, composable policies): after
+          this many SEEP crossings within one window, the policy
+          hardens to pessimistic — any further interaction closes the
+          window. [None] keeps a single policy for the whole window. *)
+}
+
+val stateless : t
+val naive : t
+val pessimistic : t
+val enhanced : t
+val enhanced_unoptimized : t
+val none : t
+
+val enhanced_replay : t
+(** Enhanced windows with replay reconciliation (extension). *)
+
+val enhanced_snapshot : t
+(** Enhanced semantics with full-image snapshot checkpoints instead of
+    the undo log — the expensive alternative of the ablation study. *)
+
+val enhanced_dedup : t
+(** Enhanced with first-write-wins undo-log deduplication. *)
+
+val with_requester_local : Message.Tag.t list -> t
+(** Enhanced policy extended with a set of requester-local SEEP tags
+    and the kill-requester reconciliation. *)
+
+val enhanced_graduated : int -> t
+(** Enhanced windows that harden to pessimistic after the given number
+    of SEEP crossings — a point between {!enhanced} and {!pessimistic}
+    on the recovery-surface/performance dial. *)
+
+val all_evaluated : t list
+(** The four policies compared in Tables II and III, in paper order:
+    stateless, naive, pessimistic, enhanced. *)
+
+val by_name : string -> t option

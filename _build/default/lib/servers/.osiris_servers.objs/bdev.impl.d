@@ -1,0 +1,1 @@
+lib/servers/bdev.ml: Costs Endpoint Errno Hashtbl Kernel Layout Memimage Message Option Prog Srvlib String

@@ -1,0 +1,1 @@
+lib/servers/bdev.mli: Kernel

@@ -1,0 +1,1 @@
+lib/servers/ds.ml: Endpoint Errno Kernel Layout Memimage Message Prog Srvlib String Summary

@@ -1,0 +1,1 @@
+lib/servers/ds.mli: Kernel Summary

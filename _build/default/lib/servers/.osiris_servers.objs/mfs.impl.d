@@ -1,0 +1,1 @@
+lib/servers/mfs.ml: Array Bdev Buffer Bytes Endpoint Errno Int64 Kernel Layout List Memimage Message Printf Prog Srvlib String Summary

@@ -1,0 +1,1 @@
+lib/servers/mfs.mli: Bdev Kernel Summary

@@ -1,0 +1,1 @@
+lib/servers/pm.ml: Endpoint Errno Filename Kernel Layout Memimage Message Prog Srvlib String Summary

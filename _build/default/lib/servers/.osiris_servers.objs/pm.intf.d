@@ -1,0 +1,1 @@
+lib/servers/pm.mli: Kernel Summary

@@ -1,0 +1,1 @@
+lib/servers/rs.ml: Endpoint Errno Kernel Layout List Memimage Message Policy Printf Prog Srvlib String Summary

@@ -1,0 +1,1 @@
+lib/servers/rs.mli: Kernel Policy Summary

@@ -1,0 +1,1 @@
+lib/servers/srvlib.ml: Endpoint Errno Message Prog

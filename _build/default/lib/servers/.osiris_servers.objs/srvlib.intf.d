@@ -1,0 +1,1 @@
+lib/servers/srvlib.mli: Endpoint Errno Message Prog

@@ -1,0 +1,1 @@
+lib/servers/vfs.ml: Array Bytes Endpoint Errno Kernel Layout List Memimage Message Printf Prog Srvlib String Summary

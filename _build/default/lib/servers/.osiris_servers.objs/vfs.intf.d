@@ -1,0 +1,1 @@
+lib/servers/vfs.mli: Kernel Summary

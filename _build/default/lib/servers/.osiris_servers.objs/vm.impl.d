@@ -1,0 +1,1 @@
+lib/servers/vm.ml: Endpoint Errno Kernel Layout Memimage Message Prog Srvlib Summary

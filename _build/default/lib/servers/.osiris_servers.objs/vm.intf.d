@@ -1,0 +1,1 @@
+lib/servers/vm.mli: Kernel Summary

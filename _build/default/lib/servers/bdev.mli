@@ -1,0 +1,21 @@
+(** The RAM-disk block device driver.
+
+    Serves fixed-size block reads and writes with a simulated access
+    latency. Block contents live outside any component image: like a
+    real disk, they are not rolled back when a server recovers — only
+    in-memory component state is within OSIRIS' recovery scope. *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val block_size : int
+val block_count : int
+
+val peek_block : t -> int -> string
+(** Test hook: current contents of a block ("" if never written). *)
+
+val poke_block : t -> int -> string -> unit
+(** Direct pre-boot write, used by the mkfs preload path. *)

@@ -1,0 +1,176 @@
+open Prog.Syntax
+
+let capacity = 48
+let max_subs = 16
+let key_len = 32
+
+(* Image sized to match the paper's DS base memory footprint
+   (Table VI: 248 kB). *)
+let image_kb = 248
+
+type t = {
+  image : Memimage.t;
+  kv : Layout.Table.t;
+  f_used : Layout.int_field;
+  f_key : Layout.str_field;
+  f_value : Layout.int_field;
+  subs : Layout.Table.t;
+  s_used : Layout.int_field;
+  s_ep : Layout.int_field;
+  s_prefix : Layout.str_field;
+  c_publishes : Layout.Cell.t;
+  c_retrieves : Layout.Cell.t;
+}
+
+let create () =
+  let image = Memimage.create ~name:"ds" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let f_used = Layout.int spec "used" in
+  let f_key = Layout.str spec "key" ~len:key_len in
+  let f_value = Layout.int spec "value" in
+  Layout.seal spec;
+  let kv = Layout.Table.alloc image ~spec ~rows:capacity in
+  let sspec = Layout.spec () in
+  let s_used = Layout.int sspec "used" in
+  let s_ep = Layout.int sspec "ep" in
+  let s_prefix = Layout.str sspec "prefix" ~len:16 in
+  Layout.seal sspec;
+  let subs = Layout.Table.alloc image ~spec:sspec ~rows:max_subs in
+  let c_publishes = Layout.Cell.alloc_int image "publishes" in
+  let c_retrieves = Layout.Cell.alloc_int image "retrieves" in
+  { image; kv; f_used; f_key; f_value; subs; s_used; s_ep; s_prefix;
+    c_publishes; c_retrieves }
+
+let find_key t key =
+  Srvlib.scan ~rows:capacity (fun row ->
+      let* used = Prog.Mem.get_int t.kv ~row t.f_used in
+      if used = 0 then Prog.return false
+      else
+        let* k = Prog.Mem.get_str t.kv ~row t.f_key in
+        Prog.return (String.equal k key))
+
+let find_free t =
+  Srvlib.scan ~rows:capacity (fun row ->
+      let* used = Prog.Mem.get_int t.kv ~row t.f_used in
+      Prog.return (used = 0))
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+(* Notify every subscriber whose prefix matches the published key.
+   These notifications modify subscriber state, so they are
+   state-modifying SEEPs and close the recovery window. *)
+let notify_subscribers t key =
+  Prog.iter_range ~lo:0 ~hi:max_subs (fun row ->
+      let* used = Prog.Mem.get_int t.subs ~row t.s_used in
+      if used = 0 then Prog.return ()
+      else
+        let* prefix = Prog.Mem.get_str t.subs ~row t.s_prefix in
+        if is_prefix ~prefix key then
+          let* ep = Prog.Mem.get_int t.subs ~row t.s_ep in
+          Prog.send ep (Message.Ds_notify { key })
+        else Prog.return ())
+
+(* A publish is subject to a grant check: the subscriber table doubles
+   as the ACL (a prefix entry grants visibility). The check is pure
+   reading and happens before the early diagnostic SEEP. *)
+let check_grants t _key =
+  Srvlib.scan ~rows:max_subs (fun row ->
+      let* used = Prog.Mem.get_int t.subs ~row t.s_used in
+      if used = 0 then Prog.return false
+      else
+        let* _ = Prog.Mem.get_str t.subs ~row t.s_prefix in
+        Prog.return false)
+
+(* Diagnostics placement mirrors the original DS: mutation handlers log
+   the request after a pure validation pass (an early read-only SEEP,
+   which is what makes DS the lowest-coverage server under the
+   pessimistic policy), while query handlers log after resolving the
+   key. The enhanced policy ignores both, keeping DS almost always
+   recoverable (Table I). *)
+let handle t src msg =
+  match msg with
+  | Message.Ds_publish { key; value } ->
+    let* _ = check_grants t key in
+    let* () = Srvlib.diag "ds: publish" in
+    if String.length key = 0 || String.length key >= key_len then
+      Srvlib.reply_err src Errno.EINVAL
+    else
+      let* existing = find_key t key in
+      let* row_opt =
+        match existing with Some _ -> Prog.return existing | None -> find_free t
+      in
+      (match row_opt with
+       | None -> Srvlib.reply_err src Errno.ENOSPC
+       | Some row ->
+         let* () = Prog.Mem.set_int t.kv ~row t.f_used 1 in
+         let* () = Prog.Mem.set_str t.kv ~row t.f_key key in
+         let* () = Prog.Mem.set_int t.kv ~row t.f_value value in
+         let* n = Prog.Mem.get_cell t.c_publishes in
+         let* () = Prog.Mem.set_cell t.c_publishes (n + 1) in
+         let* () = notify_subscribers t key in
+         Srvlib.reply_ok src 0)
+  | Message.Ds_retrieve { key } ->
+    let* row_opt = find_key t key in
+    let* () = Srvlib.diag "ds: retrieve" in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ENOENT
+     | Some row ->
+       let* value = Prog.Mem.get_int t.kv ~row t.f_value in
+       let* n = Prog.Mem.get_cell t.c_retrieves in
+       let* () = Prog.Mem.set_cell t.c_retrieves (n + 1) in
+       Prog.reply src (Message.R_ds_value { value }))
+  | Message.Ds_delete { key } ->
+    let* row_opt = find_key t key in
+    let* () = Srvlib.diag "ds: delete" in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ENOENT
+     | Some row ->
+       let* () = Prog.Mem.set_int t.kv ~row t.f_used 0 in
+       Srvlib.reply_ok src 0)
+  | Message.Ds_subscribe { prefix } ->
+    let* () = Srvlib.diag "ds: subscribe" in
+    let* row_opt =
+      Srvlib.scan ~rows:max_subs (fun row ->
+          let* used = Prog.Mem.get_int t.subs ~row t.s_used in
+          Prog.return (used = 0))
+    in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ENOSPC
+     | Some row ->
+       let* () = Prog.Mem.set_int t.subs ~row t.s_used 1 in
+       let* () = Prog.Mem.set_int t.subs ~row t.s_ep src in
+       let* () = Prog.Mem.set_str t.subs ~row t.s_prefix prefix in
+       Srvlib.reply_ok src 0)
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+let init t =
+  let* () = Prog.Mem.set_cell t.c_publishes 0 in
+  Prog.Mem.set_cell t.c_retrieves 0
+
+let server t =
+  { Kernel.srv_ep = Endpoint.ds;
+    srv_name = "ds";
+    srv_image = t.image;
+    srv_clone_extra_kb = 240;
+    srv_init = init t;
+    srv_loop = Srvlib.simple_loop (handle t);
+    srv_multithreaded = false }
+
+let summary =
+  let diag_out = (Endpoint.kernel, Message.Tag.T_diag) in
+  Summary.make Endpoint.ds
+    [ Summary.handler Message.Tag.T_ds_publish
+        [ Summary.seg ~out:diag_out 2;
+          Summary.seg ~out:(Endpoint.first_user, Message.Tag.T_ds_notify)
+            ~maybe:true 40;
+          Summary.seg 2 ];
+      Summary.handler Message.Tag.T_ds_retrieve
+        [ Summary.seg ~out:diag_out 30; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_ds_delete
+        [ Summary.seg ~out:diag_out 25; Summary.seg 3 ];
+      Summary.handler Message.Tag.T_ds_subscribe
+        [ Summary.seg ~out:diag_out 2; Summary.seg 10 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

@@ -1,0 +1,21 @@
+(** DS — the Data Store server: a persistent key-value service used by
+    other components and by applications (MINIX 3's ds).
+
+    DS is the paper's example of a server whose coverage differs most
+    between policies (Table I: 47.1 % pessimistic vs 92.8 % enhanced):
+    each handler emits an early diagnostic through a non-state-modifying
+    SEEP, which closes the window immediately under the pessimistic
+    policy but is ignored by the enhanced one, and the bulk of its
+    handlers (retrievals) never interact with other components at all. *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val summary : Summary.t
+(** Static interaction summary for the recovery-window analysis. *)
+
+val capacity : int
+(** Maximum number of key-value pairs. *)

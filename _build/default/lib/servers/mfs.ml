@@ -1,0 +1,733 @@
+open Prog.Syntax
+
+let max_inodes = 256
+let direct_blocks = 8
+(* One single-indirect block of pointers extends a file to
+   direct + block_size/8 blocks (8 KiB + 128 KiB with 1 KiB blocks). *)
+let indirect_slots = Bdev.block_size / 8
+let max_blocks_per_file = direct_blocks + indirect_slots
+let name_len = 32
+let max_file_size = max_blocks_per_file * Bdev.block_size
+
+let kind_free = 0
+let kind_file = 1
+let kind_dir = 2
+
+let image_kb = 512
+
+type t = {
+  image : Memimage.t;
+  inodes : Layout.Table.t;
+  i_kind : Layout.int_field;
+  i_size : Layout.int_field;
+  i_parent : Layout.int_field;
+  i_name : Layout.str_field;
+  i_blocks : Layout.int_field array;  (* direct: block+1; 0 = unallocated *)
+  i_indirect : Layout.int_field;      (* indirect block+1; 0 = none *)
+  freelist : Layout.Table.t;          (* per-block next pointer *)
+  b_next : Layout.int_field;
+  c_free_head : Layout.Cell.t;        (* block+1; 0 = exhausted *)
+  c_n_files : Layout.Cell.t;
+  (* Buffer cache: file data is staged through the server image on its
+     way to/from the device (MINIX keeps the cache in MFS's data
+     segment). The staging stores are what the checkpointing
+     instrumentation logs on the data path. *)
+  cache : Layout.Table.t;
+  cb_tag : Layout.int_field;
+  cb_data : Layout.str_field;
+  c_cache_next : Layout.Cell.t;
+}
+
+let cache_slots = 8
+
+let create_raw () =
+  let image = Memimage.create ~name:"mfs" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let i_kind = Layout.int spec "kind" in
+  let i_size = Layout.int spec "size" in
+  let i_parent = Layout.int spec "parent" in
+  let i_name = Layout.str spec "name" ~len:name_len in
+  let i_blocks =
+    Array.init direct_blocks (fun i -> Layout.int spec (Printf.sprintf "b%d" i))
+  in
+  let i_indirect = Layout.int spec "indirect" in
+  Layout.seal spec;
+  let inodes = Layout.Table.alloc image ~spec ~rows:max_inodes in
+  let bspec = Layout.spec () in
+  let b_next = Layout.int bspec "next" in
+  Layout.seal bspec;
+  let freelist = Layout.Table.alloc image ~spec:bspec ~rows:Bdev.block_count in
+  let c_free_head = Layout.Cell.alloc_int image "free_head" in
+  let c_n_files = Layout.Cell.alloc_int image "n_files" in
+  let cspec = Layout.spec () in
+  let cb_tag = Layout.int cspec "tag" in
+  let cb_data = Layout.str cspec "data" ~len:Bdev.block_size in
+  Layout.seal cspec;
+  let cache = Layout.Table.alloc image ~spec:cspec ~rows:8 in
+  let c_cache_next = Layout.Cell.alloc_int image "cache_next" in
+  { image; inodes; i_kind; i_size; i_parent; i_name; i_blocks; i_indirect;
+    freelist; b_next; c_free_head; c_n_files; cache; cb_tag; cb_data;
+    c_cache_next }
+
+(* ---------------- path handling (pure helpers) -------------------- *)
+
+let split_path path =
+  List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+(* ---------------- inode helpers ----------------------------------- *)
+
+let find_child t ~parent ~name =
+  Srvlib.scan ~rows:max_inodes (fun row ->
+      let* kind = Prog.Mem.get_int t.inodes ~row t.i_kind in
+      if kind = kind_free || row = 0 then Prog.return false
+      else
+        let* p = Prog.Mem.get_int t.inodes ~row t.i_parent in
+        if p <> parent then Prog.return false
+        else
+          let* n = Prog.Mem.get_str t.inodes ~row t.i_name in
+          Prog.return (String.equal n name))
+
+let resolve t path =
+  let components = split_path path in
+  let rec walk cur = function
+    | [] -> Prog.return (Ok cur)
+    | comp :: rest ->
+      if String.length comp >= name_len then
+        Prog.return (Error Errno.ENAMETOOLONG)
+      else
+        let* kind = Prog.Mem.get_int t.inodes ~row:cur t.i_kind in
+        if kind <> kind_dir then Prog.return (Error Errno.ENOTDIR)
+        else
+          let* child = find_child t ~parent:cur ~name:comp in
+          (match child with
+           | None -> Prog.return (Error Errno.ENOENT)
+           | Some ino -> walk ino rest)
+  in
+  walk 0 components
+
+(* Split "/a/b/leaf" into the inode of "/a/b" and "leaf". *)
+let resolve_parent t path =
+  match List.rev (split_path path) with
+  | [] -> Prog.return (Error Errno.EINVAL)
+  | leaf :: rev_dir ->
+    if String.length leaf >= name_len then Prog.return (Error Errno.ENAMETOOLONG)
+    else
+      let dir_path = String.concat "/" (List.rev rev_dir) in
+      let* r = resolve t ("/" ^ dir_path) in
+      (match r with
+       | Error e -> Prog.return (Error e)
+       | Ok dir_ino -> Prog.return (Ok (dir_ino, leaf)))
+
+let find_free_inode t =
+  Srvlib.scan ~rows:max_inodes (fun row ->
+      if row = 0 then Prog.return false
+      else
+        let* kind = Prog.Mem.get_int t.inodes ~row t.i_kind in
+        Prog.return (kind = kind_free))
+
+(* ---------------- block allocation -------------------------------- *)
+
+let alloc_block t =
+  let* head = Prog.Mem.get_cell t.c_free_head in
+  if head = 0 then Prog.return None
+  else
+    let block = head - 1 in
+    let* next = Prog.Mem.get_int t.freelist ~row:block t.b_next in
+    let* () = Prog.Mem.set_cell t.c_free_head next in
+    Prog.return (Some block)
+
+let free_block t block =
+  let* head = Prog.Mem.get_cell t.c_free_head in
+  let* () = Prog.Mem.set_int t.freelist ~row:block t.b_next head in
+  Prog.Mem.set_cell t.c_free_head (block + 1)
+
+(* ---------------- data path --------------------------------------- *)
+
+(* The indirect block stores 8-byte little-endian pointers (block+1). *)
+let ind_slot data slot =
+  if String.length data >= (slot + 1) * 8 then
+    Int64.to_int (Bytes.get_int64_le (Bytes.of_string data) (slot * 8))
+  else 0
+
+let ind_set data slot v =
+  let b = Bytes.make Bdev.block_size '\000' in
+  Bytes.blit_string data 0 b 0 (min (String.length data) Bdev.block_size);
+  Bytes.set_int64_le b (slot * 8) (Int64.of_int v);
+  Bytes.to_string b
+
+let fetch_block block =
+  let* r = Prog.call Endpoint.bdev (Message.Bdev_read { block }) in
+  match r with
+  | Message.R_read { data } -> Prog.return data
+  | _ -> Prog.return ""
+
+(* Pointer to the idx-th block of a file (block+1; 0 = hole). Indexes
+   past the direct range go through the single-indirect block, costing
+   a device read. *)
+let block_of t ~ino ~idx =
+  if idx < direct_blocks then Prog.Mem.get_int t.inodes ~row:ino t.i_blocks.(idx)
+  else
+    let* ind = Prog.Mem.get_int t.inodes ~row:ino t.i_indirect in
+    if ind = 0 then Prog.return 0
+    else
+      let* data = fetch_block (ind - 1) in
+      Prog.return (ind_slot data (idx - direct_blocks))
+
+(* Record a freshly allocated block pointer, creating the indirect
+   block on demand. Returns false if the indirect block cannot be
+   allocated. *)
+let set_block t ~ino ~idx v =
+  if idx < direct_blocks then
+    let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_blocks.(idx) v in
+    Prog.return true
+  else
+    let* ind = Prog.Mem.get_int t.inodes ~row:ino t.i_indirect in
+    let* ind_block =
+      if ind <> 0 then Prog.return (Some (ind - 1, false))
+      else
+        let* nb = alloc_block t in
+        match nb with
+        | None -> Prog.return None
+        | Some b ->
+          let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_indirect (b + 1) in
+          Prog.return (Some (b, true))
+    in
+    match ind_block with
+    | None -> Prog.return false
+    | Some (ib, fresh) ->
+      (* A recycled block still holds its previous contents on the
+         device; a brand-new pointer block must start zeroed. *)
+      let* data = if fresh then Prog.return "" else fetch_block ib in
+      let ndata = ind_set data (idx - direct_blocks) v in
+      let* _ = Prog.call Endpoint.bdev (Message.Bdev_write { block = ib; data = ndata }) in
+      Prog.return true
+
+(* Stage a block's contents in the next cache slot (round-robin). *)
+let stage_block t ~block data =
+  let open Prog.Syntax in
+  let* slot = Prog.Mem.get_cell t.c_cache_next in
+  let row = slot mod cache_slots in
+  let* () = Prog.Mem.set_cell t.c_cache_next (slot + 1) in
+  let* () = Prog.Mem.set_int t.cache ~row t.cb_tag (block + 1) in
+  Prog.Mem.set_str t.cache ~row t.cb_data data
+
+(* Read [len] bytes at [off]; holes read as NULs, reads past the size
+   are clamped. *)
+let read_data t ~ino ~off ~len =
+  let* size = Prog.Mem.get_int t.inodes ~row:ino t.i_size in
+  let len = max 0 (min len (size - off)) in
+  if len <= 0 then Prog.return ""
+  else begin
+    let buf = Buffer.create len in
+    let rec go pos =
+      if pos >= off + len then Prog.return (Buffer.contents buf)
+      else begin
+        let idx = pos / Bdev.block_size in
+        let boff = pos mod Bdev.block_size in
+        let chunk = min (Bdev.block_size - boff) (off + len - pos) in
+        let* bptr = block_of t ~ino ~idx in
+        let* data =
+          if bptr = 0 then Prog.return (String.make chunk '\000')
+          else
+            let* r = Prog.call Endpoint.bdev (Message.Bdev_read { block = bptr - 1 }) in
+            match r with
+            | Message.R_read { data } ->
+              let* () = stage_block t ~block:(bptr - 1) data in
+              let data =
+                if String.length data < Bdev.block_size then
+                  data ^ String.make (Bdev.block_size - String.length data) '\000'
+                else data
+              in
+              Prog.return (String.sub data boff chunk)
+            | _ -> Prog.return (String.make chunk '\000')
+        in
+        Buffer.add_string buf data;
+        go (pos + chunk)
+      end
+    in
+    go off
+  end
+
+(* Write [data] at [off], allocating blocks on demand and growing the
+   size. Partial-block updates read-modify-write through the device. *)
+let write_data t ~ino ~off ~data =
+  let len = String.length data in
+  if off < 0 || off + len > max_file_size then Prog.return (Error Errno.ENOSPC)
+  else begin
+    let rec go pos =
+      if pos >= len then
+        let* size = Prog.Mem.get_int t.inodes ~row:ino t.i_size in
+        let* () =
+          Prog.when_ (off + len > size)
+            (Prog.Mem.set_int t.inodes ~row:ino t.i_size (off + len))
+        in
+        Prog.return (Ok len)
+      else begin
+        let fpos = off + pos in
+        let idx = fpos / Bdev.block_size in
+        let boff = fpos mod Bdev.block_size in
+        let chunk = min (Bdev.block_size - boff) (len - pos) in
+        let* bptr = block_of t ~ino ~idx in
+        let* balloc =
+          if bptr <> 0 then Prog.return (Some (bptr - 1))
+          else
+            let* nb = alloc_block t in
+            match nb with
+            | None -> Prog.return None
+            | Some b ->
+              let* recorded = set_block t ~ino ~idx (b + 1) in
+              if recorded then Prog.return (Some b)
+              else
+                let* () = free_block t b in
+                Prog.return None
+        in
+        match balloc with
+        | None -> Prog.return (Error Errno.ENOSPC)
+        | Some block ->
+          let* merged =
+            if boff = 0 && chunk = Bdev.block_size then
+              Prog.return (String.sub data pos chunk)
+            else
+              let* r = Prog.call Endpoint.bdev (Message.Bdev_read { block }) in
+              let old =
+                match r with
+                | Message.R_read { data = d } ->
+                  if String.length d < Bdev.block_size then
+                    d ^ String.make (Bdev.block_size - String.length d) '\000'
+                  else d
+                | _ -> String.make Bdev.block_size '\000'
+              in
+              let b = Bytes.of_string old in
+              Bytes.blit_string data pos b boff chunk;
+              Prog.return (Bytes.to_string b)
+          in
+          let* r = Prog.call Endpoint.bdev (Message.Bdev_write { block; data = merged }) in
+          (* Refresh the cache copy once the device has the block. *)
+          let* () = stage_block t ~block merged in
+          (match Srvlib.err_of_reply r with
+           | Some e -> Prog.return (Error e)
+           | None -> go (pos + chunk))
+      end
+    in
+    go 0
+  end
+
+let free_inode_blocks t ~ino ~from_idx =
+  let* () =
+    Prog.iter_range ~lo:from_idx ~hi:direct_blocks (fun idx ->
+        if idx < from_idx then Prog.return ()
+        else
+          let* bptr = Prog.Mem.get_int t.inodes ~row:ino t.i_blocks.(idx) in
+          if bptr = 0 then Prog.return ()
+          else
+            let* () = free_block t (bptr - 1) in
+            Prog.Mem.set_int t.inodes ~row:ino t.i_blocks.(idx) 0)
+  in
+  let* ind = Prog.Mem.get_int t.inodes ~row:ino t.i_indirect in
+  if ind = 0 then Prog.return ()
+  else
+    let keep_from = max 0 (from_idx - direct_blocks) in
+    let* data = fetch_block (ind - 1) in
+    let* () =
+      Prog.iter_range ~lo:keep_from ~hi:indirect_slots (fun slot ->
+          let bptr = ind_slot data slot in
+          if bptr = 0 then Prog.return () else free_block t (bptr - 1))
+    in
+    if keep_from = 0 then begin
+      (* The whole indirect range is gone: release the pointer block. *)
+      let* () = free_block t (ind - 1) in
+      Prog.Mem.set_int t.inodes ~row:ino t.i_indirect 0
+    end
+    else
+      (* Zero the freed tail of the pointer block. *)
+      let rec zero data slot =
+        if slot >= indirect_slots then data else zero (ind_set data slot 0) (slot + 1)
+      in
+      let ndata = zero data keep_from in
+      let* _ =
+        Prog.call Endpoint.bdev (Message.Bdev_write { block = ind - 1; data = ndata })
+      in
+      Prog.return ()
+
+let dir_is_empty t ~ino =
+  let* child =
+    Srvlib.scan ~rows:max_inodes (fun row ->
+        if row = 0 then Prog.return false
+        else
+          let* kind = Prog.Mem.get_int t.inodes ~row t.i_kind in
+          if kind = kind_free then Prog.return false
+          else
+            let* p = Prog.Mem.get_int t.inodes ~row t.i_parent in
+            Prog.return (p = ino))
+  in
+  Prog.return (child = None)
+
+let lookup_reply t src ino =
+  let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+  let* size = Prog.Mem.get_int t.inodes ~row:ino t.i_size in
+  Prog.reply src (Message.R_lookup { ino; size; is_dir = kind = kind_dir })
+
+let create_node t src path ~kind =
+  let* pr = resolve_parent t path in
+  match pr with
+  | Error e -> Srvlib.reply_err src e
+  | Ok (parent, leaf) ->
+    let* existing = find_child t ~parent ~name:leaf in
+    (match existing with
+     | Some _ -> Srvlib.reply_err src Errno.EEXIST
+     | None ->
+       let* slot = find_free_inode t in
+       (match slot with
+        | None -> Srvlib.reply_err src Errno.ENFILE
+        | Some ino ->
+          let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_kind kind in
+          let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_size 0 in
+          let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_parent parent in
+          let* () = Prog.Mem.set_str t.inodes ~row:ino t.i_name leaf in
+          let* n = Prog.Mem.get_cell t.c_n_files in
+          let* () = Prog.Mem.set_cell t.c_n_files (n + 1) in
+          lookup_reply t src ino))
+
+let handle t src msg =
+  match msg with
+  | Message.Mfs_lookup { path } ->
+    let* r = resolve t path in
+    (match r with
+     | Error e -> Srvlib.reply_err src e
+     | Ok ino -> lookup_reply t src ino)
+  | Message.Mfs_create { path } -> create_node t src path ~kind:kind_file
+  | Message.Mfs_mkdir { path } -> create_node t src path ~kind:kind_dir
+  | Message.Mfs_read { ino; off; len } ->
+    if ino < 0 || ino >= max_inodes || off < 0 || len < 0 then
+      Srvlib.reply_err src Errno.EINVAL
+    else
+      let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+      if kind <> kind_file then Srvlib.reply_err src Errno.EISDIR
+      else
+        let* data = read_data t ~ino ~off ~len in
+        Prog.reply src (Message.R_read { data })
+  | Message.Mfs_write { ino; off; data } ->
+    if ino < 0 || ino >= max_inodes || off < 0 then
+      Srvlib.reply_err src Errno.EINVAL
+    else
+      let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+      if kind <> kind_file then Srvlib.reply_err src Errno.EISDIR
+      else
+        let* r = write_data t ~ino ~off ~data in
+        (match r with
+         | Error e -> Srvlib.reply_err src e
+         | Ok n -> Srvlib.reply_ok src n)
+  | Message.Mfs_trunc { ino; len } ->
+    if ino < 0 || ino >= max_inodes || len < 0 || len > max_file_size then
+      Srvlib.reply_err src Errno.EINVAL
+    else
+      let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+      if kind <> kind_file then Srvlib.reply_err src Errno.EISDIR
+      else
+        let keep = (len + Bdev.block_size - 1) / Bdev.block_size in
+        let* () = free_inode_blocks t ~ino ~from_idx:keep in
+        let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_size len in
+        Srvlib.reply_ok src 0
+  | Message.Mfs_unlink { path } ->
+    let* r = resolve t path in
+    (match r with
+     | Error e -> Srvlib.reply_err src e
+     | Ok 0 -> Srvlib.reply_err src Errno.EPERM
+     | Ok ino ->
+       let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+       if kind = kind_dir then Srvlib.reply_err src Errno.EISDIR
+       else
+         let* () = free_inode_blocks t ~ino ~from_idx:0 in
+         let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_kind kind_free in
+         let* n = Prog.Mem.get_cell t.c_n_files in
+         let* () = Prog.Mem.set_cell t.c_n_files (n - 1) in
+         Srvlib.reply_ok src 0)
+  | Message.Mfs_rmdir { path } ->
+    let* r = resolve t path in
+    (match r with
+     | Error e -> Srvlib.reply_err src e
+     | Ok 0 -> Srvlib.reply_err src Errno.EPERM
+     | Ok ino ->
+       let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+       if kind <> kind_dir then Srvlib.reply_err src Errno.ENOTDIR
+       else
+         let* empty = dir_is_empty t ~ino in
+         if not empty then Srvlib.reply_err src Errno.ENOTEMPTY
+         else
+           let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_kind kind_free in
+           Srvlib.reply_ok src 0)
+  | Message.Mfs_stat { ino } ->
+    if ino < 0 || ino >= max_inodes then Srvlib.reply_err src Errno.EINVAL
+    else
+      let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+      if kind = kind_free then Srvlib.reply_err src Errno.ENOENT
+      else
+        let* size = Prog.Mem.get_int t.inodes ~row:ino t.i_size in
+        Prog.reply src
+          (Message.R_stat { st_ino = ino; st_size = size; st_is_dir = kind = kind_dir })
+  | Message.Mfs_rename { src = from_path; dst = to_path } ->
+    let* r = resolve t from_path in
+    (match r with
+     | Error e -> Srvlib.reply_err src e
+     | Ok 0 -> Srvlib.reply_err src Errno.EPERM
+     | Ok ino ->
+       let* pr = resolve_parent t to_path in
+       (match pr with
+        | Error e -> Srvlib.reply_err src e
+        | Ok (nparent, nleaf) ->
+          let* existing = find_child t ~parent:nparent ~name:nleaf in
+          let* clear =
+            match existing with
+            | None -> Prog.return (Ok ())
+            | Some old when old <> ino ->
+              let* okind = Prog.Mem.get_int t.inodes ~row:old t.i_kind in
+              if okind = kind_dir then Prog.return (Error Errno.EISDIR)
+              else
+                let* () = free_inode_blocks t ~ino:old ~from_idx:0 in
+                let* () = Prog.Mem.set_int t.inodes ~row:old t.i_kind kind_free in
+                Prog.return (Ok ())
+            | Some _ -> Prog.return (Ok ())
+          in
+          (match clear with
+           | Error e -> Srvlib.reply_err src e
+           | Ok () ->
+             let* () = Prog.Mem.set_int t.inodes ~row:ino t.i_parent nparent in
+             let* () = Prog.Mem.set_str t.inodes ~row:ino t.i_name nleaf in
+             Srvlib.reply_ok src 0)))
+  | Message.Mfs_readdir { ino } ->
+    if ino < 0 || ino >= max_inodes then Srvlib.reply_err src Errno.EINVAL
+    else
+      let* kind = Prog.Mem.get_int t.inodes ~row:ino t.i_kind in
+      if kind <> kind_dir then Srvlib.reply_err src Errno.ENOTDIR
+      else
+        let rec collect row acc =
+          if row >= max_inodes then Prog.return (List.rev acc)
+          else
+            let* k = Prog.Mem.get_int t.inodes ~row t.i_kind in
+            if k = kind_free || row = 0 then collect (row + 1) acc
+            else
+              let* parent = Prog.Mem.get_int t.inodes ~row t.i_parent in
+              if parent <> ino then collect (row + 1) acc
+              else
+                let* name = Prog.Mem.get_str t.inodes ~row t.i_name in
+                collect (row + 1) (name :: acc)
+        in
+        let* names = collect 1 [] in
+        Prog.reply src (Message.R_names { names })
+  | Message.Mfs_sync ->
+    (* The RAM disk is always consistent; sync is a costed no-op. *)
+    let* () = Prog.compute 50 in
+    Srvlib.reply_ok src 0
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+(* mkfs: root directory at inode 0 and a free list chaining all blocks.
+   Done directly (pre-boot, uninstrumented), like building a disk image
+   offline. *)
+let mkfs t =
+  Layout.Table.set_int t.inodes ~row:0 t.i_kind kind_dir;
+  Layout.Table.set_int t.inodes ~row:0 t.i_parent 0;
+  Layout.Table.set_str t.inodes ~row:0 t.i_name "";
+  for b = 0 to Bdev.block_count - 1 do
+    Layout.Table.set_int t.freelist ~row:b t.b_next
+      (if b + 1 < Bdev.block_count then b + 2 else 0)
+  done;
+  Layout.Cell.set t.c_free_head 1;
+  Layout.Cell.set t.c_n_files 0
+
+(* ---------------- direct pre-boot population ---------------------- *)
+
+let direct_split_resolve t path =
+  let rec walk cur = function
+    | [] -> Some cur
+    | comp :: rest ->
+      let rec find row =
+        if row >= max_inodes then None
+        else if
+          row <> 0
+          && Layout.Table.get_int t.inodes ~row t.i_kind <> kind_free
+          && Layout.Table.get_int t.inodes ~row t.i_parent = cur
+          && String.equal (Layout.Table.get_str t.inodes ~row t.i_name) comp
+        then Some row
+        else find (row + 1)
+      in
+      (match find 1 with None -> None | Some ino -> walk ino rest)
+  in
+  walk 0 (split_path path)
+
+let direct_free_inode t =
+  let rec find row =
+    if row >= max_inodes then failwith "mfs preload: inode table full"
+    else if Layout.Table.get_int t.inodes ~row t.i_kind = kind_free then row
+    else find (row + 1)
+  in
+  find 1
+
+let direct_new_node t path kind =
+  match List.rev (split_path path) with
+  | [] -> failwith "mfs preload: empty path"
+  | leaf :: rev_dir ->
+    let dir = "/" ^ String.concat "/" (List.rev rev_dir) in
+    (match direct_split_resolve t dir with
+     | None -> failwith ("mfs preload: missing parent for " ^ path)
+     | Some parent ->
+       let ino = direct_free_inode t in
+       Layout.Table.set_int t.inodes ~row:ino t.i_kind kind;
+       Layout.Table.set_int t.inodes ~row:ino t.i_size 0;
+       Layout.Table.set_int t.inodes ~row:ino t.i_parent parent;
+       Layout.Table.set_str t.inodes ~row:ino t.i_name leaf;
+       Layout.Cell.set t.c_n_files (Layout.Cell.get t.c_n_files + 1);
+       ino)
+
+let add_dir t path =
+  match direct_split_resolve t path with
+  | Some _ -> ()
+  | None -> ignore (direct_new_node t path kind_dir)
+
+let add_file t ~bdev ~path ~content =
+  if String.length content > direct_blocks * Bdev.block_size then
+    failwith ("mfs preload: file exceeds the direct range: " ^ path);
+  let ino = direct_new_node t path kind_file in
+  let len = String.length content in
+  let nblocks = (len + Bdev.block_size - 1) / Bdev.block_size in
+  for idx = 0 to nblocks - 1 do
+    let head = Layout.Cell.get t.c_free_head in
+    if head = 0 then failwith "mfs preload: out of blocks";
+    let block = head - 1 in
+    Layout.Cell.set t.c_free_head
+      (Layout.Table.get_int t.freelist ~row:block t.b_next);
+    Layout.Table.set_int t.inodes ~row:ino t.i_blocks.(idx) (block + 1);
+    let off = idx * Bdev.block_size in
+    let chunk = min Bdev.block_size (len - off) in
+    Bdev.poke_block bdev block (String.sub content off chunk)
+  done;
+  Layout.Table.set_int t.inodes ~row:ino t.i_size len
+
+let init _t = Prog.return ()
+
+let corrupt_for_test t =
+  (* Point the free-list head at the root of an allocated chain: the
+     first allocated block found in the inode table. *)
+  let rec find ino =
+    if ino >= max_inodes then 1
+    else
+      let b = Layout.Table.get_int t.inodes ~row:ino t.i_blocks.(0) in
+      if b <> 0 then b else find (ino + 1)
+  in
+  Layout.Cell.set t.c_free_head (find 0)
+
+(* fsck (tests only): direct-table block conservation check. *)
+let check_invariants t ~bdev =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let seen = Array.make Bdev.block_count 0 in
+  let claim what block =
+    if block < 0 || block >= Bdev.block_count then
+      err "%s: block %d out of range" what block
+    else begin
+      seen.(block) <- seen.(block) + 1;
+      if seen.(block) > 1 then err "%s: block %d multiply referenced" what block
+      else Ok ()
+    end
+  in
+  let ( let$ ) r k = match r with Error _ as e -> e | Ok () -> k () in
+  (* 1. Free list: no cycles, claims each block once. *)
+  let rec walk_free head steps =
+    if head = 0 then Ok ()
+    else if steps > Bdev.block_count then Error "free list cycle"
+    else
+      let$ () = claim "free list" (head - 1) in
+      walk_free (Layout.Table.get_int t.freelist ~row:(head - 1) t.b_next)
+        (steps + 1)
+  in
+  let$ () = walk_free (Layout.Cell.get t.c_free_head) 0 in
+  (* 2. Inodes: directs, indirect pointer block, indirect slots. *)
+  let rec walk_inodes ino =
+    if ino >= max_inodes then Ok ()
+    else begin
+      let kind = Layout.Table.get_int t.inodes ~row:ino t.i_kind in
+      if kind = kind_free then walk_inodes (ino + 1)
+      else begin
+        let parent = Layout.Table.get_int t.inodes ~row:ino t.i_parent in
+        if ino <> 0
+           && Layout.Table.get_int t.inodes ~row:parent t.i_kind <> kind_dir
+        then err "inode %d: parent %d is not a directory" ino parent
+        else begin
+          let rec directs idx =
+            if idx >= direct_blocks then Ok ()
+            else
+              let bptr = Layout.Table.get_int t.inodes ~row:ino t.i_blocks.(idx) in
+              if bptr = 0 then directs (idx + 1)
+              else
+                let$ () = claim (Printf.sprintf "inode %d direct" ino) (bptr - 1) in
+                directs (idx + 1)
+          in
+          let$ () = directs 0 in
+          let ind = Layout.Table.get_int t.inodes ~row:ino t.i_indirect in
+          let$ () =
+            if ind = 0 then Ok ()
+            else
+              let$ () = claim (Printf.sprintf "inode %d indirect ptr" ino) (ind - 1) in
+              let data = Bdev.peek_block bdev (ind - 1) in
+              let rec slots slot =
+                if slot >= indirect_slots then Ok ()
+                else
+                  let bptr = ind_slot data slot in
+                  if bptr = 0 then slots (slot + 1)
+                  else
+                    let$ () =
+                      claim (Printf.sprintf "inode %d indirect slot" ino) (bptr - 1)
+                    in
+                    slots (slot + 1)
+              in
+              slots 0
+          in
+          walk_inodes (ino + 1)
+        end
+      end
+    end
+  in
+  let$ () = walk_inodes 0 in
+  (* 3. Conservation: every block accounted for exactly once. *)
+  let missing = ref [] in
+  Array.iteri (fun b n -> if n = 0 then missing := b :: !missing) seen;
+  match !missing with
+  | [] -> Ok ()
+  | b :: _ ->
+    err "%d blocks leaked (neither free nor referenced), e.g. %d"
+      (List.length !missing) b
+
+let create () =
+  let t = create_raw () in
+  mkfs t;
+  t
+
+let server t =
+  { Kernel.srv_ep = Endpoint.mfs;
+    srv_name = "mfs";
+    srv_image = t.image;
+    srv_clone_extra_kb = 512;
+    srv_init = init t;
+    srv_loop = Srvlib.simple_loop (handle t);
+    srv_multithreaded = false }
+
+let summary =
+  let bdev_r = (Endpoint.bdev, Message.Tag.T_bdev_read) in
+  let bdev_w = (Endpoint.bdev, Message.Tag.T_bdev_write) in
+  Summary.make Endpoint.mfs
+    [ Summary.handler Message.Tag.T_mfs_lookup [ Summary.seg 500 ];
+      Summary.handler Message.Tag.T_mfs_create [ Summary.seg 800 ];
+      Summary.handler Message.Tag.T_mfs_read
+        [ Summary.seg ~out:bdev_r 20; Summary.seg ~out:bdev_r ~maybe:true 10;
+          Summary.seg 10 ];
+      Summary.handler Message.Tag.T_mfs_write
+        [ Summary.seg ~out:bdev_r ~maybe:true 20; Summary.seg ~out:bdev_w 10;
+          Summary.seg 10 ];
+      Summary.handler Message.Tag.T_mfs_trunc [ Summary.seg 40 ];
+      Summary.handler Message.Tag.T_mfs_unlink [ Summary.seg 600 ];
+      Summary.handler Message.Tag.T_mfs_mkdir [ Summary.seg 800 ];
+      Summary.handler Message.Tag.T_mfs_rmdir [ Summary.seg 800 ];
+      Summary.handler Message.Tag.T_mfs_stat [ Summary.seg 5 ];
+      Summary.handler Message.Tag.T_mfs_readdir [ Summary.seg 600 ];
+      Summary.handler Message.Tag.T_mfs_rename [ Summary.seg 1200 ];
+      Summary.handler Message.Tag.T_mfs_sync [ Summary.seg 2 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

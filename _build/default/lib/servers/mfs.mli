@@ -1,0 +1,53 @@
+(** MFS — the file system server proper, sitting below VFS.
+
+    Owns the inode table, directory hierarchy and block allocation; file
+    contents live on the block device. VFS talks to MFS over SEEPs, and
+    the read-only ones ([Mfs_lookup], [Mfs_read], [Mfs_stat]) are what
+    keeps VFS recovery windows open on read paths under the enhanced
+    policy.
+
+    Limits: files span 8 direct blocks plus one single-indirect block
+    ({!max_blocks_per_file} blocks, i.e. {!max_file_size} bytes); path
+    components are limited to {!name_len} bytes; no ".."/"." resolution
+    (the workloads use absolute canonical paths). *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val summary : Summary.t
+
+val max_inodes : int
+val max_blocks_per_file : int
+val name_len : int
+
+val max_file_size : int
+(** [max_blocks_per_file * Bdev.block_size]. *)
+
+(** Pre-boot filesystem population ("mkfs"), performed directly on the
+    tables before the kernel installs instrumentation. Used by the boot
+    protocol to create /bin, /etc and /tmp without paying millions of
+    simulated operations per experiment run. Must only be called before
+    the server is registered with a kernel. *)
+
+val add_dir : t -> string -> unit
+(** Create a directory (parents must exist). No-op if it exists. *)
+
+val add_file : t -> bdev:Bdev.t -> path:string -> content:string -> unit
+(** Create a file with the given content (parents must exist; content
+    limited to the direct range — boot files are small).
+    @raise Failure on ENOSPC/precondition violations. *)
+
+val corrupt_for_test : t -> unit
+(** Deliberately break block accounting (point the free-list head at an
+    allocated block) so tests can verify {!check_invariants} detects
+    corruption. *)
+
+val check_invariants : t -> bdev:Bdev.t -> (unit, string) result
+(** fsck: verify block conservation directly against the tables —
+    every block is either on the free list or referenced by exactly one
+    file (as data or as an indirect-pointer block), all pointers are in
+    range, directories form a rooted tree. Intended for tests: reads
+    the image directly, bypassing simulated costs. *)

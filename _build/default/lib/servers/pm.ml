@@ -1,0 +1,356 @@
+open Prog.Syntax
+
+let max_procs = 64
+let name_len = 16
+
+let st_free = 0
+let st_alive = 1
+let st_zombie = 2
+
+(* Table VI: PM base usage 628 kB. *)
+let image_kb = 628
+
+(* Size passed to VM on exec; our simulated binaries are small. *)
+let exec_image_bytes = 65536
+
+type t = {
+  image : Memimage.t;
+  procs : Layout.Table.t;
+  f_state : Layout.int_field;
+  f_ep : Layout.int_field;
+  f_parent : Layout.int_field;
+  f_status : Layout.int_field;
+  f_wait_for : Layout.int_field;  (* 0 none, -1 any child, >0 that pid *)
+  f_ignmask : Layout.int_field;   (* bit s set = signal s ignored *)
+  f_name : Layout.str_field;
+  c_forks : Layout.Cell.t;
+  c_execs : Layout.Cell.t;
+  c_exits : Layout.Cell.t;
+}
+
+let create () =
+  let image = Memimage.create ~name:"pm" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let f_state = Layout.int spec "state" in
+  let f_ep = Layout.int spec "ep" in
+  let f_parent = Layout.int spec "parent" in
+  let f_status = Layout.int spec "status" in
+  let f_wait_for = Layout.int spec "wait_for" in
+  let f_ignmask = Layout.int spec "ignmask" in
+  let f_name = Layout.str spec "name" ~len:name_len in
+  Layout.seal spec;
+  let procs = Layout.Table.alloc image ~spec ~rows:max_procs in
+  let c_forks = Layout.Cell.alloc_int image "forks" in
+  let c_execs = Layout.Cell.alloc_int image "execs" in
+  let c_exits = Layout.Cell.alloc_int image "exits" in
+  { image; procs; f_state; f_ep; f_parent; f_status; f_wait_for; f_ignmask;
+    f_name; c_forks; c_execs; c_exits }
+
+let find_by_ep t ?(state = st_alive) ep =
+  Srvlib.scan ~rows:max_procs (fun row ->
+      let* st = Prog.Mem.get_int t.procs ~row t.f_state in
+      if st <> state then Prog.return false
+      else
+        let* e = Prog.Mem.get_int t.procs ~row t.f_ep in
+        Prog.return (e = ep))
+
+let find_free t =
+  Srvlib.scan ~rows:max_procs (fun row ->
+      let* st = Prog.Mem.get_int t.procs ~row t.f_state in
+      Prog.return (st = st_free))
+
+let set_row t ~row ~state ~ep ~parent ~name =
+  let* () = Prog.Mem.set_int t.procs ~row t.f_state state in
+  let* () = Prog.Mem.set_int t.procs ~row t.f_ep ep in
+  let* () = Prog.Mem.set_int t.procs ~row t.f_parent parent in
+  let* () = Prog.Mem.set_int t.procs ~row t.f_status 0 in
+  let* () = Prog.Mem.set_int t.procs ~row t.f_wait_for 0 in
+  let* () = Prog.Mem.set_int t.procs ~row t.f_ignmask 0 in
+  Prog.Mem.set_str t.procs ~row t.f_name name
+
+(* Deliver the exit status of [child_ep] to its parent: either wake a
+   parent blocked in waitpid (deferred reply) or leave a zombie. Orphans
+   (parent gone) are reaped immediately. *)
+let settle_exit t ~child_row ~child_ep ~status =
+  let* parent = Prog.Mem.get_int t.procs ~row:child_row t.f_parent in
+  let* prow_opt =
+    if parent = 0 then Prog.return None else find_by_ep t parent
+  in
+  match prow_opt with
+  | None ->
+    (* No live parent: reap immediately. *)
+    Prog.Mem.set_int t.procs ~row:child_row t.f_state st_free
+  | Some prow ->
+    let* wait_for = Prog.Mem.get_int t.procs ~row:prow t.f_wait_for in
+    if wait_for = -1 || wait_for = child_ep then
+      let* () = Prog.Mem.set_int t.procs ~row:prow t.f_wait_for 0 in
+      let* () = Prog.Mem.set_int t.procs ~row:child_row t.f_state st_free in
+      Prog.reply parent (Message.R_wait { pid = child_ep; status })
+    else begin
+      let* () = Prog.Mem.set_int t.procs ~row:child_row t.f_state st_zombie in
+      Prog.Mem.set_int t.procs ~row:child_row t.f_status status
+    end
+
+(* Reparent children of a dying process to "nobody" and reap any that
+   were already zombies (no one can wait for them anymore). *)
+let reparent_children t ~dead_ep =
+  Prog.iter_range ~lo:0 ~hi:max_procs (fun row ->
+      let* st = Prog.Mem.get_int t.procs ~row t.f_state in
+      if st = st_free then Prog.return ()
+      else
+        let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+        if parent <> dead_ep then Prog.return ()
+        else if st = st_zombie then
+          Prog.Mem.set_int t.procs ~row t.f_state st_free
+        else Prog.Mem.set_int t.procs ~row t.f_parent 0)
+
+(* Full exit path: VM teardown, VFS teardown, kernel destruction, and
+   parent notification. Used by exit(), kill() and abnormal
+   termination. *)
+let do_exit t ~target_ep ~row ~status =
+  (* Local bookkeeping first (recoverable while the window is open),
+     then the teardown calls that make the exit visible to VM/VFS. *)
+  let* n = Prog.Mem.get_cell t.c_exits in
+  let* () = Prog.Mem.set_cell t.c_exits (n + 1) in
+  let* () = reparent_children t ~dead_ep:target_ep in
+  let* () = Srvlib.diag "pm: exit" in
+  (* Teardown must not leak when a peer crashes mid-call: an E_CRASH
+     reply means the rolled-back peer did nothing, so retry. *)
+  let* _ = Srvlib.call_retry Endpoint.vm (Message.Vm_exit { proc = target_ep }) in
+  let* _ = Srvlib.call_retry Endpoint.vfs (Message.Vfs_exit { proc = target_ep }) in
+  let* _ = Prog.kcall (Prog.K_kill { proc = target_ep; status }) in
+  settle_exit t ~child_row:row ~child_ep:target_ep ~status
+
+let handle t src msg =
+  match msg with
+  | Message.Fork ->
+    let* urow = find_by_ep t src in
+    let* () = Srvlib.diag "pm: fork" in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some urow ->
+       let* slot = find_free t in
+       (match slot with
+        | None -> Srvlib.reply_err src Errno.EAGAIN
+        | Some row ->
+          let* kr = Prog.kcall (Prog.K_fork { parent = src }) in
+          (match kr with
+           | Prog.Kr_ep child ->
+             let* pname = Prog.Mem.get_str t.procs ~row:urow t.f_name in
+             let* () = set_row t ~row ~state:st_alive ~ep:child ~parent:src ~name:pname in
+             (* POSIX: the child inherits signal dispositions. *)
+             let* pmask = Prog.Mem.get_int t.procs ~row:urow t.f_ignmask in
+             let* () = Prog.Mem.set_int t.procs ~row t.f_ignmask pmask in
+             let* n = Prog.Mem.get_cell t.c_forks in
+             let* () = Prog.Mem.set_cell t.c_forks (n + 1) in
+             let* vr = Prog.call Endpoint.vm (Message.Vm_fork { parent = src; child }) in
+             (match Srvlib.err_of_reply vr with
+              | Some e ->
+                let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+                let* _ = Prog.kcall (Prog.K_kill { proc = child; status = 0 }) in
+                Srvlib.reply_err src e
+              | None ->
+                let* fr = Prog.call Endpoint.vfs (Message.Vfs_fork { parent = src; child }) in
+                (match Srvlib.err_of_reply fr with
+                 | Some e ->
+                   let* _ = Prog.call Endpoint.vm (Message.Vm_exit { proc = child }) in
+                   let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+                   let* _ = Prog.kcall (Prog.K_kill { proc = child; status = 0 }) in
+                   Srvlib.reply_err src e
+                 | None ->
+                   let* _ = Prog.kcall (Prog.K_go child) in
+                   Prog.reply src (Message.R_fork { child })))
+           | _ -> Srvlib.reply_err src Errno.EAGAIN)))
+  | Message.Exec { path; arg } ->
+    let* urow = find_by_ep t src in
+    let* () = Srvlib.diag "pm: exec" in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let* vr = Prog.call Endpoint.vfs (Message.Vfs_exec { proc = src; path }) in
+       (match Srvlib.err_of_reply vr with
+        | Some e -> Srvlib.reply_err src e
+        | None ->
+          let* mr =
+            Prog.call Endpoint.vm (Message.Vm_exec { proc = src; size = exec_image_bytes })
+          in
+          (match Srvlib.err_of_reply mr with
+           | Some e -> Srvlib.reply_err src e
+           | None ->
+             let* kr = Prog.kcall (Prog.K_exec { proc = src; path; arg }) in
+             (match kr with
+              | Prog.Kr_ok ->
+                let base = Filename.basename path in
+                let base =
+                  if String.length base >= name_len then
+                    String.sub base 0 (name_len - 1)
+                  else base
+                in
+                let* () = Prog.Mem.set_str t.procs ~row t.f_name base in
+                let* n = Prog.Mem.get_cell t.c_execs in
+                Prog.Mem.set_cell t.c_execs (n + 1)
+                (* No reply: the new program image is now running. *)
+              | _ -> Srvlib.reply_err src Errno.ENOENT))))
+  | Message.Exit { status } ->
+    let* urow = find_by_ep t src in
+    (match urow with
+     | None ->
+       (* Unknown caller (e.g. after stateless PM recovery lost the
+          table): destroy it anyway so it does not linger. *)
+       let* _ = Prog.kcall (Prog.K_kill { proc = src; status }) in
+       Prog.return ()
+     | Some row -> do_exit t ~target_ep:src ~row ~status)
+  | Message.Waitpid { pid } ->
+    let* urow = find_by_ep t src in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some urow ->
+       if pid = -1 then
+         let* zrow =
+           Srvlib.scan ~rows:max_procs (fun row ->
+               let* st = Prog.Mem.get_int t.procs ~row t.f_state in
+               if st <> st_zombie then Prog.return false
+               else
+                 let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+                 Prog.return (parent = src))
+         in
+         match zrow with
+         | Some row ->
+           let* child = Prog.Mem.get_int t.procs ~row t.f_ep in
+           let* status = Prog.Mem.get_int t.procs ~row t.f_status in
+           let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+           Prog.reply src (Message.R_wait { pid = child; status })
+         | None ->
+           let* arow =
+             Srvlib.scan ~rows:max_procs (fun row ->
+                 let* st = Prog.Mem.get_int t.procs ~row t.f_state in
+                 if st <> st_alive then Prog.return false
+                 else
+                   let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+                   Prog.return (parent = src))
+           in
+           (match arow with
+            | None -> Srvlib.reply_err src Errno.ECHILD
+            | Some _ ->
+              (* Block the caller until a child exits. *)
+              Prog.Mem.set_int t.procs ~row:urow t.f_wait_for (-1))
+       else
+         let* crow = find_by_ep t pid in
+         let* zrow = find_by_ep t ~state:st_zombie pid in
+         (match crow, zrow with
+          | None, None -> Srvlib.reply_err src Errno.ECHILD
+          | _, Some row ->
+            let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+            if parent <> src then Srvlib.reply_err src Errno.ECHILD
+            else
+              let* status = Prog.Mem.get_int t.procs ~row t.f_status in
+              let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+              Prog.reply src (Message.R_wait { pid; status })
+          | Some row, None ->
+            let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+            if parent <> src then Srvlib.reply_err src Errno.ECHILD
+            else Prog.Mem.set_int t.procs ~row:urow t.f_wait_for pid))
+  | Message.Getpid ->
+    let* urow = find_by_ep t src in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some _ -> Srvlib.reply_ok src src)
+  | Message.Getppid ->
+    let* urow = find_by_ep t src in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let* parent = Prog.Mem.get_int t.procs ~row t.f_parent in
+       Srvlib.reply_ok src parent)
+  | Message.Kill { pid; signal } ->
+    let* urow = find_by_ep t src in
+    let* () = Srvlib.diag "pm: kill" in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some _ ->
+       let* trow = find_by_ep t pid in
+       (match trow with
+        | None -> Srvlib.reply_err src Errno.ESRCH
+        | Some row ->
+          let* ignmask = Prog.Mem.get_int t.procs ~row t.f_ignmask in
+          if signal <> 9 && signal >= 0 && signal < 62
+             && ignmask land (1 lsl signal) <> 0
+          then
+            (* Target ignores this signal; delivery is a no-op.
+               SIGKILL is never ignorable. *)
+            Srvlib.reply_ok src 0
+          else
+            let status = 128 + signal in
+            if pid = src then do_exit t ~target_ep:src ~row ~status
+            else
+              let* _ = Prog.kcall (Prog.K_kill { proc = pid; status }) in
+              let* () = do_exit t ~target_ep:pid ~row ~status in
+              Srvlib.reply_ok src 0))
+  | Message.Signal_set { signal; ignore } ->
+    let* urow = find_by_ep t src in
+    (match urow with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       if signal = 9 || signal < 1 || signal >= 62 then
+         Srvlib.reply_err src Errno.EINVAL
+       else
+         let* mask = Prog.Mem.get_int t.procs ~row t.f_ignmask in
+         let prev = if mask land (1 lsl signal) <> 0 then 1 else 0 in
+         let nmask =
+           if ignore then mask lor (1 lsl signal)
+           else mask land lnot (1 lsl signal)
+         in
+         let* () = Prog.Mem.set_int t.procs ~row t.f_ignmask nmask in
+         Srvlib.reply_ok src prev)
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+(* Boot: install the primordial workload root in the process table and
+   make it known to VM and VFS. *)
+let init t =
+  let root = Endpoint.first_user in
+  let* () = set_row t ~row:0 ~state:st_alive ~ep:root ~parent:0 ~name:"init" in
+  let* () = Prog.Mem.set_cell t.c_forks 0 in
+  let* () = Prog.Mem.set_cell t.c_execs 0 in
+  let* () = Prog.Mem.set_cell t.c_exits 0 in
+  let* _ = Prog.call Endpoint.vm (Message.Vm_fork { parent = 0; child = root }) in
+  let* _ = Prog.call Endpoint.vfs (Message.Vfs_fork { parent = 0; child = root }) in
+  Prog.return ()
+
+let server t =
+  { Kernel.srv_ep = Endpoint.pm;
+    srv_name = "pm";
+    srv_image = t.image;
+    srv_clone_extra_kb = 316;
+    srv_init = init t;
+    srv_loop = Srvlib.simple_loop (handle t);
+    srv_multithreaded = false }
+
+let summary =
+  let diag_out = (Endpoint.kernel, Message.Tag.T_diag) in
+  let vm_fork = (Endpoint.vm, Message.Tag.T_vm_fork) in
+  let vm_exec = (Endpoint.vm, Message.Tag.T_vm_exec) in
+  let vm_exit = (Endpoint.vm, Message.Tag.T_vm_exit) in
+  let vfs_fork = (Endpoint.vfs, Message.Tag.T_vfs_fork) in
+  let vfs_exec = (Endpoint.vfs, Message.Tag.T_vfs_exec) in
+  let vfs_exit = (Endpoint.vfs, Message.Tag.T_vfs_exit) in
+  Summary.make Endpoint.pm
+    [ Summary.handler Message.Tag.T_fork
+        [ Summary.seg ~out:diag_out 70; Summary.seg 70;
+          Summary.seg ~out:vm_fork 20; Summary.seg ~out:vfs_fork 5;
+          Summary.seg 10 ];
+      Summary.handler Message.Tag.T_exec
+        [ Summary.seg ~out:diag_out 70; Summary.seg ~out:vfs_exec 2;
+          Summary.seg ~out:vm_exec 5; Summary.seg 10 ];
+      Summary.handler ~replies:false Message.Tag.T_exit
+        [ Summary.seg ~out:diag_out 205; Summary.seg ~out:vm_exit 2;
+          Summary.seg ~out:vfs_exit 5; Summary.seg 90 ];
+      Summary.handler Message.Tag.T_waitpid [ Summary.seg 180 ];
+      Summary.handler Message.Tag.T_getpid [ Summary.seg 70 ];
+      Summary.handler Message.Tag.T_signal_set [ Summary.seg 75 ];
+      Summary.handler Message.Tag.T_getppid [ Summary.seg 72 ];
+      Summary.handler Message.Tag.T_kill
+        [ Summary.seg ~out:diag_out 70; Summary.seg 70;
+          Summary.seg ~out:vm_exit 5; Summary.seg ~out:vfs_exit 5;
+          Summary.seg 200 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

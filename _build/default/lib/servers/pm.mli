@@ -1,0 +1,22 @@
+(** PM — the Process Manager.
+
+    Owns the process table and implements fork/exec/exit/waitpid/kill
+    plus the read-mostly identity calls. PM is the paper's running
+    example: a fork() crash *before* PM has told VM/VFS about the child
+    is recoverable (window still open); a crash *after* those
+    state-modifying SEEPs is not, and under the OSIRIS policies leads to
+    a controlled shutdown rather than inconsistent recovery.
+
+    The boot-time init program registers the primordial user process
+    (endpoint {!Endpoint.first_user}) with VM and VFS, which is how the
+    workload root enters the process table. *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val summary : Summary.t
+
+val max_procs : int

@@ -1,0 +1,262 @@
+open Prog.Syntax
+
+let max_services = 8
+
+(* Heartbeat period, simulated cycles. *)
+let heartbeat_ticks = 1_000_000
+
+(* Table VI: RS base usage 1,696 kB (it holds prepared clones). *)
+let image_kb = 1696
+
+type t = {
+  policy : Policy.t;
+  image : Memimage.t;
+  services : Layout.Table.t;
+  s_used : Layout.int_field;
+  s_ep : Layout.int_field;
+  s_label : Layout.str_field;
+  s_restarts : Layout.int_field;
+  c_restarts : Layout.Cell.t;
+  c_shutdowns : Layout.Cell.t;
+  c_notices : Layout.Cell.t;
+  c_heartbeats : Layout.Cell.t;
+}
+
+let create policy =
+  let image = Memimage.create ~name:"rs" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let s_used = Layout.int spec "used" in
+  let s_ep = Layout.int spec "ep" in
+  let s_label = Layout.str spec "label" ~len:16 in
+  let s_restarts = Layout.int spec "restarts" in
+  Layout.seal spec;
+  let services = Layout.Table.alloc image ~spec ~rows:max_services in
+  let c_restarts = Layout.Cell.alloc_int image "restarts" in
+  let c_shutdowns = Layout.Cell.alloc_int image "shutdowns" in
+  let c_notices = Layout.Cell.alloc_int image "notices" in
+  let c_heartbeats = Layout.Cell.alloc_int image "heartbeats" in
+  { policy; image; services; s_used; s_ep; s_label; s_restarts;
+    c_restarts; c_shutdowns; c_notices; c_heartbeats }
+
+let find_service t ep =
+  Srvlib.scan ~rows:max_services (fun row ->
+      let* used = Prog.Mem.get_int t.services ~row t.s_used in
+      if used = 0 then Prog.return false
+      else
+        let* e = Prog.Mem.get_int t.services ~row t.s_ep in
+        Prog.return (e = ep))
+
+let bump_restarts t ep =
+  let* row = find_service t ep in
+  let* () =
+    match row with
+    | None -> Prog.return ()
+    | Some row ->
+      let* n = Prog.Mem.get_int t.services ~row t.s_restarts in
+      Prog.Mem.set_int t.services ~row t.s_restarts (n + 1)
+  in
+  let* total = Prog.Mem.get_cell t.c_restarts in
+  Prog.Mem.set_cell t.c_restarts (total + 1)
+
+(* The recovery procedure. Phases: restart, rollback, reconciliation. *)
+let recover t ep reason =
+  let* () = Srvlib.diag (Printf.sprintf "rs: recovering %s (%s)"
+                           (Endpoint.server_name ep) reason) in
+  let* ctx = Prog.kcall (Prog.K_crash_context ep) in
+  match ctx with
+  | Prog.Kr_context { window_open; requester; reason = _; rlocal } ->
+    (match t.policy.Policy.recovery with
+     | Policy.No_recovery ->
+       (* Unreachable: the kernel panics before notifying RS. *)
+       Prog.return ()
+     | Policy.Restart_fresh ->
+       (* Stateless restart: pristine boot image, accumulated state and
+          queued requests are lost; no error virtualization. *)
+       let* _ = Prog.kcall (Prog.K_mk_clone ep) in
+       let* _ = Prog.kcall (Prog.K_clear_state ep) in
+       let* () = bump_restarts t ep in
+       let* _ = Prog.kcall (Prog.K_go ep) in
+       Prog.return ()
+     | Policy.Restart_keep_state ->
+       (* Naive restart: resume with the crashed state as-is. No
+          consistency reasoning and no error virtualization — an
+          in-flight requester is simply left waiting, like the
+          best-effort restart systems this baseline stands for. *)
+       ignore requester;
+       let* _ = Prog.kcall (Prog.K_mk_clone ep) in
+       let* () = bump_restarts t ep in
+       let* _ = Prog.kcall (Prog.K_go ep) in
+       Prog.return ()
+     | Policy.Rollback_or_shutdown ->
+       if window_open then begin
+         let* _ = Prog.kcall (Prog.K_mk_clone ep) in
+         let* _ = Prog.kcall (Prog.K_rollback ep) in
+         let* () = bump_restarts t ep in
+         let* () =
+           if rlocal then
+             (* A requester-local SEEP was crossed: its effects live in
+                state owned by the requester, so terminating the
+                requester through the normal exit path reconciles them
+                (extension, paper Section VII). *)
+             match requester with
+             | Some req ->
+               let* _ = Prog.kcall (Prog.K_kill_requester { proc = req }) in
+               Prog.return ()
+             | None -> Prog.return ()
+           else
+             match requester with
+             | Some req ->
+               let* _ =
+                 Prog.kcall (Prog.K_reply_error { proc = req; err = Errno.E_CRASH })
+               in
+               Prog.return ()
+             | None -> Prog.return ()
+         in
+         let* _ = Prog.kcall (Prog.K_go ep) in
+         Prog.return ()
+       end
+       else
+         (* The crash happened past the recovery window: rolling back
+            would orphan state changes other components already saw.
+            Controlled shutdown preserves consistency (Section III-C). *)
+         let* n = Prog.Mem.get_cell t.c_shutdowns in
+         let* () = Prog.Mem.set_cell t.c_shutdowns (n + 1) in
+         let* _ =
+           Prog.kcall
+             (Prog.K_shutdown
+                (Printf.sprintf "%s crashed outside recovery window"
+                   (Endpoint.server_name ep)))
+         in
+         Prog.return ()
+     | Policy.Rollback_replay ->
+       if window_open then begin
+         let* _ = Prog.kcall (Prog.K_mk_clone ep) in
+         let* _ = Prog.kcall (Prog.K_rollback ep) in
+         let* () = bump_restarts t ep in
+         (* Replay reconciliation: re-deliver the crashed request
+            instead of virtualizing the error. Transparent for
+            transient faults; loops on persistent ones. *)
+         let* _ = Prog.kcall (Prog.K_replay ep) in
+         let* _ = Prog.kcall (Prog.K_go ep) in
+         Prog.return ()
+       end
+       else
+         let* n = Prog.Mem.get_cell t.c_shutdowns in
+         let* () = Prog.Mem.set_cell t.c_shutdowns (n + 1) in
+         let* _ =
+           Prog.kcall
+             (Prog.K_shutdown
+                (Printf.sprintf "%s crashed outside recovery window"
+                   (Endpoint.server_name ep)))
+         in
+         Prog.return ())
+  | _ ->
+    (* Stale notification (component already recovered or gone). *)
+    Prog.return ()
+
+let handle t src msg =
+  match msg with
+  | Message.Crash_notify { ep; reason } when src = Endpoint.kernel ->
+    let* n = Prog.Mem.get_cell t.c_notices in
+    let* () = Prog.Mem.set_cell t.c_notices (n + 1) in
+    recover t ep reason
+  | Message.Crash_notify _ -> Srvlib.reply_err src Errno.EPERM
+  | Message.Rs_status ->
+    let* restarts = Prog.Mem.get_cell t.c_restarts in
+    let* shutdowns = Prog.Mem.get_cell t.c_shutdowns in
+    let* services =
+      Srvlib.scan ~rows:max_services (fun row ->
+          let* used = Prog.Mem.get_int t.services ~row t.s_used in
+          Prog.return (used = 0))
+    in
+    let count = match services with Some n -> n | None -> max_services in
+    Prog.reply src (Message.R_rs_status { restarts; shutdowns; services = count })
+  | Message.Rs_lookup { label } ->
+    let* row =
+      Srvlib.scan ~rows:max_services (fun row ->
+          let* used = Prog.Mem.get_int t.services ~row t.s_used in
+          if used = 0 then Prog.return false
+          else
+            let* l = Prog.Mem.get_str t.services ~row t.s_label in
+            Prog.return (String.equal l label))
+    in
+    (match row with
+     | None -> Srvlib.reply_err src Errno.ENOENT
+     | Some row ->
+       let* ep = Prog.Mem.get_int t.services ~row t.s_ep in
+       Srvlib.reply_ok src ep)
+  | Message.Alarm ->
+    (* Periodic housekeeping: account the beat, audit the service table,
+       log, publish liveness to DS (asynchronously — a synchronous call
+       could deadlock against a DS recovery in progress), audit again,
+       and re-arm the timer. Hang *detection* is the kernel's heartbeat
+       machinery; this handler is RS's bookkeeping half. *)
+    let* n = Prog.Mem.get_cell t.c_heartbeats in
+    let* () = Prog.Mem.set_cell t.c_heartbeats (n + 1) in
+    let* live1 =
+      Srvlib.scan ~rows:max_services (fun row ->
+          let* used = Prog.Mem.get_int t.services ~row t.s_used in
+          Prog.return (used = 0))
+    in
+    let count1 = match live1 with Some k -> k | None -> max_services in
+    let* () = Srvlib.diag (Printf.sprintf "rs: heartbeat %d" (n + 1)) in
+    let* () =
+      Prog.send Endpoint.ds
+        (Message.Ds_publish { key = "rs.heartbeat"; value = n + 1 })
+    in
+    let* live2 =
+      Srvlib.scan ~rows:max_services (fun row ->
+          let* used = Prog.Mem.get_int t.services ~row t.s_used in
+          Prog.return (used = 0))
+    in
+    let count2 = match live2 with Some k -> k | None -> max_services in
+    let* () = Prog.guard (count1 = count2) "rs service table stable" in
+    let* _ = Prog.kcall (Prog.K_alarm { ticks = heartbeat_ticks }) in
+    Prog.return ()
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+let init t =
+  let services =
+    [ (Endpoint.pm, "pm"); (Endpoint.vfs, "vfs"); (Endpoint.vm, "vm");
+      (Endpoint.ds, "ds"); (Endpoint.rs, "rs"); (Endpoint.mfs, "mfs") ]
+  in
+  let* () =
+    Prog.iter_list
+      (fun (row, (ep, label)) ->
+         let* () = Prog.Mem.set_int t.services ~row t.s_used 1 in
+         let* () = Prog.Mem.set_int t.services ~row t.s_ep ep in
+         let* () = Prog.Mem.set_str t.services ~row t.s_label label in
+         Prog.Mem.set_int t.services ~row t.s_restarts 0)
+      (List.mapi (fun i s -> (i, s)) services)
+  in
+  let* () = Prog.Mem.set_cell t.c_restarts 0 in
+  let* () = Prog.Mem.set_cell t.c_shutdowns 0 in
+  let* () = Prog.Mem.set_cell t.c_notices 0 in
+  let* () = Prog.Mem.set_cell t.c_heartbeats 0 in
+  let* _ = Prog.kcall (Prog.K_alarm { ticks = heartbeat_ticks }) in
+  Prog.return ()
+
+let server t =
+  { Kernel.srv_ep = Endpoint.rs;
+    srv_name = "rs";
+    srv_image = t.image;
+    srv_clone_extra_kb = 3308;
+    srv_init = init t;
+    srv_loop = Srvlib.simple_loop (handle t);
+    srv_multithreaded = false }
+
+let summary =
+  let diag_out = (Endpoint.kernel, Message.Tag.T_diag) in
+  Summary.make Endpoint.rs
+    [ Summary.handler ~replies:false Message.Tag.T_crash_notify
+        [ Summary.seg ~out:diag_out 5;
+          Summary.seg 3;  (* K_crash_context is read-only *)
+          Summary.seg 60 ];
+      Summary.handler Message.Tag.T_rs_status [ Summary.seg 20 ];
+      Summary.handler Message.Tag.T_rs_lookup [ Summary.seg 15 ];
+      Summary.handler ~replies:false Message.Tag.T_alarm
+        [ Summary.seg ~out:diag_out 28;
+          Summary.seg ~out:(Endpoint.ds, Message.Tag.T_ds_publish) 2;
+          Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 28 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

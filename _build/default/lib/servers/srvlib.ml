@@ -1,0 +1,45 @@
+open Prog.Syntax
+
+let reply_ok dst v = Prog.reply dst (Message.R_ok v)
+
+let reply_err dst err = Prog.reply dst (Message.R_err err)
+
+let err_of_reply = function
+  | Message.R_err e -> Some e
+  | _ -> None
+
+let call_retry dst msg =
+  let rec go n =
+    let* r = Prog.call dst msg in
+    match r with
+    | Message.R_err Errno.E_CRASH when n > 0 -> go (n - 1)
+    | other -> Prog.return other
+  in
+  go 3
+
+let scan ~rows pred =
+  let rec go i =
+    if i >= rows then Prog.return None
+    else
+      let* hit = pred i in
+      if hit then Prog.return (Some i) else go (i + 1)
+  in
+  go 0
+
+let diag line = Prog.send Endpoint.kernel (Message.Diag { line })
+
+let simple_loop handle =
+  let rec go () =
+    let* src, msg = Prog.receive in
+    let* () = handle src msg in
+    go ()
+  in
+  go ()
+
+let threaded_loop handle =
+  let rec go () =
+    let* src, msg = Prog.receive in
+    let* () = Prog.spawn (handle src msg) in
+    go ()
+  in
+  go ()

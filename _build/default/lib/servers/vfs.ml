@@ -1,0 +1,686 @@
+open Prog.Syntax
+
+let max_procs = 64
+let max_fds = 16
+let max_files = 128
+let max_pipes = 16
+let pipe_capacity = 512
+let cwd_len = 64
+
+let k_free = 0
+let k_file = 1
+let k_pipe_r = 2
+let k_pipe_w = 3
+
+(* Table VI: VFS base usage 1,252 kB. *)
+let image_kb = 1252
+
+type t = {
+  image : Memimage.t;
+  procs : Layout.Table.t;
+  p_used : Layout.int_field;
+  p_ep : Layout.int_field;
+  p_cwd : Layout.str_field;
+  p_fds : Layout.int_field array;   (* file row + 1; 0 = closed *)
+  files : Layout.Table.t;
+  fi_kind : Layout.int_field;
+  fi_ino : Layout.int_field;
+  fi_pos : Layout.int_field;
+  fi_refs : Layout.int_field;
+  fi_pipe : Layout.int_field;
+  pipes : Layout.Table.t;
+  pi_used : Layout.int_field;
+  pi_count : Layout.int_field;
+  pi_rstart : Layout.int_field;
+  pi_readers : Layout.int_field;
+  pi_writers : Layout.int_field;
+  pi_buf : Layout.str_field;
+  c_opens : Layout.Cell.t;
+}
+
+let create () =
+  let image = Memimage.create ~name:"vfs" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let p_used = Layout.int spec "used" in
+  let p_ep = Layout.int spec "ep" in
+  let p_cwd = Layout.str spec "cwd" ~len:cwd_len in
+  let p_fds = Array.init max_fds (fun i -> Layout.int spec (Printf.sprintf "fd%d" i)) in
+  Layout.seal spec;
+  let procs = Layout.Table.alloc image ~spec ~rows:max_procs in
+  let fspec = Layout.spec () in
+  let fi_kind = Layout.int fspec "kind" in
+  let fi_ino = Layout.int fspec "ino" in
+  let fi_pos = Layout.int fspec "pos" in
+  let fi_refs = Layout.int fspec "refs" in
+  let fi_pipe = Layout.int fspec "pipe" in
+  Layout.seal fspec;
+  let files = Layout.Table.alloc image ~spec:fspec ~rows:max_files in
+  let pspec = Layout.spec () in
+  let pi_used = Layout.int pspec "used" in
+  let pi_count = Layout.int pspec "count" in
+  let pi_rstart = Layout.int pspec "rstart" in
+  let pi_readers = Layout.int pspec "readers" in
+  let pi_writers = Layout.int pspec "writers" in
+  let pi_buf = Layout.str pspec "buf" ~len:pipe_capacity in
+  Layout.seal pspec;
+  let pipes = Layout.Table.alloc image ~spec:pspec ~rows:max_pipes in
+  let c_opens = Layout.Cell.alloc_int image "opens" in
+  { image; procs; p_used; p_ep; p_cwd; p_fds; files; fi_kind; fi_ino; fi_pos;
+    fi_refs; fi_pipe; pipes; pi_used; pi_count; pi_rstart; pi_readers;
+    pi_writers; pi_buf; c_opens }
+
+(* ---------------- row helpers -------------------------------------- *)
+
+let find_proc t ep =
+  Srvlib.scan ~rows:max_procs (fun row ->
+      let* used = Prog.Mem.get_int t.procs ~row t.p_used in
+      if used = 0 then Prog.return false
+      else
+        let* e = Prog.Mem.get_int t.procs ~row t.p_ep in
+        Prog.return (e = ep))
+
+let with_proc t src k =
+  let* row = find_proc t src in
+  match row with
+  | None -> Srvlib.reply_err src Errno.ESRCH
+  | Some row -> k row
+
+let find_free_file t =
+  Srvlib.scan ~rows:max_files (fun row ->
+      let* kind = Prog.Mem.get_int t.files ~row t.fi_kind in
+      Prog.return (kind = k_free))
+
+let find_free_fd t ~prow =
+  let rec go fd =
+    if fd >= max_fds then Prog.return None
+    else
+      let* v = Prog.Mem.get_int t.procs ~row:prow t.p_fds.(fd) in
+      if v = 0 then Prog.return (Some fd) else go (fd + 1)
+  in
+  go 0
+
+(* File row index for an fd, or None. *)
+let file_of_fd t ~prow ~fd =
+  if fd < 0 || fd >= max_fds then Prog.return None
+  else
+    let* v = Prog.Mem.get_int t.procs ~row:prow t.p_fds.(fd) in
+    if v = 0 then Prog.return None else Prog.return (Some (v - 1))
+
+let abs_path t ~prow path =
+  if String.length path > 0 && path.[0] = '/' then Prog.return path
+  else
+    let* cwd = Prog.Mem.get_str t.procs ~row:prow t.p_cwd in
+    Prog.return (if cwd = "/" then "/" ^ path else cwd ^ "/" ^ path)
+
+(* Drop one reference to a file row, releasing it (and updating pipe
+   endpoint counts) when the last reference goes. *)
+let deref_file t ~frow =
+  let* refs = Prog.Mem.get_int t.files ~row:frow t.fi_refs in
+  if refs > 1 then Prog.Mem.set_int t.files ~row:frow t.fi_refs (refs - 1)
+  else
+    let* kind = Prog.Mem.get_int t.files ~row:frow t.fi_kind in
+    let* () =
+      if kind = k_pipe_r || kind = k_pipe_w then
+        let* pipe = Prog.Mem.get_int t.files ~row:frow t.fi_pipe in
+        let field = if kind = k_pipe_r then t.pi_readers else t.pi_writers in
+        let* n = Prog.Mem.get_int t.pipes ~row:pipe field in
+        let* () = Prog.Mem.set_int t.pipes ~row:pipe field (n - 1) in
+        (* Free the pipe when both sides are gone. *)
+        let* r = Prog.Mem.get_int t.pipes ~row:pipe t.pi_readers in
+        let* w = Prog.Mem.get_int t.pipes ~row:pipe t.pi_writers in
+        Prog.when_ (r = 0 && w = 0)
+          (Prog.Mem.set_int t.pipes ~row:pipe t.pi_used 0)
+      else Prog.return ()
+    in
+    Prog.Mem.set_int t.files ~row:frow t.fi_kind k_free
+
+let close_fd t ~prow ~fd =
+  let* frow = file_of_fd t ~prow ~fd in
+  match frow with
+  | None -> Prog.return (Error Errno.EBADF)
+  | Some frow ->
+    let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(fd) 0 in
+    let* () = deref_file t ~frow in
+    Prog.return (Ok ())
+
+(* ---------------- circular pipe buffer (pure helpers) -------------- *)
+
+let circ_read buf ~rstart ~n =
+  let cap = String.length buf in
+  if rstart + n <= cap then String.sub buf rstart n
+  else String.sub buf rstart (cap - rstart) ^ String.sub buf 0 (n - (cap - rstart))
+
+let circ_write buf ~wstart data =
+  let cap = String.length buf in
+  let b = Bytes.of_string buf in
+  let n = String.length data in
+  let first = min n (cap - wstart) in
+  Bytes.blit_string data 0 b wstart first;
+  if n > first then Bytes.blit_string data first b 0 (n - first);
+  Bytes.to_string b
+
+let pad_buf s =
+  if String.length s >= pipe_capacity then s
+  else s ^ String.make (pipe_capacity - String.length s) '\000'
+
+(* ---------------- pipe I/O ----------------------------------------- *)
+
+let pipe_read t src ~pipe ~len =
+  let rec attempt () =
+    let* used = Prog.Mem.get_int t.pipes ~row:pipe t.pi_used in
+    if used = 0 then Srvlib.reply_err src Errno.EBADF
+    else
+      let* count = Prog.Mem.get_int t.pipes ~row:pipe t.pi_count in
+      if count > 0 then begin
+        let n = min len count in
+        let* buf = Prog.Mem.get_str t.pipes ~row:pipe t.pi_buf in
+        let* rstart = Prog.Mem.get_int t.pipes ~row:pipe t.pi_rstart in
+        let data = circ_read (pad_buf buf) ~rstart ~n in
+        let* () =
+          Prog.Mem.set_int t.pipes ~row:pipe t.pi_rstart
+            ((rstart + n) mod pipe_capacity)
+        in
+        let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_count (count - n) in
+        Prog.reply src (Message.R_read { data })
+      end
+      else
+        let* writers = Prog.Mem.get_int t.pipes ~row:pipe t.pi_writers in
+        if writers = 0 then Prog.reply src (Message.R_read { data = "" })
+        else
+          (* Block: yield lets the writer's thread (or another process)
+             run; the yield closes the recovery window. *)
+          let* () = Prog.yield in
+          attempt ()
+  in
+  attempt ()
+
+let pipe_write t src ~pipe ~data =
+  let total = String.length data in
+  let rec push written =
+    if written >= total then Srvlib.reply_ok src total
+    else
+      let* used = Prog.Mem.get_int t.pipes ~row:pipe t.pi_used in
+      if used = 0 then Srvlib.reply_err src Errno.EBADF
+      else
+        let* readers = Prog.Mem.get_int t.pipes ~row:pipe t.pi_readers in
+        if readers = 0 then Srvlib.reply_err src Errno.EPIPE
+        else
+          let* count = Prog.Mem.get_int t.pipes ~row:pipe t.pi_count in
+          let space = pipe_capacity - count in
+          if space = 0 then
+            let* () = Prog.yield in
+            push written
+          else begin
+            let n = min space (total - written) in
+            let chunk = String.sub data written n in
+            let* buf = Prog.Mem.get_str t.pipes ~row:pipe t.pi_buf in
+            let* rstart = Prog.Mem.get_int t.pipes ~row:pipe t.pi_rstart in
+            let wstart = (rstart + count) mod pipe_capacity in
+            let nbuf = circ_write (pad_buf buf) ~wstart chunk in
+            let* () =
+              Prog.store_str
+                ~off:(Layout.Table.addr_str t.pipes ~row:pipe t.pi_buf)
+                ~len:pipe_capacity nbuf
+            in
+            let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_count (count + n) in
+            push (written + n)
+          end
+  in
+  push 0
+
+(* ---------------- handlers ----------------------------------------- *)
+
+let mfs_lookup t ~prow path =
+  let* path = abs_path t ~prow path in
+  let* r = Prog.call Endpoint.mfs (Message.Mfs_lookup { path }) in
+  match r with
+  | Message.R_lookup { ino; size; is_dir } -> Prog.return (Ok (ino, size, is_dir))
+  | Message.R_err e -> Prog.return (Error e)
+  | _ -> Prog.return (Error Errno.EIO)
+
+let do_open t src ~prow ~path ~flags =
+  let open Message in
+  let* looked = mfs_lookup t ~prow path in
+  let* created =
+    match looked with
+    | Error Errno.ENOENT when flags.o_create ->
+      let* path = abs_path t ~prow path in
+      let* r = Prog.call Endpoint.mfs (Mfs_create { path }) in
+      (match r with
+       | R_lookup { ino; size; is_dir } -> Prog.return (Ok (ino, size, is_dir))
+       | R_err e -> Prog.return (Error e)
+       | _ -> Prog.return (Error Errno.EIO))
+    | other -> Prog.return other
+  in
+  match created with
+  | Error e -> Srvlib.reply_err src e
+  | Ok (_, _, true) -> Srvlib.reply_err src Errno.EISDIR
+  | Ok (ino, size, false) ->
+    let* () =
+      Prog.when_ (flags.o_trunc && size > 0)
+        (let* _ = Prog.call Endpoint.mfs (Mfs_trunc { ino; len = 0 }) in
+         Prog.return ())
+    in
+    let* frow = find_free_file t in
+    (match frow with
+     | None -> Srvlib.reply_err src Errno.ENFILE
+     | Some frow ->
+       let* fd = find_free_fd t ~prow in
+       (match fd with
+        | None -> Srvlib.reply_err src Errno.EMFILE
+        | Some fd ->
+          let pos = if flags.o_append then size else 0 in
+          let* () = Prog.Mem.set_int t.files ~row:frow t.fi_kind k_file in
+          let* () = Prog.Mem.set_int t.files ~row:frow t.fi_ino ino in
+          let* () =
+            Prog.Mem.set_int t.files ~row:frow t.fi_pos
+              (if flags.o_trunc then 0 else pos)
+          in
+          let* () = Prog.Mem.set_int t.files ~row:frow t.fi_refs 1 in
+          let* () = Prog.Mem.set_int t.files ~row:frow t.fi_pipe 0 in
+          let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(fd) (frow + 1) in
+          let* n = Prog.Mem.get_cell t.c_opens in
+          let* () = Prog.Mem.set_cell t.c_opens (n + 1) in
+          Srvlib.reply_ok src fd))
+
+let forward_to_mfs t src ~prow msg_of_path path =
+  let* path = abs_path t ~prow path in
+  let* r = Prog.call Endpoint.mfs (msg_of_path path) in
+  match Srvlib.err_of_reply r with
+  | Some e -> Srvlib.reply_err src e
+  | None -> Srvlib.reply_ok src 0
+
+let handle t src msg =
+  match msg with
+  | Message.Open { path; flags } ->
+    with_proc t src (fun prow -> do_open t src ~prow ~path ~flags)
+  | Message.Close { fd } ->
+    with_proc t src (fun prow ->
+        let* r = close_fd t ~prow ~fd in
+        match r with
+        | Error e -> Srvlib.reply_err src e
+        | Ok () -> Srvlib.reply_ok src 0)
+  | Message.Read { fd; len } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          let* kind = Prog.Mem.get_int t.files ~row:frow t.fi_kind in
+          if kind = k_file then
+            let* ino = Prog.Mem.get_int t.files ~row:frow t.fi_ino in
+            let* pos = Prog.Mem.get_int t.files ~row:frow t.fi_pos in
+            let* r = Prog.call Endpoint.mfs (Message.Mfs_read { ino; off = pos; len }) in
+            match r with
+            | Message.R_read { data } ->
+              let* () =
+                Prog.Mem.set_int t.files ~row:frow t.fi_pos
+                  (pos + String.length data)
+              in
+              Prog.reply src (Message.R_read { data })
+            | Message.R_err e -> Srvlib.reply_err src e
+            | _ -> Srvlib.reply_err src Errno.EIO
+          else if kind = k_pipe_r then
+            let* pipe = Prog.Mem.get_int t.files ~row:frow t.fi_pipe in
+            pipe_read t src ~pipe ~len
+          else Srvlib.reply_err src Errno.EBADF)
+  | Message.Write { fd; data } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          let* kind = Prog.Mem.get_int t.files ~row:frow t.fi_kind in
+          if kind = k_file then
+            let* ino = Prog.Mem.get_int t.files ~row:frow t.fi_ino in
+            let* pos = Prog.Mem.get_int t.files ~row:frow t.fi_pos in
+            let* r =
+              Prog.call Endpoint.mfs (Message.Mfs_write { ino; off = pos; data })
+            in
+            match r with
+            | Message.R_ok n ->
+              let* () = Prog.Mem.set_int t.files ~row:frow t.fi_pos (pos + n) in
+              Srvlib.reply_ok src n
+            | Message.R_err e -> Srvlib.reply_err src e
+            | _ -> Srvlib.reply_err src Errno.EIO
+          else if kind = k_pipe_w then
+            let* pipe = Prog.Mem.get_int t.files ~row:frow t.fi_pipe in
+            pipe_write t src ~pipe ~data
+          else Srvlib.reply_err src Errno.EBADF)
+  | Message.Lseek { fd; off; whence } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          let* kind = Prog.Mem.get_int t.files ~row:frow t.fi_kind in
+          if kind <> k_file then Srvlib.reply_err src Errno.EINVAL
+          else
+            let* pos = Prog.Mem.get_int t.files ~row:frow t.fi_pos in
+            let* base =
+              match whence with
+              | Message.Seek_set -> Prog.return 0
+              | Message.Seek_cur -> Prog.return pos
+              | Message.Seek_end ->
+                let* ino = Prog.Mem.get_int t.files ~row:frow t.fi_ino in
+                let* r = Prog.call Endpoint.mfs (Message.Mfs_stat { ino }) in
+                (match r with
+                 | Message.R_stat { st_size; _ } -> Prog.return st_size
+                 | _ -> Prog.return 0)
+            in
+            let npos = base + off in
+            if npos < 0 then Srvlib.reply_err src Errno.EINVAL
+            else
+              let* () = Prog.Mem.set_int t.files ~row:frow t.fi_pos npos in
+              Srvlib.reply_ok src npos)
+  | Message.Pipe ->
+    with_proc t src (fun prow ->
+        let* pipe =
+          Srvlib.scan ~rows:max_pipes (fun row ->
+              let* used = Prog.Mem.get_int t.pipes ~row t.pi_used in
+              Prog.return (used = 0))
+        in
+        match pipe with
+        | None -> Srvlib.reply_err src Errno.ENFILE
+        | Some pipe ->
+          let* fr = find_free_file t in
+          (match fr with
+           | None -> Srvlib.reply_err src Errno.ENFILE
+           | Some fr ->
+             (* Reserve the read end before searching for the write
+                end's slot. *)
+             let* () = Prog.Mem.set_int t.files ~row:fr t.fi_kind k_pipe_r in
+             let* fw = find_free_file t in
+             (match fw with
+              | None ->
+                let* () = Prog.Mem.set_int t.files ~row:fr t.fi_kind k_free in
+                Srvlib.reply_err src Errno.ENFILE
+              | Some fw ->
+                let* rfd = find_free_fd t ~prow in
+                (match rfd with
+                 | None ->
+                   let* () = Prog.Mem.set_int t.files ~row:fr t.fi_kind k_free in
+                   Srvlib.reply_err src Errno.EMFILE
+                 | Some rfd ->
+                   let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(rfd) (fr + 1) in
+                   let* wfd = find_free_fd t ~prow in
+                   (match wfd with
+                    | None ->
+                      let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(rfd) 0 in
+                      let* () = Prog.Mem.set_int t.files ~row:fr t.fi_kind k_free in
+                      Srvlib.reply_err src Errno.EMFILE
+                    | Some wfd ->
+                      let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_used 1 in
+                      let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_count 0 in
+                      let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_rstart 0 in
+                      let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_readers 1 in
+                      let* () = Prog.Mem.set_int t.pipes ~row:pipe t.pi_writers 1 in
+                      let* () = Prog.Mem.set_int t.files ~row:fr t.fi_refs 1 in
+                      let* () = Prog.Mem.set_int t.files ~row:fr t.fi_pipe pipe in
+                      let* () = Prog.Mem.set_int t.files ~row:fw t.fi_kind k_pipe_w in
+                      let* () = Prog.Mem.set_int t.files ~row:fw t.fi_refs 1 in
+                      let* () = Prog.Mem.set_int t.files ~row:fw t.fi_pipe pipe in
+                      let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(wfd) (fw + 1) in
+                      Prog.reply src (Message.R_pipe { rfd; wfd }))))))
+  | Message.Dup { fd } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          let* nfd = find_free_fd t ~prow in
+          (match nfd with
+           | None -> Srvlib.reply_err src Errno.EMFILE
+           | Some nfd ->
+             let* refs = Prog.Mem.get_int t.files ~row:frow t.fi_refs in
+             let* () = Prog.Mem.set_int t.files ~row:frow t.fi_refs (refs + 1) in
+             let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(nfd) (frow + 1) in
+             Srvlib.reply_ok src nfd))
+  | Message.Unlink { path } ->
+    with_proc t src (fun prow ->
+        forward_to_mfs t src ~prow (fun path -> Message.Mfs_unlink { path }) path)
+  | Message.Mkdir { path } ->
+    with_proc t src (fun prow ->
+        let* path = abs_path t ~prow path in
+        let* r = Prog.call Endpoint.mfs (Message.Mfs_mkdir { path }) in
+        match Srvlib.err_of_reply r with
+        | Some e -> Srvlib.reply_err src e
+        | None -> Srvlib.reply_ok src 0)
+  | Message.Rmdir { path } ->
+    with_proc t src (fun prow ->
+        forward_to_mfs t src ~prow (fun path -> Message.Mfs_rmdir { path }) path)
+  | Message.Rename { src = s; dst = d } ->
+    with_proc t src (fun prow ->
+        let* s = abs_path t ~prow s in
+        let* d = abs_path t ~prow d in
+        let* r = Prog.call Endpoint.mfs (Message.Mfs_rename { src = s; dst = d }) in
+        match Srvlib.err_of_reply r with
+        | Some e -> Srvlib.reply_err src e
+        | None -> Srvlib.reply_ok src 0)
+  | Message.Stat { path } ->
+    with_proc t src (fun prow ->
+        let* looked = mfs_lookup t ~prow path in
+        match looked with
+        | Error e -> Srvlib.reply_err src e
+        | Ok (ino, size, is_dir) ->
+          Prog.reply src
+            (Message.R_stat { st_ino = ino; st_size = size; st_is_dir = is_dir }))
+  | Message.Fstat { fd } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          let* kind = Prog.Mem.get_int t.files ~row:frow t.fi_kind in
+          if kind = k_file then
+            let* ino = Prog.Mem.get_int t.files ~row:frow t.fi_ino in
+            let* r = Prog.call Endpoint.mfs (Message.Mfs_stat { ino }) in
+            match r with
+            | Message.R_stat _ as st -> Prog.reply src st
+            | Message.R_err e -> Srvlib.reply_err src e
+            | _ -> Srvlib.reply_err src Errno.EIO
+          else
+            let* pipe = Prog.Mem.get_int t.files ~row:frow t.fi_pipe in
+            let* count = Prog.Mem.get_int t.pipes ~row:pipe t.pi_count in
+            Prog.reply src
+              (Message.R_stat { st_ino = -1; st_size = count; st_is_dir = false }))
+  | Message.Readdir { path } ->
+    with_proc t src (fun prow ->
+        let* looked = mfs_lookup t ~prow path in
+        match looked with
+        | Error e -> Srvlib.reply_err src e
+        | Ok (_, _, false) -> Srvlib.reply_err src Errno.ENOTDIR
+        | Ok (ino, _, true) ->
+          let* r = Prog.call Endpoint.mfs (Message.Mfs_readdir { ino }) in
+          (match r with
+           | Message.R_names _ as names -> Prog.reply src names
+           | Message.R_err e -> Srvlib.reply_err src e
+           | _ -> Srvlib.reply_err src Errno.EIO))
+  | Message.Dup2 { fd; tofd } ->
+    with_proc t src (fun prow ->
+        let* frow = file_of_fd t ~prow ~fd in
+        match frow with
+        | None -> Srvlib.reply_err src Errno.EBADF
+        | Some frow ->
+          if tofd < 0 || tofd >= max_fds then Srvlib.reply_err src Errno.EBADF
+          else if tofd = fd then Srvlib.reply_ok src tofd
+          else
+            (* Close the target slot first, POSIX-style. *)
+            let* old = file_of_fd t ~prow ~fd:tofd in
+            let* () =
+              match old with
+              | None -> Prog.return ()
+              | Some _ ->
+                let* _ = close_fd t ~prow ~fd:tofd in
+                Prog.return ()
+            in
+            let* refs = Prog.Mem.get_int t.files ~row:frow t.fi_refs in
+            let* () = Prog.Mem.set_int t.files ~row:frow t.fi_refs (refs + 1) in
+            let* () = Prog.Mem.set_int t.procs ~row:prow t.p_fds.(tofd) (frow + 1) in
+            Srvlib.reply_ok src tofd)
+  | Message.Chdir { path } ->
+    with_proc t src (fun prow ->
+        let* apath = abs_path t ~prow path in
+        if String.length apath >= cwd_len then
+          Srvlib.reply_err src Errno.ENAMETOOLONG
+        else
+          let* looked = mfs_lookup t ~prow apath in
+          match looked with
+          | Error e -> Srvlib.reply_err src e
+          | Ok (_, _, false) -> Srvlib.reply_err src Errno.ENOTDIR
+          | Ok (_, _, true) ->
+            let* () = Prog.Mem.set_str t.procs ~row:prow t.p_cwd apath in
+            Srvlib.reply_ok src 0)
+  | Message.Sync ->
+    let* r = Prog.call Endpoint.mfs Message.Mfs_sync in
+    (match Srvlib.err_of_reply r with
+     | Some e -> Srvlib.reply_err src e
+     | None -> Srvlib.reply_ok src 0)
+  | Message.Vfs_fork { parent; child } when src = Endpoint.pm ->
+    let* slot =
+      Srvlib.scan ~rows:max_procs (fun row ->
+          let* used = Prog.Mem.get_int t.procs ~row t.p_used in
+          Prog.return (used = 0))
+    in
+    (match slot with
+     | None -> Srvlib.reply_err src Errno.EAGAIN
+     | Some row ->
+       let* () = Prog.Mem.set_int t.procs ~row t.p_used 1 in
+       let* () = Prog.Mem.set_int t.procs ~row t.p_ep child in
+       let* prow_opt =
+         if parent = 0 then Prog.return None else find_proc t parent
+       in
+       (match prow_opt with
+        | None ->
+          let* () = Prog.Mem.set_str t.procs ~row t.p_cwd "/" in
+          let* () =
+            Prog.iter_range ~lo:0 ~hi:max_fds (fun fd ->
+                Prog.Mem.set_int t.procs ~row t.p_fds.(fd) 0)
+          in
+          Srvlib.reply_ok src 0
+        | Some prow ->
+          let* cwd = Prog.Mem.get_str t.procs ~row:prow t.p_cwd in
+          let* () = Prog.Mem.set_str t.procs ~row t.p_cwd cwd in
+          let* () =
+            Prog.iter_range ~lo:0 ~hi:max_fds (fun fd ->
+                let* v = Prog.Mem.get_int t.procs ~row:prow t.p_fds.(fd) in
+                let* () = Prog.Mem.set_int t.procs ~row t.p_fds.(fd) v in
+                if v = 0 then Prog.return ()
+                else begin
+                  (* Parent and child share the open-file description:
+                     bump its refcount. Pipe endpoint counts track
+                     descriptions, not descriptors, so they are NOT
+                     bumped here (EOF semantics). *)
+                  let frow = v - 1 in
+                  let* refs = Prog.Mem.get_int t.files ~row:frow t.fi_refs in
+                  Prog.Mem.set_int t.files ~row:frow t.fi_refs (refs + 1)
+                end)
+          in
+          Srvlib.reply_ok src 0))
+  | Message.Vfs_exec { proc; path } when src = Endpoint.pm ->
+    let* prow_opt = find_proc t proc in
+    (match prow_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some prow ->
+       let* looked = mfs_lookup t ~prow path in
+       (match looked with
+        | Error e -> Srvlib.reply_err src e
+        | Ok (_, _, true) -> Srvlib.reply_err src Errno.EISDIR
+        | Ok _ -> Srvlib.reply_ok src 0))
+  | Message.Vfs_exit { proc } when src = Endpoint.pm ->
+    let* prow_opt = find_proc t proc in
+    (match prow_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some prow ->
+       let* () =
+         Prog.iter_range ~lo:0 ~hi:max_fds (fun fd ->
+             let* v = Prog.Mem.get_int t.procs ~row:prow t.p_fds.(fd) in
+             if v = 0 then Prog.return ()
+             else
+               let* _ = close_fd t ~prow ~fd in
+               Prog.return ())
+       in
+       let* () = Prog.Mem.set_int t.procs ~row:prow t.p_used 0 in
+       Srvlib.reply_ok src 0)
+  | Message.Vfs_fork _ | Message.Vfs_exec _ | Message.Vfs_exit _ ->
+    Srvlib.reply_err src Errno.EPERM
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+let dump_state t =
+  let out = ref [] in
+  for row = 0 to max_pipes - 1 do
+    if Layout.Table.get_int t.pipes ~row t.pi_used = 1 then
+      out :=
+        Printf.sprintf "pipe %d: count=%d readers=%d writers=%d" row
+          (Layout.Table.get_int t.pipes ~row t.pi_count)
+          (Layout.Table.get_int t.pipes ~row t.pi_readers)
+          (Layout.Table.get_int t.pipes ~row t.pi_writers)
+        :: !out
+  done;
+  for row = 0 to max_files - 1 do
+    let kind = Layout.Table.get_int t.files ~row t.fi_kind in
+    if kind <> k_free then
+      out :=
+        Printf.sprintf "file %d: kind=%d refs=%d pipe=%d ino=%d" row kind
+          (Layout.Table.get_int t.files ~row t.fi_refs)
+          (Layout.Table.get_int t.files ~row t.fi_pipe)
+          (Layout.Table.get_int t.files ~row t.fi_ino)
+        :: !out
+  done;
+  List.rev !out
+
+let init t = Prog.Mem.set_cell t.c_opens 0
+
+let server t =
+  { Kernel.srv_ep = Endpoint.vfs;
+    srv_name = "vfs";
+    srv_image = t.image;
+    srv_clone_extra_kb = 348;
+    srv_init = init t;
+    srv_loop = Srvlib.threaded_loop (handle t);
+    srv_multithreaded = true }
+
+let summary =
+  let mfs t = (Endpoint.mfs, t) in
+  Summary.make Endpoint.vfs
+    [ Summary.handler Message.Tag.T_open
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_lookup) 75;
+          Summary.seg ~out:(mfs Message.Tag.T_mfs_create) ~maybe:true 5;
+          Summary.seg 150 ];
+      Summary.handler Message.Tag.T_close [ Summary.seg 80 ];
+      Summary.handler Message.Tag.T_read
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_read) 80; Summary.seg 10 ];
+      Summary.handler Message.Tag.T_write
+        [ Summary.seg 80; Summary.seg ~out:(mfs Message.Tag.T_mfs_write) 5;
+          Summary.seg 10 ];
+      Summary.handler Message.Tag.T_lseek
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_stat) ~maybe:true 80;
+          Summary.seg 10 ];
+      Summary.handler Message.Tag.T_pipe [ Summary.seg 300 ];
+      Summary.handler Message.Tag.T_dup [ Summary.seg 90 ];
+      Summary.handler Message.Tag.T_unlink
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_unlink) 70; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_mkdir
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_mkdir) 70; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_rmdir
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_rmdir) 70; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_stat
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_lookup) 70; Summary.seg 10 ];
+      Summary.handler Message.Tag.T_fstat
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_stat) 80; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_rename
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_rename) 70; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_chdir
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_lookup) 75; Summary.seg 10 ];
+      Summary.handler Message.Tag.T_readdir
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_lookup) 75;
+          Summary.seg ~out:(mfs Message.Tag.T_mfs_readdir) 3; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_dup2 [ Summary.seg 120 ];
+      Summary.handler Message.Tag.T_sync
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_sync) 2; Summary.seg 2 ];
+      Summary.handler Message.Tag.T_vfs_fork [ Summary.seg 250 ];
+      Summary.handler Message.Tag.T_vfs_exec
+        [ Summary.seg ~out:(mfs Message.Tag.T_mfs_lookup) 75; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_vfs_exit [ Summary.seg 200 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

@@ -1,0 +1,30 @@
+(** VFS — the Virtual File System server.
+
+    Translates user file and pipe operations into MFS calls and local
+    state updates. VFS is the prototype's multithreaded server (paper
+    Section V): each request is served by a cooperative thread so a
+    request blocked on the (slow) disk path does not stall the rest of
+    the system. Pipes are implemented entirely inside VFS state, with
+    blocking readers/writers realized as yield-retry loops — each yield
+    forcefully closes the recovery window, exactly the multithreading
+    rule of Section IV-E.
+
+    Limits: {!max_fds} descriptors per process, pipe capacity
+    {!pipe_capacity} bytes. *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val summary : Summary.t
+
+val dump_state : t -> string list
+(** White-box snapshot of pipes and open-file rows (direct reads, for
+    tests and debugging). *)
+
+val max_fds : int
+val max_files : int
+val max_pipes : int
+val pipe_capacity : int

@@ -1,0 +1,275 @@
+open Prog.Syntax
+
+let page_size = 4096
+let total_pages = 16384      (* 64 MB of manageable memory *)
+let max_procs = 64
+let max_regions = 128
+let default_pages = 16       (* fresh process image size, pages *)
+
+(* Table VI: VM base usage 4,532 kB; its clone pre-allocates ~13.5 MB
+   beyond the image copy. *)
+let image_kb = 4532
+let clone_extra_kb = 13500
+
+type t = {
+  image : Memimage.t;
+  procs : Layout.Table.t;
+  p_used : Layout.int_field;
+  p_ep : Layout.int_field;
+  p_pages : Layout.int_field;
+  p_break : Layout.int_field;
+  p_nregions : Layout.int_field;
+  regions : Layout.Table.t;
+  r_used : Layout.int_field;
+  r_owner : Layout.int_field;
+  r_pages : Layout.int_field;
+  c_pages_used : Layout.Cell.t;
+  c_next_region : Layout.Cell.t;
+}
+
+let create () =
+  let image = Memimage.create ~name:"vm" ~size:(image_kb * 1024) in
+  let spec = Layout.spec () in
+  let p_used = Layout.int spec "used" in
+  let p_ep = Layout.int spec "ep" in
+  let p_pages = Layout.int spec "pages" in
+  let p_break = Layout.int spec "break" in
+  let p_nregions = Layout.int spec "nregions" in
+  Layout.seal spec;
+  let procs = Layout.Table.alloc image ~spec ~rows:max_procs in
+  let rspec = Layout.spec () in
+  let r_used = Layout.int rspec "used" in
+  let r_owner = Layout.int rspec "owner" in
+  let r_pages = Layout.int rspec "pages" in
+  Layout.seal rspec;
+  let regions = Layout.Table.alloc image ~spec:rspec ~rows:max_regions in
+  let c_pages_used = Layout.Cell.alloc_int image "pages_used" in
+  let c_next_region = Layout.Cell.alloc_int image "next_region" in
+  { image; procs; p_used; p_ep; p_pages; p_break; p_nregions; regions;
+    r_used; r_owner; r_pages; c_pages_used; c_next_region }
+
+let find_proc t ep =
+  Srvlib.scan ~rows:max_procs (fun row ->
+      let* used = Prog.Mem.get_int t.procs ~row t.p_used in
+      if used = 0 then Prog.return false
+      else
+        let* e = Prog.Mem.get_int t.procs ~row t.p_ep in
+        Prog.return (e = ep))
+
+let find_free_proc t =
+  Srvlib.scan ~rows:max_procs (fun row ->
+      let* used = Prog.Mem.get_int t.procs ~row t.p_used in
+      Prog.return (used = 0))
+
+let add_pages t n =
+  let* used = Prog.Mem.get_cell t.c_pages_used in
+  if used + n > total_pages then Prog.return false
+  else
+    let* () = Prog.Mem.set_cell t.c_pages_used (used + n) in
+    Prog.return true
+
+let write_proc_row t ~row ~ep ~pages =
+  let* () = Prog.Mem.set_int t.procs ~row t.p_used 1 in
+  let* () = Prog.Mem.set_int t.procs ~row t.p_ep ep in
+  let* () = Prog.Mem.set_int t.procs ~row t.p_pages pages in
+  let* () = Prog.Mem.set_int t.procs ~row t.p_break (pages * page_size) in
+  Prog.Mem.set_int t.procs ~row t.p_nregions 0
+
+let free_regions_of t ep =
+  Prog.iter_range ~lo:0 ~hi:max_regions (fun row ->
+      let* used = Prog.Mem.get_int t.regions ~row t.r_used in
+      if used = 0 then Prog.return ()
+      else
+        let* owner = Prog.Mem.get_int t.regions ~row t.r_owner in
+        if owner <> ep then Prog.return ()
+        else
+          let* pages = Prog.Mem.get_int t.regions ~row t.r_pages in
+          let* total = Prog.Mem.get_cell t.c_pages_used in
+          let* () = Prog.Mem.set_cell t.c_pages_used (total - pages) in
+          Prog.Mem.set_int t.regions ~row t.r_used 0)
+
+let pages_of_bytes len = (len + page_size - 1) / page_size
+
+let handle t src msg =
+  match msg with
+  | Message.Vm_fork { parent; child } when src = Endpoint.pm ->
+    let* parent_pages, parent_break =
+      if parent = 0 then Prog.return (default_pages, default_pages * page_size)
+      else
+        let* prow = find_proc t parent in
+        match prow with
+        | None -> Prog.return (default_pages, default_pages * page_size)
+        | Some row ->
+          let* pages = Prog.Mem.get_int t.procs ~row t.p_pages in
+          let* break = Prog.Mem.get_int t.procs ~row t.p_break in
+          Prog.return (pages, break)
+    in
+    (* Validate and reserve, build the child's page tables (the kernel
+       interaction that closes the window), then record bookkeeping. *)
+    let* slot = find_free_proc t in
+    (match slot with
+     | None -> Srvlib.reply_err src Errno.ENOMEM
+     | Some row ->
+       let* ok = add_pages t parent_pages in
+       if not ok then Srvlib.reply_err src Errno.ENOMEM
+       else
+         let* _ = Prog.kcall (Prog.K_mmu { proc = child }) in
+         let* () = write_proc_row t ~row ~ep:child ~pages:parent_pages in
+         let* () = Prog.Mem.set_int t.procs ~row t.p_break parent_break in
+         Srvlib.reply_ok src 0)
+  | Message.Vm_exec { proc; size } when src = Endpoint.pm ->
+    let* row_opt = find_proc t proc in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let new_pages = max 1 (pages_of_bytes size) in
+       let* old_pages = Prog.Mem.get_int t.procs ~row t.p_pages in
+       let* total = Prog.Mem.get_cell t.c_pages_used in
+       if total - old_pages + new_pages > total_pages then
+         Srvlib.reply_err src Errno.ENOMEM
+       else
+         let* _ = Prog.kcall (Prog.K_mmu { proc }) in
+         let* () = Prog.Mem.set_cell t.c_pages_used (total - old_pages + new_pages) in
+         let* () = Prog.Mem.set_int t.procs ~row t.p_pages new_pages in
+         let* () =
+           Prog.Mem.set_int t.procs ~row t.p_break (new_pages * page_size)
+         in
+         Srvlib.reply_ok src 0)
+  | Message.Vm_exit { proc } when src = Endpoint.pm ->
+    let* row_opt = find_proc t proc in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let* pages = Prog.Mem.get_int t.procs ~row t.p_pages in
+       let* total = Prog.Mem.get_cell t.c_pages_used in
+       let* () = Prog.Mem.set_cell t.c_pages_used (total - pages) in
+       let* nregions = Prog.Mem.get_int t.procs ~row t.p_nregions in
+       let* _ = Prog.kcall (Prog.K_mmu { proc }) in
+       let* () = Prog.Mem.set_int t.procs ~row t.p_used 0 in
+       let* () = Prog.when_ (nregions > 0) (free_regions_of t proc) in
+       Srvlib.reply_ok src 0)
+  | Message.Vm_fork _ | Message.Vm_exec _ | Message.Vm_exit _ ->
+    (* Lifecycle calls are PM's privilege. *)
+    Srvlib.reply_err src Errno.EPERM
+  | Message.Brk { delta } ->
+    let* row_opt = find_proc t src in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let* break = Prog.Mem.get_int t.procs ~row t.p_break in
+       let nbreak = break + delta in
+       if nbreak < 0 then Srvlib.reply_err src Errno.EINVAL
+       else
+         let* pages = Prog.Mem.get_int t.procs ~row t.p_pages in
+         let need = pages_of_bytes nbreak in
+         let* ok =
+           if need > pages then add_pages t (need - pages) else Prog.return true
+         in
+         if not ok then Srvlib.reply_err src Errno.ENOMEM
+         else
+           let* () =
+             Prog.when_ (need <> pages)
+               (Prog.bind (Prog.kcall (Prog.K_mmu { proc = src }))
+                  (fun _ -> Prog.return ()))
+           in
+           let* () =
+             Prog.when_ (need > pages)
+               (Prog.Mem.set_int t.procs ~row t.p_pages need)
+           in
+           let* () = Prog.Mem.set_int t.procs ~row t.p_break nbreak in
+           Prog.reply src (Message.R_brk { break = nbreak }))
+  | Message.Brk_query ->
+    let* row_opt = find_proc t src in
+    (match row_opt with
+     | None -> Srvlib.reply_err src Errno.ESRCH
+     | Some row ->
+       let* break = Prog.Mem.get_int t.procs ~row t.p_break in
+       Prog.reply src (Message.R_brk { break }))
+  | Message.Mmap { len } ->
+    if len <= 0 then Srvlib.reply_err src Errno.EINVAL
+    else
+      let* slot =
+        Srvlib.scan ~rows:max_regions (fun row ->
+            let* used = Prog.Mem.get_int t.regions ~row t.r_used in
+            Prog.return (used = 0))
+      in
+      (match slot with
+       | None -> Srvlib.reply_err src Errno.ENOMEM
+       | Some row ->
+         let pages = pages_of_bytes len in
+         let* ok = add_pages t pages in
+         if not ok then Srvlib.reply_err src Errno.ENOMEM
+         else
+           let* _ = Prog.kcall (Prog.K_mmu { proc = src }) in
+           let* () = Prog.Mem.set_int t.regions ~row t.r_used 1 in
+           let* () = Prog.Mem.set_int t.regions ~row t.r_owner src in
+           let* () = Prog.Mem.set_int t.regions ~row t.r_pages pages in
+           let* n = Prog.Mem.get_cell t.c_next_region in
+           let* () = Prog.Mem.set_cell t.c_next_region (n + 1) in
+           let* prow = find_proc t src in
+           let* () =
+             match prow with
+             | None -> Prog.return ()
+             | Some prow ->
+               let* k = Prog.Mem.get_int t.procs ~row:prow t.p_nregions in
+               Prog.Mem.set_int t.procs ~row:prow t.p_nregions (k + 1)
+           in
+           Prog.reply src (Message.R_mmap { id = row }))
+  | Message.Munmap { id } ->
+    if id < 0 || id >= max_regions then Srvlib.reply_err src Errno.EINVAL
+    else
+      let* used = Prog.Mem.get_int t.regions ~row:id t.r_used in
+      let* owner = Prog.Mem.get_int t.regions ~row:id t.r_owner in
+      if used = 0 || owner <> src then Srvlib.reply_err src Errno.EINVAL
+      else
+        let* _ = Prog.kcall (Prog.K_mmu { proc = src }) in
+        let* pages = Prog.Mem.get_int t.regions ~row:id t.r_pages in
+        let* total = Prog.Mem.get_cell t.c_pages_used in
+        let* () = Prog.Mem.set_cell t.c_pages_used (total - pages) in
+        let* () = Prog.Mem.set_int t.regions ~row:id t.r_used 0 in
+        let* prow = find_proc t src in
+        let* () =
+          match prow with
+          | None -> Prog.return ()
+          | Some prow ->
+            let* k = Prog.Mem.get_int t.procs ~row:prow t.p_nregions in
+            Prog.Mem.set_int t.procs ~row:prow t.p_nregions (max 0 (k - 1))
+        in
+        Srvlib.reply_ok src 0
+  | Message.Vm_info ->
+    let* used = Prog.Mem.get_cell t.c_pages_used in
+    Prog.reply src
+      (Message.R_vm_info { pages_used = used; pages_free = total_pages - used })
+  | Message.Ping -> Prog.reply src Message.R_pong
+  | _ -> Srvlib.reply_err src Errno.ENOSYS
+
+let init t =
+  let* () = Prog.Mem.set_cell t.c_pages_used 0 in
+  Prog.Mem.set_cell t.c_next_region 0
+
+let server t =
+  { Kernel.srv_ep = Endpoint.vm;
+    srv_name = "vm";
+    srv_image = t.image;
+    srv_clone_extra_kb = clone_extra_kb;
+    srv_init = init t;
+    srv_loop = Srvlib.simple_loop (handle t);
+    srv_multithreaded = false }
+
+let summary =
+  Summary.make Endpoint.vm
+    [ Summary.handler Message.Tag.T_vm_fork
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 12; Summary.seg 28 ];
+      Summary.handler Message.Tag.T_vm_exec
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 12; Summary.seg 12 ];
+      Summary.handler Message.Tag.T_vm_exit
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 10; Summary.seg 14 ];
+      Summary.handler Message.Tag.T_brk
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) ~maybe:true 18; Summary.seg 5 ];
+      Summary.handler Message.Tag.T_brk_query [ Summary.seg 14 ];
+      Summary.handler Message.Tag.T_mmap
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 140; Summary.seg 30 ];
+      Summary.handler Message.Tag.T_munmap
+        [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_kcall) 6; Summary.seg 25 ];
+      Summary.handler Message.Tag.T_vm_info [ Summary.seg 3 ];
+      Summary.handler Message.Tag.T_ping [ Summary.seg 1 ] ]

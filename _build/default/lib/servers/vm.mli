@@ -1,0 +1,18 @@
+(** VM — the Virtual Memory Manager.
+
+    Tracks per-process address spaces (page counts and program break)
+    and anonymous mappings, and serves PM's fork/exec/exit lifecycle
+    calls. VM is the component whose recovery clone dominates Table VI:
+    a recovered VM cannot ask the defunct VM for memory, so its clone
+    pre-allocates a large pool ([clone_extra_kb]). *)
+
+type t
+
+val create : unit -> t
+
+val server : t -> Kernel.server
+
+val summary : Summary.t
+
+val page_size : int
+val total_pages : int

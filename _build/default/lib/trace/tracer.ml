@@ -1,0 +1,64 @@
+type t = {
+  capacity : int;
+  ring : Kernel.event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 512) () =
+  { capacity = max 1 capacity;
+    ring = Array.make (max 1 capacity) None;
+    next = 0;
+    total = 0 }
+
+let record t ev =
+  t.ring.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let attach t kernel = Kernel.set_event_hook kernel (Some (record t))
+
+let events t =
+  let out = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    match t.ring.((t.next + i) mod t.capacity) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out  (* oldest first: built by consing from the newest index down *)
+
+let recorded t = t.total
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_event = function
+  | Kernel.E_msg { time; src; dst; tag; call } ->
+    Printf.sprintf "%10d  %-6s -> %-6s %s%s" time (Endpoint.server_name src)
+      (Endpoint.server_name dst) (Message.Tag.to_string tag)
+      (if call then " (call)" else "")
+  | Kernel.E_reply { time; src; dst; tag = _ } ->
+    Printf.sprintf "%10d  %-6s => %-6s reply" time (Endpoint.server_name src)
+      (Endpoint.server_name dst)
+  | Kernel.E_crash { time; ep; reason; window_open } ->
+    Printf.sprintf "%10d  CRASH %s (%s) window=%s" time
+      (Endpoint.server_name ep) reason (if window_open then "open" else "closed")
+  | Kernel.E_restart { time; ep } ->
+    Printf.sprintf "%10d  RESTART %s" time (Endpoint.server_name ep)
+  | Kernel.E_halt { time; halt } ->
+    Printf.sprintf "%10d  HALT %s" time (Kernel.halt_to_string halt)
+
+let touches ep = function
+  | Kernel.E_msg { src; dst; _ } | Kernel.E_reply { src; dst; _ } ->
+    src = ep || dst = ep
+  | Kernel.E_crash { ep = e; _ } | Kernel.E_restart { ep = e; _ } -> e = ep
+  | Kernel.E_halt _ -> true
+
+let timeline ?only t =
+  let evs = events t in
+  let evs =
+    match only with None -> evs | Some ep -> List.filter (touches ep) evs
+  in
+  List.map pp_event evs

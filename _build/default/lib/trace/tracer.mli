@@ -1,0 +1,34 @@
+(** Ring-buffer event tracer for the simulated kernel.
+
+    Attach a tracer to a kernel (before or during a run) and it records
+    the last [capacity] IPC/crash/recovery events; render them as an
+    aligned timeline for debugging deadlocks and recovery sequences.
+
+    {[
+      let tracer = Tracer.create ~capacity:256 () in
+      Tracer.attach tracer (System.kernel sys);
+      ...
+      List.iter print_endline (Tracer.timeline tracer)
+    ]} *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 512 events. *)
+
+val attach : t -> Kernel.t -> unit
+(** Install as the kernel's event hook (replaces any previous hook). *)
+
+val events : t -> Kernel.event list
+(** Recorded events, oldest first (at most [capacity]). *)
+
+val recorded : t -> int
+(** Total events seen, including ones evicted from the ring. *)
+
+val clear : t -> unit
+
+val timeline : ?only:Endpoint.t -> t -> string list
+(** Render, one line per event, optionally filtered to events touching
+    the given endpoint. *)
+
+val pp_event : Kernel.event -> string

@@ -1,0 +1,44 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let n = List.length s in
+    let a = Array.of_list s in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let weighted_mean pairs =
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  if total_w = 0. then 0.
+  else List.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0. pairs /. total_w
+
+let ratio a b = if b = 0. then 0. else a /. b

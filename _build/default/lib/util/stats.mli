@@ -1,0 +1,24 @@
+(** Small statistics helpers used by the benchmark harness and the
+    evaluation drivers. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); 0. on empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank method. *)
+
+val weighted_mean : (float * float) list -> float
+(** [weighted_mean \[(v, w); ...\]] = sum(v*w) / sum(w); 0. if the total
+    weight is 0. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] = a /. b, 0. when [b = 0.]. *)

@@ -1,0 +1,53 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?title ~header ~align rows =
+  let cols = List.length header in
+  let aligns =
+    let rec extend l n = if n <= 0 then [] else
+      match l with
+      | [] -> Left :: extend [] (n - 1)
+      | x :: rest -> x :: extend rest (n - 1)
+    in
+    Array.of_list (extend align cols)
+  in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell ->
+        if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let emit_row row =
+    List.iteri (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < cols then Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (cols - 1))
+  in
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let fixed d x = Printf.sprintf "%.*f" d x
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the benchmark harness, so tables print
+    in a layout close to the paper's. *)
+
+type align = Left | Right
+
+val render : ?title:string -> header:string list -> align:align list ->
+  string list list -> string
+(** [render ~title ~header ~align rows] lays out [rows] under [header]
+    with per-column alignment, column widths fitted to content. The
+    [align] list is padded with [Left] if shorter than the header. *)
+
+val fixed : int -> float -> string
+(** [fixed d x] formats [x] with [d] decimals. *)
+
+val pct : float -> string
+(** Format a fraction in [\[0,1\]] as a percentage with one decimal. *)

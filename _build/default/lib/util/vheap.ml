@@ -1,0 +1,68 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let ncap = if capacity = 0 then 16 else capacity * 2 in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t ~key ~seq value =
+  let entry = { key; seq; value } in
+  grow t entry;
+  let data = t.data in
+  data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while !i > 0 && less data.(!i) data.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = data.(!i) in
+    data.(!i) <- data.(parent);
+    data.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let data = t.data in
+    let top = data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      data.(0) <- data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less data.(l) data.(!smallest) then smallest := l;
+        if r < t.size && less data.(r) data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = data.(!i) in
+          data.(!i) <- data.(!smallest);
+          data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+let clear t = t.size <- 0

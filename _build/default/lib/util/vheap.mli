@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(int, int)] pairs, used as the kernel's
+    run queue ordered by (virtual time, sequence number).
+
+    The secondary key breaks ties deterministically: two processes ready
+    at the same virtual instant run in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum element as [(key, seq, value)]. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

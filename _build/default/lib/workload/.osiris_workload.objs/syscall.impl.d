@@ -1,0 +1,1 @@
+lib/workload/syscall.ml: Endpoint Errno Message Prog

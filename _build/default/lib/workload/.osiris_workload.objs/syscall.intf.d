@@ -1,0 +1,1 @@
+lib/workload/syscall.mli: Errno Message Prog

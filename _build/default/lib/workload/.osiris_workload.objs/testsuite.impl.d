@@ -1,0 +1,1 @@
+lib/workload/testsuite.ml: Errno List Message Mfs Printf Prog Registry String Syscall Vfs Vm

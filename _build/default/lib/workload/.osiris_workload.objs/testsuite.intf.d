@@ -1,0 +1,1 @@
+lib/workload/testsuite.mli: Prog Registry

@@ -1,0 +1,1 @@
+lib/workload/unixbench.ml: Errno List Message Printf Prog Registry String Syscall

@@ -1,0 +1,1 @@
+lib/workload/unixbench.mli: Prog Registry

@@ -1,0 +1,1 @@
+lib/workload/workgen.ml: Char Errno List Message Osiris_util Printf Prog String Syscall

@@ -1,0 +1,19 @@
+(** Executable registry: the simulation's "/bin".
+
+    exec() resolves program paths against this registry (the kernel's
+    [lookup_program]); the boot protocol also creates a file in MFS for
+    every registered path so VFS path validation during exec behaves
+    like the real thing. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> string -> (int -> unit Prog.t) -> unit
+(** Bind an absolute path to a program factory (the int is the argv
+    analogue). Re-registering a path replaces the binding. *)
+
+val lookup : t -> string -> (int -> unit Prog.t) option
+
+val paths : t -> string list
+(** All registered paths, sorted (deterministic boot order). *)

@@ -1,0 +1,84 @@
+(** User-side system call stubs.
+
+    Each stub is a program fragment that sends the request to the
+    responsible server and decodes the reply, mirroring a MINIX libc.
+    Integer-returning calls follow the C convention: non-negative on
+    success, a negative {!Errno.to_code} on failure — including
+    [E_CRASH] (-999), the error-virtualization code a caller receives
+    when the serving component crashed and was recovered mid-request. *)
+
+(** {2 Process management (PM)} *)
+
+val fork : int Prog.t
+(** 0 in the child, the child's pid in the parent, negative on error. *)
+
+val exec : string -> int -> int Prog.t
+(** Replace the calling process image; does not return on success. The
+    integer argument is passed to the new program (argv analogue). *)
+
+val exit : int -> 'a Prog.t
+(** Terminate with the given status; never returns, hence usable in any
+    branch position. *)
+
+val waitpid : int -> (int * int) Prog.t
+(** [(pid, status)]; pid is negative on error. Pass [-1] for any child. *)
+
+val wait : (int * int) Prog.t
+
+val getpid : int Prog.t
+val getppid : int Prog.t
+val kill : pid:int -> signal:int -> int Prog.t
+
+val signal_ignore : signal:int -> bool -> int Prog.t
+(** Set or clear the caller's ignore disposition for a signal; returns
+    the previous disposition (1 = was ignored). SIGKILL (9) is
+    rejected with EINVAL. *)
+
+(** {2 Files and pipes (VFS)} *)
+
+val open_ : string -> Message.open_flags -> int Prog.t
+val close : int -> int Prog.t
+val read : fd:int -> len:int -> (string, Errno.t) result Prog.t
+val write : fd:int -> string -> int Prog.t
+val lseek : fd:int -> off:int -> Message.whence -> int Prog.t
+val pipe : (int * int, Errno.t) result Prog.t
+val dup : int -> int Prog.t
+val dup2 : fd:int -> tofd:int -> int Prog.t
+val readdir : string -> (string list, Errno.t) result Prog.t
+val unlink : string -> int Prog.t
+val mkdir : string -> int Prog.t
+val rmdir : string -> int Prog.t
+val rename : src:string -> dst:string -> int Prog.t
+val stat : string -> (Message.stat_info, Errno.t) result Prog.t
+val fstat : int -> (Message.stat_info, Errno.t) result Prog.t
+val chdir : string -> int Prog.t
+val sync : int Prog.t
+
+(** {2 Memory (VM)} *)
+
+val sbrk : int -> int Prog.t
+(** Grow/shrink the break by the given delta; returns the new break. *)
+
+val brk_current : int Prog.t
+val mmap : len:int -> int Prog.t
+val munmap : id:int -> int Prog.t
+val vm_info : (int * int) Prog.t
+(** (pages_used, pages_free). *)
+
+(** {2 Data store (DS)} *)
+
+val ds_publish : key:string -> value:int -> int Prog.t
+val ds_retrieve : key:string -> (int, Errno.t) result Prog.t
+val ds_delete : key:string -> int Prog.t
+val ds_subscribe : prefix:string -> int Prog.t
+
+(** {2 Recovery server (RS)} *)
+
+val rs_status : (int * int * int, Errno.t) result Prog.t
+(** (restarts, shutdowns, services). *)
+
+(** {2 Misc} *)
+
+val print : string -> unit Prog.t
+(** Emit a line on the kernel log sink (the console of the simulation;
+    used by the workload runners to report results). *)

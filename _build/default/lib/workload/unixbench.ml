@@ -1,0 +1,383 @@
+open Prog.Syntax
+
+type bench = {
+  b_name : string;
+  b_iters : int;
+  b_driver : unit Prog.t;
+  b_uses_pm : bool;
+}
+
+(* E_CRASH resilience: an [E_CRASH] result means the serving component
+   crashed inside an open recovery window and was rolled back — by
+   construction no state changed, so retrying is safe (this is the
+   at-most-once property the windows buy). The drivers retry so the
+   service-disruption experiment (Figure 3) can run benchmarks to
+   completion under a sustained fault load. *)
+let e_crash = Errno.to_code Errno.E_CRASH
+
+let retry_crash prog =
+  let rec go n =
+    let* r = prog in
+    if r = e_crash && n > 0 then go (n - 1) else Prog.return r
+  in
+  go 64
+
+let fork_r = retry_crash Syscall.fork
+
+let waitpid_r pid =
+  let rec go n =
+    let* p, status = Syscall.waitpid pid in
+    if p = e_crash && n > 0 then go (n - 1) else Prog.return (p, status)
+  in
+  go 64
+
+let exec_r path arg =
+  let rec go n =
+    let* r = Syscall.exec path arg in
+    if r = e_crash && n > 0 then go (n - 1) else Prog.return r
+  in
+  go 64
+
+(* ------------------------------------------------------------------ *)
+(* Helper binaries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The execl benchmark program: exec itself until the counter runs out
+   (this is exactly how Unixbench's execl test works). *)
+let execl_loop arg =
+  if arg <= 0 then Syscall.exit 0
+  else
+    let* r = exec_r "/bin/execl_loop" (arg - 1) in
+    Syscall.exit (if r < 0 then 9 else 8)
+
+(* Shell utilities: small read-compute-write programs standing in for
+   the sort/grep/wc invocations of the Unixbench shell scripts. *)
+let util_sortish _ =
+  let* fd = Syscall.open_ "/etc/data" Message.rdonly in
+  if fd < 0 then Syscall.exit 1
+  else
+    let* r = Syscall.read ~fd ~len:1024 in
+    let* _ = Syscall.close fd in
+    match r with
+    | Error _ -> Syscall.exit 2
+    | Ok data ->
+      let* () = Prog.compute (String.length data * 8) in
+      let* pid = Syscall.getpid in
+      let path = Printf.sprintf "/tmp/sort.%d" pid in
+      let* ofd = Syscall.open_ path Message.creat in
+      if ofd < 0 then Syscall.exit 3
+      else
+        let* _ = Syscall.write ~fd:ofd data in
+        let* _ = Syscall.close ofd in
+        let* _ = Syscall.unlink path in
+        Syscall.exit 0
+
+let util_grepish _ =
+  let* fd = Syscall.open_ "/etc/data" Message.rdonly in
+  if fd < 0 then Syscall.exit 1
+  else
+    let* r = Syscall.read ~fd ~len:1024 in
+    let* _ = Syscall.close fd in
+    match r with
+    | Error _ -> Syscall.exit 2
+    | Ok data ->
+      let* () = Prog.compute (String.length data * 4) in
+      Syscall.exit 0
+
+let util_wcish _ =
+  let* fd = Syscall.open_ "/etc/data" Message.rdonly in
+  if fd < 0 then Syscall.exit 1
+  else
+    let* r = Syscall.read ~fd ~len:1024 in
+    let* _ = Syscall.close fd in
+    match r with
+    | Error _ -> Syscall.exit 2
+    | Ok data ->
+      let* () = Prog.compute (String.length data * 2) in
+      Syscall.exit 0
+
+(* The mini shell: runs the three utilities sequentially. *)
+let shell _ =
+  let run_util path =
+    let* pid = fork_r in
+    if pid = 0 then
+      let* _ = exec_r path 0 in
+      Syscall.exit 9
+    else if pid < 0 then Prog.return (-1)
+    else
+      let* _, status = waitpid_r pid in
+      Prog.return status
+  in
+  let* s1 = run_util "/bin/sortish" in
+  let* s2 = run_util "/bin/grepish" in
+  let* s3 = run_util "/bin/wcish" in
+  Syscall.exit (if s1 = 0 && s2 = 0 && s3 = 0 then 0 else 1)
+
+let register_helpers reg =
+  Registry.register reg "/bin/execl_loop" execl_loop;
+  Registry.register reg "/bin/sortish" util_sortish;
+  Registry.register reg "/bin/grepish" util_grepish;
+  Registry.register reg "/bin/wcish" util_wcish;
+  Registry.register reg "/bin/sh" shell
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dhry_iters = 3000
+
+let dhry2reg =
+  (* Pure integer compute, no syscalls: register-pressure dhrystone. *)
+  let* () = Prog.repeat dhry_iters (Prog.compute 1000) in
+  Syscall.exit 0
+
+let whet_iters = 800
+
+let whetstone =
+  let* () = Prog.repeat whet_iters (Prog.compute 5000) in
+  Syscall.exit 0
+
+let execl_iters = 50
+
+let execl_driver =
+  let* pid = fork_r in
+  if pid = 0 then
+    let* _ = exec_r "/bin/execl_loop" execl_iters in
+    Syscall.exit 9
+  else
+    let* _, status = waitpid_r pid in
+    Syscall.exit status
+
+(* File workload shared shape: write a file in [chunk]-sized pieces,
+   read it back, unlink. *)
+let file_pass ~path ~chunk ~total =
+  let data = String.make chunk 'u' in
+  let* fd = Syscall.open_ path Message.creat in
+  if fd < 0 then Prog.return false
+  else
+    let rec wr n =
+      if n <= 0 then Prog.return true
+      else
+        let* w = Syscall.write ~fd data in
+        if w = chunk then wr (n - chunk) else Prog.return false
+    in
+    let* okw = wr total in
+    if not okw then Prog.return false
+    else
+      let* _ = Syscall.lseek ~fd ~off:0 Message.Seek_set in
+      let rec rd n =
+        if n <= 0 then Prog.return true
+        else
+          let* r = Syscall.read ~fd ~len:chunk in
+          match r with
+          | Ok s when String.length s = chunk -> rd (n - chunk)
+          | _ -> Prog.return false
+      in
+      let* okr = rd total in
+      let* _ = Syscall.close fd in
+      let* _ = Syscall.unlink path in
+      Prog.return (okw && okr)
+
+let fstime_iters = 15
+
+let fstime =
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* ok = file_pass ~path:"/tmp/ub_fstime" ~chunk:1024 ~total:8192 in
+      if ok then go (n - 1) else Syscall.exit 1
+  in
+  go fstime_iters
+
+let fsbuffer_iters = 15
+
+let fsbuffer =
+  (* Small buffers: many more VFS/MFS crossings per byte. *)
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* ok = file_pass ~path:"/tmp/ub_fsbuf" ~chunk:256 ~total:4096 in
+      if ok then go (n - 1) else Syscall.exit 1
+  in
+  go fsbuffer_iters
+
+let fsdisk_iters = 8
+
+let fsdisk =
+  let rec files k =
+    if k = 0 then Prog.return true
+    else
+      let* ok =
+        file_pass ~path:(Printf.sprintf "/tmp/ub_fsd%d" k) ~chunk:1024
+          ~total:4096
+      in
+      if ok then files (k - 1) else Prog.return false
+  in
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* ok = files 4 in
+      if ok then go (n - 1) else Syscall.exit 1
+  in
+  go fsdisk_iters
+
+let pipe_iters = 400
+
+let pipe_driver =
+  let* p = Syscall.pipe in
+  match p with
+  | Error _ -> Syscall.exit 1
+  | Ok (rfd, wfd) ->
+    let payload = String.make 512 'p' in
+    let rec go n =
+      if n = 0 then Syscall.exit 0
+      else
+        let* w = Syscall.write ~fd:wfd payload in
+        if w <> 512 then Syscall.exit 2
+        else
+          let* r = Syscall.read ~fd:rfd ~len:512 in
+          match r with
+          | Ok s when String.length s = 512 -> go (n - 1)
+          | _ -> Syscall.exit 3
+    in
+    go pipe_iters
+
+let context1_iters = 150
+
+let context1 =
+  (* Two processes bouncing a token through two pipes. *)
+  let* p1 = Syscall.pipe in
+  let* p2 = Syscall.pipe in
+  match p1, p2 with
+  | Ok (r1, w1), Ok (r2, w2) ->
+    let* pid = Syscall.fork in
+    if pid = 0 then
+      let rec child n =
+        if n = 0 then Syscall.exit 0
+        else
+          let* r = Syscall.read ~fd:r1 ~len:8 in
+          match r with
+          | Ok "token---" ->
+            let* _ = Syscall.write ~fd:w2 "token---" in
+            child (n - 1)
+          | _ -> Syscall.exit 1
+      in
+      child context1_iters
+    else
+      let rec parent n =
+        if n = 0 then
+          let* _, status = Syscall.waitpid pid in
+          Syscall.exit status
+        else
+          let* _ = Syscall.write ~fd:w1 "token---" in
+          let* r = Syscall.read ~fd:r2 ~len:8 in
+          match r with
+          | Ok "token---" -> parent (n - 1)
+          | _ -> Syscall.exit 2
+      in
+      parent context1_iters
+  | _ -> Syscall.exit 3
+
+let spawn_iters = 80
+
+let spawn_driver =
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* pid = fork_r in
+      if pid = 0 then Syscall.exit 0
+      else if pid < 0 then Syscall.exit 1
+      else
+        let* _, status = waitpid_r pid in
+        if status = 0 then go (n - 1) else Syscall.exit 2
+  in
+  go spawn_iters
+
+let syscall_iters = 800
+
+let syscall_driver =
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* pid = retry_crash Syscall.getpid in
+      if pid >= 0 then go (n - 1) else Syscall.exit 1
+  in
+  go syscall_iters
+
+let run_shells ~concurrent =
+  let rec spawn k acc =
+    if k = 0 then Prog.return acc
+    else
+      let* pid = fork_r in
+      if pid = 0 then
+        let* _ = exec_r "/bin/sh" 0 in
+        Syscall.exit 9
+      else if pid < 0 then Prog.return acc
+      else spawn (k - 1) (pid :: acc)
+  in
+  let* pids = spawn concurrent [] in
+  let rec reap ok = function
+    | [] -> Prog.return ok
+    | pid :: rest ->
+      let* _, status = waitpid_r pid in
+      reap (ok && status = 0) rest
+  in
+  reap (List.length pids = concurrent) pids
+
+let shell1_iters = 8
+
+let shell1 =
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* ok = run_shells ~concurrent:1 in
+      if ok then go (n - 1) else Syscall.exit 1
+  in
+  go shell1_iters
+
+let shell8_iters = 3
+
+let shell8 =
+  let rec go n =
+    if n = 0 then Syscall.exit 0
+    else
+      let* ok = run_shells ~concurrent:8 in
+      if ok then go (n - 1) else Syscall.exit 1
+  in
+  go shell8_iters
+
+let all =
+  [ { b_name = "dhry2reg"; b_iters = dhry_iters; b_driver = dhry2reg;
+      b_uses_pm = false };
+    { b_name = "whetstone-double"; b_iters = whet_iters; b_driver = whetstone;
+      b_uses_pm = false };
+    { b_name = "execl"; b_iters = execl_iters; b_driver = execl_driver;
+      b_uses_pm = true };
+    { b_name = "fstime"; b_iters = fstime_iters; b_driver = fstime;
+      b_uses_pm = false };
+    { b_name = "fsbuffer"; b_iters = fsbuffer_iters; b_driver = fsbuffer;
+      b_uses_pm = false };
+    { b_name = "fsdisk"; b_iters = fsdisk_iters; b_driver = fsdisk;
+      b_uses_pm = false };
+    { b_name = "pipe"; b_iters = pipe_iters; b_driver = pipe_driver;
+      b_uses_pm = false };
+    { b_name = "context1"; b_iters = context1_iters; b_driver = context1;
+      b_uses_pm = false };
+    { b_name = "spawn"; b_iters = spawn_iters; b_driver = spawn_driver;
+      b_uses_pm = true };
+    { b_name = "syscall"; b_iters = syscall_iters; b_driver = syscall_driver;
+      b_uses_pm = true };
+    { b_name = "shell1"; b_iters = shell1_iters; b_driver = shell1;
+      b_uses_pm = true };
+    { b_name = "shell8"; b_iters = shell8_iters; b_driver = shell8;
+      b_uses_pm = true } ]
+
+let find name = List.find_opt (fun b -> b.b_name = name) all
+
+let register reg =
+  register_helpers reg;
+  (* Each driver is also an executable, so composite workloads (e.g.
+     the Table VI memory run) can fork+exec whole benchmarks. *)
+  List.iter
+    (fun b -> Registry.register reg ("/bin/ub_" ^ b.b_name) (fun _ -> b.b_driver))
+    all

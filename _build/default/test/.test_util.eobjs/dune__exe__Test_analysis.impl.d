@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Endpoint Experiment List Message Policy Printf QCheck QCheck_alcotest Static_window Summary System

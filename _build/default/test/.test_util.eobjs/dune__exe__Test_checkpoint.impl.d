@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Bytes Gen List Memimage QCheck QCheck_alcotest String Undo_log Window

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Endpoint Errno Experiment Fmt Kernel List Memimage Message Option Policy Prog Srvlib Syscall System Testsuite Undo_log Unixbench Window

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Campaign Disruption Edfi Endpoint Fmt Kernel List Message Option Policy QCheck QCheck_alcotest System Unixbench

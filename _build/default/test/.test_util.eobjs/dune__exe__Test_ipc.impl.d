@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Endpoint Errno List Message Osiris_util QCheck QCheck_alcotest Seep Summary

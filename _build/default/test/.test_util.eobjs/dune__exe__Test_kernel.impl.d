@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Endpoint Errno Fmt Kernel Layout List Memimage Message Policy Prog Rs Srvlib String Syscall

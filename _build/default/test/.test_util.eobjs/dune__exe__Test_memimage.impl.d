@@ -1,0 +1,1 @@
+test/test_memimage.ml: Alcotest Bytes Hashtbl Int64 Layout List Memimage QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Char Errno Hashtbl Kernel List Message Osiris_util Policy Printf Prog QCheck QCheck_alcotest String Syscall System

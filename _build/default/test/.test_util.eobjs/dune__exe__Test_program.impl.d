@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Layout Memimage Printf Prog QCheck QCheck_alcotest String

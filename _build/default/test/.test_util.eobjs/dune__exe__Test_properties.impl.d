@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Campaign Edfi Errno Kernel Lazy List Message Mfs Policy Printf Prog QCheck QCheck_alcotest String Syscall System Testsuite

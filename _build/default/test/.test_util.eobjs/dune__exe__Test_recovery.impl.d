@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Endpoint Errno Fmt Kernel List Message Policy Prog String Syscall System Testsuite Vfs

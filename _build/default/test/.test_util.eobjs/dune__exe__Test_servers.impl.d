@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Experiment Fmt Kernel List Message Option Policy Prog Syscall System Testsuite Unixbench

@@ -1,0 +1,1 @@
+test/test_servers_unit.ml: Alcotest Ds Endpoint Errno Fmt Kernel Message Mfs Pm Policy Printf Prog String Syscall System Vfs Vm

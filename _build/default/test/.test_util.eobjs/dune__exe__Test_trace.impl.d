@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Endpoint Kernel List Message Policy Prog String Syscall System Testsuite Tracer

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Osiris_util QCheck QCheck_alcotest String

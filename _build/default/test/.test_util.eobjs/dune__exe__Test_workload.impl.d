@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Errno Fmt Kernel List Message Option Policy Printf Prog Registry Syscall System Testsuite Unixbench Workgen

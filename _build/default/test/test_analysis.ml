@@ -1,0 +1,222 @@
+(* Tests for the static recovery-window analysis, including agreement
+   checks between static predictions and dynamically measured coverage. *)
+
+let fc = Alcotest.(check (float 1e-9))
+
+let mk_handler segs = Summary.handler Message.Tag.T_fork segs
+
+(* ---------------- crafted handlers -------------------------------- *)
+
+let test_no_interaction_full_coverage () =
+  let h = mk_handler [ Summary.seg 10 ] in
+  let r = Static_window.handler_coverage Policy.enhanced h in
+  fc "full" 1.0 r.Static_window.hr_coverage;
+  Alcotest.(check bool) "window survives to reply" true
+    (r.Static_window.hr_closes_at = None)
+
+let test_sm_interaction_closes () =
+  let h =
+    mk_handler
+      [ Summary.seg ~out:(Endpoint.vm, Message.Tag.T_vm_fork) 6;
+        Summary.seg 4 ]
+  in
+  let r = Static_window.handler_coverage Policy.enhanced h in
+  fc "60% in window" 0.6 r.Static_window.hr_coverage;
+  Alcotest.(check bool) "closes at vm_fork" true
+    (r.Static_window.hr_closes_at = Some Message.Tag.T_vm_fork)
+
+let test_ro_interaction_policy_split () =
+  let h =
+    mk_handler
+      [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_diag) 3;
+        Summary.seg 7 ]
+  in
+  let enh = Static_window.handler_coverage Policy.enhanced h in
+  let pess = Static_window.handler_coverage Policy.pessimistic h in
+  fc "enhanced keeps window" 1.0 enh.Static_window.hr_coverage;
+  fc "pessimistic closes at diag" 0.3 pess.Static_window.hr_coverage
+
+let test_conservative_on_maybe () =
+  (* A conditional state-modifying interaction must still close the
+     window in the analysis. *)
+  let h =
+    mk_handler
+      [ Summary.seg ~out:(Endpoint.vm, Message.Tag.T_vm_fork) ~maybe:true 5;
+        Summary.seg 5 ]
+  in
+  let r = Static_window.handler_coverage Policy.enhanced h in
+  fc "conservatively closed" 0.5 r.Static_window.hr_coverage
+
+let test_stateless_policy_no_window () =
+  let h = mk_handler [ Summary.seg 10 ] in
+  let r = Static_window.handler_coverage Policy.stateless h in
+  fc "no window at all" 0.0 r.Static_window.hr_coverage
+
+let test_multithreaded_closes_on_any_call () =
+  let h =
+    mk_handler
+      [ Summary.seg ~out:(Endpoint.mfs, Message.Tag.T_mfs_lookup) 4;
+        Summary.seg 6 ]
+  in
+  let single = Static_window.handler_coverage Policy.enhanced h in
+  let multi =
+    Static_window.handler_coverage ~multithreaded:true Policy.enhanced h
+  in
+  fc "single-threaded keeps RO call open" 1.0 single.Static_window.hr_coverage;
+  fc "thread switch closes it" 0.4 multi.Static_window.hr_coverage
+
+let test_kernel_sink_not_a_thread_switch () =
+  (* Diagnostics to the kernel sink are asynchronous and do not park the
+     thread even in a multithreaded server. *)
+  let h =
+    mk_handler [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_diag) 5;
+                 Summary.seg 5 ]
+  in
+  let multi =
+    Static_window.handler_coverage ~multithreaded:true Policy.enhanced h
+  in
+  fc "diag keeps window" 1.0 multi.Static_window.hr_coverage
+
+(* ---------------- server-level ------------------------------------ *)
+
+let test_server_coverage_weighted () =
+  let s =
+    Summary.make Endpoint.ds
+      [ Summary.handler Message.Tag.T_ds_retrieve [ Summary.seg 30 ];
+        Summary.handler Message.Tag.T_ds_publish
+          [ Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_diag) 1;
+            Summary.seg 9 ] ]
+  in
+  let r = Static_window.server_coverage Policy.pessimistic s in
+  (* retrieve: 30 weight at 100%; publish: 10 weight at 10%. *)
+  fc "weighted" ((30. +. 1.) /. 40.) r.Static_window.sr_coverage
+
+let test_frequency_weighting () =
+  let s =
+    Summary.make Endpoint.ds
+      [ Summary.handler Message.Tag.T_ds_retrieve [ Summary.seg 10 ];
+        Summary.handler Message.Tag.T_ds_publish
+          [ Summary.seg ~out:(Endpoint.first_user, Message.Tag.T_ds_notify) 1;
+            Summary.seg 9 ] ]
+  in
+  let hot_retrieve =
+    Static_window.server_coverage
+      ~frequency:(fun tag -> if tag = Message.Tag.T_ds_retrieve then 9. else 1.)
+      Policy.enhanced s
+  in
+  let hot_publish =
+    Static_window.server_coverage
+      ~frequency:(fun tag -> if tag = Message.Tag.T_ds_publish then 9. else 1.)
+      Policy.enhanced s
+  in
+  Alcotest.(check bool) "frequency shifts coverage" true
+    (hot_retrieve.Static_window.sr_coverage
+     > hot_publish.Static_window.sr_coverage)
+
+(* ---------------- properties --------------------------------------- *)
+
+let arb_summary =
+  let seg_gen =
+    QCheck.Gen.(
+      let* w = int_range 1 20 in
+      let* kind = int_range 0 3 in
+      return
+        (match kind with
+         | 0 -> Summary.seg w
+         | 1 -> Summary.seg ~out:(Endpoint.kernel, Message.Tag.T_diag) w
+         | 2 -> Summary.seg ~out:(Endpoint.vm, Message.Tag.T_vm_fork) w
+         | _ -> Summary.seg ~out:(Endpoint.mfs, Message.Tag.T_mfs_lookup) w))
+  in
+  let handler_gen =
+    QCheck.Gen.(
+      let* segs = list_size (int_range 1 6) seg_gen in
+      return (Summary.handler Message.Tag.T_open segs))
+  in
+  QCheck.make
+    ~print:(fun h -> Printf.sprintf "<handler with %d segments>"
+               (List.length h.Summary.h_segments))
+    handler_gen
+
+let prop_enhanced_geq_pessimistic =
+  QCheck.Test.make
+    ~name:"enhanced coverage >= pessimistic coverage (any handler)"
+    ~count:300 arb_summary
+    (fun h ->
+       let e = Static_window.handler_coverage Policy.enhanced h in
+       let p = Static_window.handler_coverage Policy.pessimistic h in
+       e.Static_window.hr_coverage >= p.Static_window.hr_coverage -. 1e-9)
+
+let prop_coverage_bounded =
+  QCheck.Test.make ~name:"coverage within [0,1]" ~count:300 arb_summary
+    (fun h ->
+       let r = Static_window.handler_coverage Policy.enhanced h in
+       r.Static_window.hr_coverage >= 0. && r.Static_window.hr_coverage <= 1.)
+
+let prop_multithreaded_leq_single =
+  QCheck.Test.make
+    ~name:"multithreaded coverage <= single-threaded coverage" ~count:300
+    arb_summary
+    (fun h ->
+       let s = Static_window.handler_coverage Policy.enhanced h in
+       let m =
+         Static_window.handler_coverage ~multithreaded:true Policy.enhanced h
+       in
+       m.Static_window.hr_coverage <= s.Static_window.hr_coverage +. 1e-9)
+
+(* ---------------- static vs dynamic agreement --------------------- *)
+
+let test_static_matches_dynamic_ordering () =
+  (* The static analysis on the real summaries must reproduce the
+     policy-sensitivity facts measured dynamically: DS gains most from
+     the enhanced policy, VFS and VM are policy-invariant. *)
+  let s_pess = Static_window.report Policy.pessimistic System.summaries in
+  let s_enh = Static_window.report Policy.enhanced System.summaries in
+  let get reports ep =
+    (List.find (fun r -> r.Static_window.sr_ep = ep) reports)
+      .Static_window.sr_coverage
+  in
+  let gain ep = get s_enh ep -. get s_pess ep in
+  Alcotest.(check bool) "DS gains most" true
+    (List.for_all (fun ep -> gain Endpoint.ds >= gain ep) System.core_servers);
+  fc "VFS policy-invariant" 0. (gain Endpoint.vfs);
+  fc "VM policy-invariant" 0. (gain Endpoint.vm)
+
+let test_static_tracks_dynamic_ds_split () =
+  let pess_dyn, _ = Experiment.coverage_run Policy.pessimistic in
+  let enh_dyn, _ = Experiment.coverage_run Policy.enhanced in
+  let dyn rows name =
+    (List.find (fun r -> r.Experiment.cov_server = name) rows)
+      .Experiment.cov_fraction
+  in
+  (* Dynamic DS coverage must split across policies in the direction the
+     static analysis predicts. *)
+  Alcotest.(check bool) "ds: enhanced >> pessimistic (dynamic)" true
+    (dyn enh_dyn "ds" -. dyn pess_dyn "ds" > 0.3);
+  Alcotest.(check bool) "vfs: policy-invariant (dynamic)" true
+    (abs_float (dyn enh_dyn "vfs" -. dyn pess_dyn "vfs") < 0.02)
+
+let () =
+  Alcotest.run "osiris_analysis"
+    [ ( "handlers",
+        [ Alcotest.test_case "no interaction" `Quick test_no_interaction_full_coverage;
+          Alcotest.test_case "sm closes" `Quick test_sm_interaction_closes;
+          Alcotest.test_case "ro policy split" `Quick test_ro_interaction_policy_split;
+          Alcotest.test_case "conservative maybe" `Quick test_conservative_on_maybe;
+          Alcotest.test_case "stateless no window" `Quick
+            test_stateless_policy_no_window;
+          Alcotest.test_case "multithreaded closes" `Quick
+            test_multithreaded_closes_on_any_call;
+          Alcotest.test_case "kernel sink async" `Quick
+            test_kernel_sink_not_a_thread_switch ] );
+      ( "servers",
+        [ Alcotest.test_case "weighted" `Quick test_server_coverage_weighted;
+          Alcotest.test_case "frequency" `Quick test_frequency_weighting ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_enhanced_geq_pessimistic;
+          QCheck_alcotest.to_alcotest prop_coverage_bounded;
+          QCheck_alcotest.to_alcotest prop_multithreaded_leq_single ] );
+      ( "agreement",
+        [ Alcotest.test_case "static ordering" `Quick
+            test_static_matches_dynamic_ordering;
+          Alcotest.test_case "dynamic ds split" `Quick
+            test_static_tracks_dynamic_ds_split ] ) ]

@@ -1,0 +1,265 @@
+(* Tests for the undo log and the recovery-window state machine — the
+   heart of the RCB. The central property: rolling back restores the
+   image exactly to its state at the last checkpoint, no matter what was
+   written in between. *)
+
+let mk () = Memimage.create ~name:"test" ~size:4096
+
+(* ---------------- undo log ---------------------------------------- *)
+
+let test_rollback_restores () =
+  let img = mk () in
+  Memimage.set_word img 0 10;
+  Memimage.set_word img 8 20;
+  let undo = Undo_log.create () in
+  Memimage.set_write_hook img
+    (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+  Memimage.set_word img 0 99;
+  Memimage.set_word img 8 98;
+  Memimage.set_word img 0 97;  (* second write to the same offset *)
+  Undo_log.rollback undo img;
+  Alcotest.(check int) "offset 0 restored" 10 (Memimage.get_word img 0);
+  Alcotest.(check int) "offset 8 restored" 20 (Memimage.get_word img 8);
+  Alcotest.(check int) "log cleared" 0 (Undo_log.entries undo)
+
+let test_rollback_newest_first () =
+  (* Overlapping writes must unwind in reverse order. *)
+  let img = mk () in
+  Memimage.set_string img ~off:0 ~len:8 "orig";
+  let undo = Undo_log.create () in
+  Memimage.set_write_hook img
+    (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+  Memimage.set_string img ~off:0 ~len:8 "midval";
+  Memimage.set_string img ~off:0 ~len:8 "last";
+  Undo_log.rollback undo img;
+  Alcotest.(check string) "original restored" "orig"
+    (Memimage.get_string img ~off:0 ~len:8)
+
+let test_undo_accounting () =
+  let undo = Undo_log.create () in
+  Undo_log.record undo ~offset:0 ~old:(Bytes.create 8);
+  Undo_log.record undo ~offset:8 ~old:(Bytes.create 16);
+  Alcotest.(check int) "entries" 2 (Undo_log.entries undo);
+  (* 2 * 16-byte headers + 24 bytes payload *)
+  Alcotest.(check int) "bytes" 56 (Undo_log.bytes_used undo);
+  Alcotest.(check int) "peak" 56 (Undo_log.peak_bytes undo);
+  Undo_log.clear undo;
+  Alcotest.(check int) "cleared" 0 (Undo_log.bytes_used undo);
+  Alcotest.(check int) "peak survives clear" 56 (Undo_log.peak_bytes undo);
+  Alcotest.(check int) "lifetime" 2 (Undo_log.total_records undo)
+
+let prop_rollback_inverse =
+  (* For any sequence of (offset, value) word writes, rollback restores
+     the pre-write image exactly. *)
+  QCheck.Test.make ~name:"rollback is the inverse of any write sequence"
+    ~count:300
+    QCheck.(list (pair (int_range 0 63) int))
+    (fun writes ->
+       let img = mk () in
+       (* Seed a deterministic initial state. *)
+       for i = 0 to 63 do
+         Memimage.set_word img (i * 8) (i * 1000)
+       done;
+       let before = Memimage.snapshot img in
+       let undo = Undo_log.create () in
+       Memimage.set_write_hook img
+         (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+       List.iter (fun (slot, v) -> Memimage.set_word img (slot * 8) v) writes;
+       Undo_log.rollback undo img;
+       Memimage.snapshot img = before)
+
+let prop_rollback_string_writes =
+  QCheck.Test.make ~name:"rollback inverts string-field writes" ~count:200
+    QCheck.(list (pair (int_range 0 7) (string_of_size (Gen.int_range 0 16))))
+    (fun writes ->
+       let img = mk () in
+       let before = Memimage.snapshot img in
+       let undo = Undo_log.create () in
+       Memimage.set_write_hook img
+         (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+       List.iter
+         (fun (slot, s) ->
+            Memimage.set_string img ~off:(slot * 32) ~len:16
+              (String.map (fun c -> if c = '\000' then 'x' else c) s))
+         writes;
+       Undo_log.rollback undo img;
+       Memimage.snapshot img = before)
+
+(* ---------------- window ------------------------------------------ *)
+
+let test_window_when_open_gates_logging () =
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Memimage.set_word img 0 1;  (* window closed: skipped *)
+  Alcotest.(check int) "skipped while closed" 1 (Window.skipped_stores w);
+  Window.open_window w;
+  Memimage.set_word img 0 2;
+  Alcotest.(check int) "logged while open" 1 (Window.logged_stores w);
+  Window.close_window w;
+  Memimage.set_word img 0 3;
+  Alcotest.(check int) "skipped after close" 2 (Window.skipped_stores w)
+
+let test_window_always_logs () =
+  let img = mk () in
+  let w = Window.create Window.Always img in
+  Memimage.set_word img 0 1;
+  Alcotest.(check int) "logged while closed" 1 (Window.logged_stores w);
+  Alcotest.(check bool) "would_log" true (Window.would_log w)
+
+let test_window_never_logs () =
+  let img = mk () in
+  let w = Window.create Window.Never img in
+  Window.open_window w;
+  Memimage.set_word img 0 1;
+  Alcotest.(check int) "nothing logged" 0 (Window.logged_stores w);
+  Alcotest.(check bool) "would_log false" false (Window.would_log w)
+
+let test_window_rollback () =
+  let img = mk () in
+  Memimage.set_word img 0 7;
+  let w = Window.create Window.When_open img in
+  Window.open_window w;
+  Memimage.set_word img 0 8;
+  Memimage.set_word img 8 9;
+  Window.rollback w;
+  Alcotest.(check int) "rolled back" 7 (Memimage.get_word img 0);
+  Alcotest.(check int) "second write undone" 0 (Memimage.get_word img 8);
+  Alcotest.(check bool) "closed after rollback" false (Window.is_open w)
+
+let test_window_rollback_closed_refused () =
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Alcotest.check_raises "refused"
+    (Invalid_argument "Window.rollback: window closed — unsafe recovery refused")
+    (fun () -> Window.rollback w)
+
+let test_window_close_discards_log () =
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Window.open_window w;
+  Memimage.set_word img 0 1;
+  Alcotest.(check bool) "log nonempty" true (Undo_log.entries (Window.log w) > 0);
+  Window.close_window w;
+  Alcotest.(check int) "log discarded" 0 (Undo_log.entries (Window.log w))
+
+let test_window_hook_reinstalled_after_rollback () =
+  (* After rollback the instrumentation must be live again. *)
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Window.open_window w;
+  Memimage.set_word img 0 1;
+  Window.rollback w;
+  Window.open_window w;
+  Memimage.set_word img 0 2;
+  Alcotest.(check bool) "still logging" true (Window.logged_stores w >= 2);
+  Window.rollback w;
+  Alcotest.(check int) "second rollback works" 0 (Memimage.get_word img 0)
+
+let test_window_opens_counted () =
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Window.open_window w;
+  Window.close_window w;
+  Window.open_window w;
+  Alcotest.(check int) "opens" 2 (Window.opens w)
+
+let test_policy_close_counter () =
+  let img = mk () in
+  let w = Window.create Window.When_open img in
+  Window.open_window w;
+  Window.note_policy_close w;
+  Window.close_window w;
+  Alcotest.(check int) "policy closes" 1 (Window.closes_by_policy w)
+
+let prop_window_checkpoint_isolation =
+  (* Writes before the checkpoint survive rollback; writes after it are
+     undone — the exact semantics of rolling back to the top of the
+     request-processing loop. *)
+  QCheck.Test.make ~name:"rollback only undoes post-checkpoint writes"
+    ~count:200
+    QCheck.(pair (list (pair (int_range 0 31) int))
+              (list (pair (int_range 0 31) int)))
+    (fun (before_writes, after_writes) ->
+       let img = mk () in
+       let w = Window.create Window.When_open img in
+       (* Out-of-window mutation phase. *)
+       List.iter (fun (s, v) -> Memimage.set_word img (s * 8) v) before_writes;
+       let checkpointed = Memimage.snapshot img in
+       Window.open_window w;
+       List.iter (fun (s, v) -> Memimage.set_word img (s * 8) v) after_writes;
+       Window.rollback w;
+       Memimage.snapshot img = checkpointed)
+
+(* ---------------- dedup ------------------------------------------- *)
+
+let test_dedup_elides_repeat_stores () =
+  let img = mk () in
+  let w = Window.create ~dedup:true Window.When_open img in
+  Window.open_window w;
+  Memimage.set_word img 0 1;
+  Memimage.set_word img 0 2;
+  Memimage.set_word img 0 3;
+  Memimage.set_word img 8 4;
+  Alcotest.(check int) "two logged" 2 (Undo_log.entries (Window.log w));
+  Alcotest.(check int) "two deduped" 2 (Window.deduped_stores w)
+
+let test_dedup_resets_per_window () =
+  let img = mk () in
+  let w = Window.create ~dedup:true Window.When_open img in
+  Window.open_window w;
+  Memimage.set_word img 0 1;
+  Window.close_window w;
+  Window.open_window w;
+  Memimage.set_word img 0 2;
+  Alcotest.(check int) "logged again in new window" 1
+    (Undo_log.entries (Window.log w))
+
+let prop_dedup_rollback_equivalent =
+  (* The fundamental correctness property: with or without dedup,
+     rollback restores exactly the checkpointed image. *)
+  QCheck.Test.make ~name:"dedup preserves rollback semantics" ~count:300
+    QCheck.(list (pair (int_range 0 31) int))
+    (fun writes ->
+       let run dedup =
+         let img = mk () in
+         for i = 0 to 31 do
+           Memimage.set_word img (i * 8) (i * 7)
+         done;
+         let w = Window.create ~dedup Window.When_open img in
+         Window.open_window w;
+         List.iter (fun (s, v) -> Memimage.set_word img (s * 8) v) writes;
+         Window.rollback w;
+         Memimage.snapshot img
+       in
+       run true = run false)
+
+let () =
+  Alcotest.run "osiris_checkpoint"
+    [ ( "undo_log",
+        [ Alcotest.test_case "rollback restores" `Quick test_rollback_restores;
+          Alcotest.test_case "newest first" `Quick test_rollback_newest_first;
+          Alcotest.test_case "accounting" `Quick test_undo_accounting;
+          QCheck_alcotest.to_alcotest prop_rollback_inverse;
+          QCheck_alcotest.to_alcotest prop_rollback_string_writes ] );
+      ( "window",
+        [ Alcotest.test_case "when_open gates" `Quick
+            test_window_when_open_gates_logging;
+          Alcotest.test_case "always logs" `Quick test_window_always_logs;
+          Alcotest.test_case "never logs" `Quick test_window_never_logs;
+          Alcotest.test_case "rollback" `Quick test_window_rollback;
+          Alcotest.test_case "rollback closed refused" `Quick
+            test_window_rollback_closed_refused;
+          Alcotest.test_case "close discards log" `Quick
+            test_window_close_discards_log;
+          Alcotest.test_case "hook reinstalled" `Quick
+            test_window_hook_reinstalled_after_rollback;
+          Alcotest.test_case "opens counted" `Quick test_window_opens_counted;
+          Alcotest.test_case "policy close counter" `Quick
+            test_policy_close_counter;
+          QCheck_alcotest.to_alcotest prop_window_checkpoint_isolation ] );
+      ( "dedup",
+        [ Alcotest.test_case "elides repeats" `Quick
+            test_dedup_elides_repeat_stores;
+          Alcotest.test_case "per-window reset" `Quick
+            test_dedup_resets_per_window;
+          QCheck_alcotest.to_alcotest prop_dedup_rollback_equivalent ] ) ]

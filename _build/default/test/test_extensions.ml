@@ -1,0 +1,417 @@
+(* Tests for the extension points sketched in the paper's Section VII:
+   replay reconciliation, the requester-local SEEP class with
+   kill-requester reconciliation, and full-copy (snapshot) checkpoints
+   as the undo log's expensive alternative. *)
+
+open Prog.Syntax
+
+let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
+
+let with_fault ?(policy = Policy.enhanced) ?(persistent = false) pred action
+    root =
+  let sys = System.build policy in
+  let fired = ref false in
+  Kernel.set_fault_hook (System.kernel sys)
+    (Some
+       (fun site ->
+          if (persistent || not !fired) && pred site then begin
+            fired := true;
+            Some action
+          end
+          else None));
+  let halt = System.run sys ~root in
+  (sys, halt)
+
+let site_in ep tag (site : Kernel.site) =
+  site.Kernel.site_ep = ep && site.Kernel.site_handler = Some tag
+
+(* ---------------- replay reconciliation --------------------------- *)
+
+let test_replay_transparent_for_transient () =
+  (* With replay, even a *raw* call (no libc retry) never sees the
+     crash: the recovered clone re-executes the request and answers. *)
+  let root =
+    let* _ = Prog.call Endpoint.ds (Message.Ds_publish { key = "rp"; value = 5 }) in
+    let* r = Prog.call Endpoint.ds (Message.Ds_retrieve { key = "rp" }) in
+    match r with
+    | Message.R_ds_value { value = 5 } -> Syscall.exit 0
+    | Message.R_err Errno.E_CRASH -> Syscall.exit 7  (* not transparent *)
+    | _ -> Syscall.exit 8
+  in
+  let sys, halt =
+    with_fault ~policy:Policy.enhanced_replay
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "transient") root
+  in
+  Alcotest.check halt_t "transparent replay" (Kernel.H_completed 0) halt;
+  Alcotest.(check bool) "recovered" true (Kernel.restarts (System.kernel sys) >= 1)
+
+let test_replay_loops_on_persistent () =
+  (* The paper's argument against replay: a persistent fault re-fires on
+     every replay until the crash-storm cutoff. *)
+  let root =
+    let* _ = Prog.call Endpoint.ds (Message.Ds_retrieve { key = "poison" }) in
+    Syscall.exit 0
+  in
+  let sys, halt =
+    with_fault ~policy:Policy.enhanced_replay ~persistent:true
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "persistent") root
+  in
+  (match halt with
+   | Kernel.H_panic _ -> ()  (* crash storm detected *)
+   | other ->
+     Alcotest.fail ("expected crash-storm panic, got " ^ Kernel.halt_to_string other));
+  Alcotest.(check bool) "many recoveries before the cutoff" true
+    (Kernel.restarts (System.kernel sys) > 10)
+
+let test_error_virtualization_survives_same_fault () =
+  (* Control for the previous test: same persistent fault, standard
+     enhanced policy — the system survives. *)
+  let root =
+    let* v = Syscall.ds_retrieve ~key:"poison" in
+    match v with
+    | Error Errno.E_CRASH -> Syscall.exit 0
+    | _ -> Syscall.exit 9
+  in
+  let _, halt =
+    with_fault ~policy:Policy.enhanced ~persistent:true
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "persistent") root
+  in
+  Alcotest.check halt_t "survived via error virtualization"
+    (Kernel.H_completed 0) halt
+
+let test_replay_suite_clean () =
+  (* Without faults the replay policy behaves exactly like enhanced. *)
+  let sys = System.build Policy.enhanced_replay in
+  let halt = System.run sys ~root:Testsuite.driver in
+  let r = Testsuite.parse_results (System.log_lines sys) in
+  Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
+  Alcotest.(check int) "all pass" (List.length Testsuite.tests) r.Testsuite.passed
+
+(* ---------------- requester-local SEEPs --------------------------- *)
+
+let kill_requester_policy =
+  Policy.with_requester_local [ Message.Tag.T_ds_notify ]
+
+let test_kill_requester_reconciliation () =
+  (* The publisher's publish triggers a subscriber notification (a
+     requester-local SEEP under this policy, so the window stays open),
+     then DS crashes. Reconciliation kills the publisher through the
+     normal exit path; the parent observes status 137 and the system
+     stays consistent. *)
+  let root =
+    let* _ = Syscall.ds_subscribe ~prefix:"klr" in
+    let* pid = Syscall.fork in
+    if pid = 0 then
+      let* _ = Prog.call Endpoint.ds (Message.Ds_publish { key = "klr.x"; value = 1 }) in
+      (* Only reached if the reconciliation did not kill us. *)
+      Syscall.exit 3
+    else
+      let* _, status = Syscall.waitpid pid in
+      if status <> 137 then Syscall.exit status
+      else
+        (* The store must be healthy and rolled back. *)
+        let* v = Syscall.ds_retrieve ~key:"klr.x" in
+        (match v with
+         | Error Errno.ENOENT -> Syscall.exit 0
+         | Ok _ -> Syscall.exit 4
+         | Error _ -> Syscall.exit 5)
+  in
+  (* Crash at the reply, but only in a publish that actually notified a
+     subscriber (the second send of the handler): under the plain
+     enhanced policy that notify closes the window. *)
+  let saw_notify = ref false in
+  let pred (site : Kernel.site) =
+    if site_in Endpoint.ds Message.Tag.T_ds_publish site then begin
+      if site.Kernel.site_kind = Kernel.Op_send && site.Kernel.site_occ = 1 then
+        saw_notify := true;
+      site.Kernel.site_kind = Kernel.Op_reply && !saw_notify
+    end
+    else false
+  in
+  let sys, halt =
+    with_fault ~policy:kill_requester_policy pred
+      (Kernel.F_crash "post-notify crash") root
+  in
+  Alcotest.check halt_t "requester killed, system consistent"
+    (Kernel.H_completed 0) halt;
+  Alcotest.(check bool) "ds recovered" true
+    (Kernel.restarts (System.kernel sys) >= 1)
+
+let test_requester_local_keeps_window_open () =
+  (* Same crash under plain enhanced: the notify closed the window, so
+     the outcome is a controlled shutdown — demonstrating exactly what
+     the new SEEP class buys. *)
+  let root =
+    let* _ = Syscall.ds_subscribe ~prefix:"klr" in
+    let* _ = Syscall.ds_publish ~key:"klr.x" ~value:1 in
+    Syscall.exit 0
+  in
+  let saw_notify = ref false in
+  let pred (site : Kernel.site) =
+    if site_in Endpoint.ds Message.Tag.T_ds_publish site then begin
+      if site.Kernel.site_kind = Kernel.Op_send && site.Kernel.site_occ = 1 then
+        saw_notify := true;
+      site.Kernel.site_kind = Kernel.Op_reply && !saw_notify
+    end
+    else false
+  in
+  let _, halt =
+    with_fault ~policy:Policy.enhanced pred (Kernel.F_crash "post-notify crash")
+      root
+  in
+  match halt with
+  | Kernel.H_shutdown _ -> ()
+  | other ->
+    Alcotest.fail ("expected shutdown under plain enhanced, got "
+                   ^ Kernel.halt_to_string other)
+
+(* ---------------- live update -------------------------------------- *)
+
+let test_live_update_preserves_state () =
+  (* Swap DS's loop for a v2 that answers every retrieve with a marker
+     value; the update happens from inside the running system, like
+     MINIX's `service update`. *)
+  let sys = System.build Policy.enhanced in
+  let root =
+    let* r0 = Syscall.ds_publish ~key:"lv" ~value:7 in
+    if r0 < 0 then Syscall.exit 1
+    else
+      let* kr =
+        Prog.kcall
+          (Prog.K_live_update
+             { proc = Endpoint.ds;
+               loop =
+                 Srvlib.simple_loop (fun src msg ->
+                     match msg with
+                     | Message.Ds_retrieve _ ->
+                       (* v2 behaviour: constant-answer service *)
+                       Prog.reply src (Message.R_ds_value { value = 4242 })
+                     | Message.Ds_delete { key = "lv" } ->
+                       (* v2 keeps v1 state: prove it by answering the
+                          delete with the stored value via the old
+                          protocol trick used in the kernel tests. *)
+                       Srvlib.reply_err src Errno.ENOSYS
+                     | _ -> Srvlib.reply_err src Errno.ENOSYS) })
+      in
+      match kr with
+      | Prog.Kr_ok ->
+        let* v = Syscall.ds_retrieve ~key:"anything" in
+        (match v with
+         | Ok 4242 -> Syscall.exit 0
+         | _ -> Syscall.exit 2)
+      | _ -> Syscall.exit 3
+  in
+  let halt = System.run sys ~root in
+  Alcotest.check halt_t "updated behaviour visible" (Kernel.H_completed 0) halt
+
+let test_live_update_rejects_busy () =
+  (* VFS with a blocked pipe reader is not quiescent: the update must be
+     refused with EAGAIN and the system must keep working. *)
+  let root =
+    let* p = Syscall.pipe in
+    match p with
+    | Error _ -> Syscall.exit 1
+    | Ok (rfd, wfd) ->
+      let* pid = Syscall.fork in
+      if pid = 0 then
+        let* r = Syscall.read ~fd:rfd ~len:4 in
+        Syscall.exit (match r with Ok "data" -> 0 | _ -> 2)
+      else
+        let* () = Prog.compute 200_000 in
+        let* kr =
+          Prog.kcall
+            (Prog.K_live_update
+               { proc = Endpoint.vfs;
+                 loop = Srvlib.simple_loop (fun src _ ->
+                     Srvlib.reply_err src Errno.ENOSYS) })
+        in
+        (match kr with
+         | Prog.Kr_err Errno.EAGAIN ->
+           let* _ = Syscall.write ~fd:wfd "data" in
+           let* _, status = Syscall.waitpid pid in
+           Syscall.exit status
+         | _ -> Syscall.exit 3)
+  in
+  let sys = System.build Policy.enhanced in
+  let halt = System.run sys ~root in
+  ignore sys;
+  Alcotest.check halt_t "busy update refused, system intact"
+    (Kernel.H_completed 0) halt
+
+let test_live_update_unknown_target () =
+  let sys = System.build Policy.enhanced in
+  match
+    Kernel.live_update (System.kernel sys) 4242 (Prog.return ())
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "update of unknown endpoint accepted"
+
+(* ---------------- snapshot checkpointing -------------------------- *)
+
+let test_snapshot_window_rollback () =
+  let img = Memimage.create ~name:"snap" ~size:4096 in
+  Memimage.set_word img 0 11;
+  let w = Window.create Window.Snapshot img in
+  Window.open_window w;
+  Memimage.set_word img 0 22;
+  Memimage.set_word img 8 33;
+  Alcotest.(check int) "no undo entries in snapshot mode" 0
+    (Undo_log.entries (Window.log w));
+  Window.rollback w;
+  Alcotest.(check int) "restored" 11 (Memimage.get_word img 0);
+  Alcotest.(check int) "second write gone" 0 (Memimage.get_word img 8)
+
+let test_snapshot_policy_suite_passes () =
+  let sys = System.build Policy.enhanced_snapshot in
+  let halt = System.run sys ~root:Testsuite.driver in
+  let r = Testsuite.parse_results (System.log_lines sys) in
+  Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
+  Alcotest.(check int) "all pass" (List.length Testsuite.tests) r.Testsuite.passed
+
+let test_snapshot_recovers_crashes () =
+  let root =
+    let* _ = Syscall.ds_publish ~key:"snap" ~value:9 in
+    let* v = Syscall.ds_retrieve ~key:"snap" in
+    match v with Ok 9 -> Syscall.exit 0 | _ -> Syscall.exit 1
+  in
+  let sys, halt =
+    with_fault ~policy:Policy.enhanced_snapshot
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "transient") root
+  in
+  Alcotest.check halt_t "snapshot rollback recovered" (Kernel.H_completed 0) halt;
+  Alcotest.(check bool) "restart happened" true
+    (Kernel.restarts (System.kernel sys) >= 1)
+
+let test_snapshot_much_slower_than_undo_log () =
+  (* The quantitative reason the paper picks the undo log: full copies
+     at every request are ruinous at OS checkpoint frequencies. *)
+  let bench = Option.get (Unixbench.find "syscall") in
+  let undo = Experiment.run_bench Policy.enhanced bench in
+  let snap = Experiment.run_bench Policy.enhanced_snapshot bench in
+  Alcotest.(check bool) "snapshot at least 3x slower" true
+    (snap.Experiment.br_cycles > 3 * undo.Experiment.br_cycles)
+
+(* ---------------- dedup policy ------------------------------------- *)
+
+let test_dedup_policy_suite_and_savings () =
+  let sys = System.build Policy.enhanced_dedup in
+  let halt = System.run sys ~root:Testsuite.driver in
+  let r = Testsuite.parse_results (System.log_lines sys) in
+  Alcotest.(check bool) "suite clean" true
+    (halt = Kernel.H_completed 0 && r.Testsuite.failed = 0);
+  let total_deduped =
+    List.fold_left
+      (fun acc ep ->
+         acc + (Kernel.server_stats (System.kernel sys) ep).Kernel.ss_deduped_stores)
+      0 System.core_servers
+  in
+  Alcotest.(check bool) "log entries actually saved" true (total_deduped > 0)
+
+let test_dedup_recovery_correct () =
+  let root =
+    let* _ = Syscall.ds_publish ~key:"dd" ~value:31 in
+    let* v = Syscall.ds_retrieve ~key:"dd" in
+    match v with Ok 31 -> Syscall.exit 0 | _ -> Syscall.exit 1
+  in
+  let sys, halt =
+    with_fault ~policy:Policy.enhanced_dedup
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "transient") root
+  in
+  Alcotest.check halt_t "rollback with dedup correct" (Kernel.H_completed 0) halt;
+  Alcotest.(check bool) "recovered" true (Kernel.restarts (System.kernel sys) >= 1)
+
+(* ---------------- graduated (composable) policies ------------------ *)
+
+let coverage_of policy =
+  let rows, halt = Experiment.coverage_run policy in
+  Alcotest.(check bool) "run completed" true (halt = Kernel.H_completed 0);
+  Experiment.weighted_mean_coverage rows
+
+let test_graduated_zero_equals_pessimistic () =
+  let p, _ = Experiment.coverage_run Policy.pessimistic in
+  let g, _ = Experiment.coverage_run (Policy.enhanced_graduated 0) in
+  List.iter2
+    (fun a b ->
+       Alcotest.(check (float 1e-9))
+         (a.Experiment.cov_server ^ " identical")
+         a.Experiment.cov_fraction b.Experiment.cov_fraction)
+    p g
+
+let test_graduated_interpolates () =
+  let pess = coverage_of Policy.pessimistic in
+  let g1 = coverage_of (Policy.enhanced_graduated 1) in
+  let g4 = coverage_of (Policy.enhanced_graduated 4) in
+  let enh = coverage_of Policy.enhanced in
+  Alcotest.(check bool) "pess <= grad1" true (pess <= g1 +. 1e-9);
+  Alcotest.(check bool) "grad1 <= grad4" true (g1 <= g4 +. 1e-9);
+  Alcotest.(check bool) "grad4 <= enhanced" true (g4 <= enh +. 1e-9);
+  Alcotest.(check bool) "graduated is a real dial" true (pess < enh)
+
+let test_graduated_suite_passes () =
+  let sys = System.build (Policy.enhanced_graduated 2) in
+  let halt = System.run sys ~root:Testsuite.driver in
+  let r = Testsuite.parse_results (System.log_lines sys) in
+  Alcotest.(check bool) "completed cleanly" true
+    (halt = Kernel.H_completed 0 && r.Testsuite.failed = 0)
+
+let test_graduated_still_recovers () =
+  let root =
+    let* v = Syscall.ds_retrieve ~key:"g" in
+    match v with
+    | Error Errno.ENOENT -> Syscall.exit 0
+    | _ -> Syscall.exit 1
+  in
+  let sys, halt =
+    with_fault ~policy:(Policy.enhanced_graduated 2)
+      (site_in Endpoint.ds Message.Tag.T_ds_retrieve)
+      (Kernel.F_crash "transient") root
+  in
+  Alcotest.check halt_t "recovered (retry absorbed the crash)"
+    (Kernel.H_completed 0) halt;
+  Alcotest.(check bool) "restart happened" true
+    (Kernel.restarts (System.kernel sys) >= 1)
+
+let () =
+  Alcotest.run "osiris_extensions"
+    [ ( "replay",
+        [ Alcotest.test_case "transparent for transient" `Quick
+            test_replay_transparent_for_transient;
+          Alcotest.test_case "loops on persistent" `Quick
+            test_replay_loops_on_persistent;
+          Alcotest.test_case "error virtualization control" `Quick
+            test_error_virtualization_survives_same_fault;
+          Alcotest.test_case "clean suite" `Quick test_replay_suite_clean ] );
+      ( "kill-requester",
+        [ Alcotest.test_case "reconciliation" `Quick
+            test_kill_requester_reconciliation;
+          Alcotest.test_case "enhanced shuts down instead" `Quick
+            test_requester_local_keeps_window_open ] );
+      ( "dedup",
+        [ Alcotest.test_case "suite + savings" `Quick
+            test_dedup_policy_suite_and_savings;
+          Alcotest.test_case "recovery correct" `Quick
+            test_dedup_recovery_correct ] );
+      ( "live-update",
+        [ Alcotest.test_case "preserves state, swaps behaviour" `Quick
+            test_live_update_preserves_state;
+          Alcotest.test_case "rejects busy component" `Quick
+            test_live_update_rejects_busy;
+          Alcotest.test_case "unknown target" `Quick
+            test_live_update_unknown_target ] );
+      ( "graduated",
+        [ Alcotest.test_case "grad0 = pessimistic" `Quick
+            test_graduated_zero_equals_pessimistic;
+          Alcotest.test_case "interpolates" `Quick test_graduated_interpolates;
+          Alcotest.test_case "suite passes" `Quick test_graduated_suite_passes;
+          Alcotest.test_case "still recovers" `Quick test_graduated_still_recovers ] );
+      ( "snapshot",
+        [ Alcotest.test_case "window rollback" `Quick test_snapshot_window_rollback;
+          Alcotest.test_case "suite passes" `Quick test_snapshot_policy_suite_passes;
+          Alcotest.test_case "recovers crashes" `Quick test_snapshot_recovers_crashes;
+          Alcotest.test_case "slower than undo log" `Quick
+            test_snapshot_much_slower_than_undo_log ] ) ]

@@ -1,0 +1,208 @@
+(* Tests for the fault-injection machinery: site profiling, fault-model
+   action selection, and campaign classification. *)
+
+let site_t =
+  Alcotest.testable
+    (Fmt.of_to_string Kernel.site_to_string)
+    (fun a b -> Kernel.compare_site a b = 0)
+
+(* ---------------- profiling --------------------------------------- *)
+
+let test_profile_nonempty_and_core_only () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  Alcotest.(check bool) "hundreds of sites" true (List.length sites > 200);
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) "core server site" true
+         (List.mem s.Kernel.site_ep System.core_servers))
+    sites
+
+let test_profile_deterministic () =
+  let a = Campaign.profile_sites Policy.enhanced in
+  let b = Campaign.profile_sites Policy.enhanced in
+  Alcotest.(check (list site_t)) "same sites, same order" a b
+
+let test_profile_occurrence_capped () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) "occ <= 16" true (s.Kernel.site_occ <= 16))
+    sites
+
+let test_profile_distinct () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let sorted = List.sort_uniq Kernel.compare_site sites in
+  Alcotest.(check int) "no duplicates" (List.length sites) (List.length sorted)
+
+let test_profile_covers_all_servers () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  List.iter
+    (fun ep ->
+       Alcotest.(check bool)
+         (Endpoint.server_name ep ^ " has sites") true
+         (List.exists (fun s -> s.Kernel.site_ep = ep) sites))
+    System.core_servers
+
+(* ---------------- selection --------------------------------------- *)
+
+let test_select_sample_size () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let sel = Campaign.select_sites ~sample:25 sites in
+  Alcotest.(check int) "sample size" 25 (List.length sel)
+
+let test_select_zero_takes_all () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let sel = Campaign.select_sites ~sample:0 sites in
+  Alcotest.(check int) "all sites" (List.length sites) (List.length sel)
+
+let test_select_deterministic () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let a = Campaign.select_sites ~seed:3 ~sample:10 sites in
+  let b = Campaign.select_sites ~seed:3 ~sample:10 sites in
+  Alcotest.(check (list site_t)) "same selection" a b
+
+(* ---------------- fault models ------------------------------------ *)
+
+let test_fail_stop_always_crashes () =
+  let site =
+    { Kernel.site_ep = Endpoint.pm; site_handler = Some Message.Tag.T_fork;
+      site_kind = Kernel.Op_store; site_occ = 3 }
+  in
+  match Edfi.action_for Edfi.Fail_stop site with
+  | Kernel.F_crash _ -> ()
+  | _ -> Alcotest.fail "fail-stop model must crash"
+
+let arb_site =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun ep kind occ ->
+           let kinds =
+             [| Kernel.Op_compute; Kernel.Op_load; Kernel.Op_store;
+                Kernel.Op_send; Kernel.Op_call; Kernel.Op_reply;
+                Kernel.Op_receive; Kernel.Op_kcall |]
+           in
+           { Kernel.site_ep = ep;
+             site_handler = Some Message.Tag.T_fork;
+             site_kind = kinds.(kind mod Array.length kinds);
+             site_occ = occ mod 17 })
+        (int_range 1 5) (int_range 0 7) small_nat)
+  in
+  QCheck.make ~print:Kernel.site_to_string gen
+
+let prop_edfi_applicable =
+  (* Store faults only on stores; message corruption only on
+     send/call/reply. *)
+  QCheck.Test.make ~name:"full-EDFI actions applicable to op kind" ~count:300
+    arb_site
+    (fun site ->
+       match Edfi.action_for Edfi.Full_edfi site with
+       | Kernel.F_corrupt_store | Kernel.F_drop_store ->
+         site.Kernel.site_kind = Kernel.Op_store
+       | Kernel.F_corrupt_msg ->
+         List.mem site.Kernel.site_kind
+           [ Kernel.Op_send; Kernel.Op_call; Kernel.Op_reply ]
+       | Kernel.F_crash _ | Kernel.F_hang | Kernel.F_skip_handler
+       | Kernel.F_benign -> true)
+
+let prop_edfi_deterministic =
+  QCheck.Test.make ~name:"full-EDFI action deterministic per site" ~count:200
+    arb_site
+    (fun site ->
+       Edfi.action_for Edfi.Full_edfi site = Edfi.action_for Edfi.Full_edfi site)
+
+(* ---------------- outcomes ---------------------------------------- *)
+
+let test_outcome_names () =
+  Alcotest.(check string) "pass" "pass" (Campaign.outcome_name Campaign.Pass);
+  Alcotest.(check string) "crash" "crash" (Campaign.outcome_name Campaign.Crash)
+
+let test_run_one_benign_site_passes () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let site = List.hd sites in
+  let outcome = Campaign.run_one Policy.enhanced site Kernel.F_benign in
+  Alcotest.(check string) "benign fault passes" "pass"
+    (Campaign.outcome_name outcome)
+
+let test_survivability_small () =
+  let rows =
+    Campaign.survivability ~sample:8 Edfi.Fail_stop
+      [ Policy.stateless; Policy.enhanced ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check int) "eight runs" 8 r.Campaign.runs;
+       Alcotest.(check int) "buckets sum" 8
+         (r.Campaign.pass + r.Campaign.fail + r.Campaign.shutdown
+          + r.Campaign.crash))
+    rows;
+  let enhanced = List.nth rows 1 in
+  Alcotest.(check int) "enhanced never crashes under fail-stop" 0
+    enhanced.Campaign.crash
+
+(* ---------------- disruption -------------------------------------- *)
+
+let test_disruption_no_faults_reference () =
+  let bench = Option.get (Unixbench.find "syscall") in
+  let r = Disruption.run ~bench ~interval:0 () in
+  Alcotest.(check bool) "completes" true r.Disruption.dis_completed;
+  Alcotest.(check int) "no restarts" 0 r.Disruption.dis_restarts
+
+let test_disruption_injects_and_survives () =
+  let bench = Option.get (Unixbench.find "spawn") in
+  let r = Disruption.run ~bench ~interval:150_000 () in
+  Alcotest.(check bool) "completes under fault load" true
+    r.Disruption.dis_completed;
+  Alcotest.(check bool) "recoveries happened" true (r.Disruption.dis_restarts > 0)
+
+let test_disruption_pm_independent_bench_flat () =
+  let bench = Option.get (Unixbench.find "dhry2reg") in
+  let quiet = Disruption.run ~bench ~interval:0 () in
+  let stormy = Disruption.run ~bench ~interval:150_000 () in
+  (* dhry2reg only touches PM at its final exit; the one recovery on
+     that path bounds the deviation to a few percent, versus the 2-5x
+     degradation of PM-bound workloads. *)
+  Alcotest.(check bool) "flat" true
+    (abs_float (stormy.Disruption.dis_score -. quiet.Disruption.dis_score)
+     /. quiet.Disruption.dis_score
+     < 0.08)
+
+let test_disruption_pm_dependent_bench_degrades () =
+  let bench = Option.get (Unixbench.find "spawn") in
+  let quiet = Disruption.run ~bench ~interval:0 () in
+  let stormy = Disruption.run ~bench ~interval:100_000 () in
+  Alcotest.(check bool) "slower under faults" true
+    (stormy.Disruption.dis_score < quiet.Disruption.dis_score)
+
+let () =
+  Alcotest.run "osiris_fault"
+    [ ( "profiling",
+        [ Alcotest.test_case "nonempty, core-only" `Quick
+            test_profile_nonempty_and_core_only;
+          Alcotest.test_case "deterministic" `Quick test_profile_deterministic;
+          Alcotest.test_case "occurrence capped" `Quick
+            test_profile_occurrence_capped;
+          Alcotest.test_case "distinct" `Quick test_profile_distinct;
+          Alcotest.test_case "covers all servers" `Quick
+            test_profile_covers_all_servers ] );
+      ( "selection",
+        [ Alcotest.test_case "sample size" `Quick test_select_sample_size;
+          Alcotest.test_case "zero takes all" `Quick test_select_zero_takes_all;
+          Alcotest.test_case "deterministic" `Quick test_select_deterministic ] );
+      ( "models",
+        [ Alcotest.test_case "fail-stop crashes" `Quick test_fail_stop_always_crashes;
+          QCheck_alcotest.to_alcotest prop_edfi_applicable;
+          QCheck_alcotest.to_alcotest prop_edfi_deterministic ] );
+      ( "campaign",
+        [ Alcotest.test_case "outcome names" `Quick test_outcome_names;
+          Alcotest.test_case "benign passes" `Quick test_run_one_benign_site_passes;
+          Alcotest.test_case "small survivability" `Slow test_survivability_small ] );
+      ( "disruption",
+        [ Alcotest.test_case "reference run" `Quick test_disruption_no_faults_reference;
+          Alcotest.test_case "survives injection" `Quick
+            test_disruption_injects_and_survives;
+          Alcotest.test_case "pm-independent flat" `Quick
+            test_disruption_pm_independent_bench_flat;
+          Alcotest.test_case "pm-dependent degrades" `Quick
+            test_disruption_pm_dependent_bench_degrades ] ) ]

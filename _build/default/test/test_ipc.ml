@@ -1,0 +1,183 @@
+(* Tests for the IPC vocabulary: errno codes, message tagging, SEEP
+   classification, and the corruption operator used by the full-EDFI
+   fault model. *)
+
+module Rng = Osiris_util.Rng
+
+(* A generator covering a representative slice of the message space. *)
+let msg_gen =
+  QCheck.Gen.(
+    oneof
+      [ return Message.Fork;
+        map (fun status -> Message.Exit { status }) small_int;
+        map (fun pid -> Message.Waitpid { pid }) small_int;
+        map2 (fun path arg -> Message.Exec { path; arg }) (string_size (return 6)) small_int;
+        return Message.Getpid;
+        map2 (fun pid signal -> Message.Kill { pid; signal }) small_int small_int;
+        map2 (fun parent child -> Message.Vm_fork { parent; child }) small_int small_int;
+        map (fun path -> Message.Open { path; flags = Message.rdonly }) (string_size (return 8));
+        map (fun fd -> Message.Close { fd }) small_int;
+        map2 (fun fd len -> Message.Read { fd; len }) small_int small_int;
+        map2 (fun fd data -> Message.Write { fd; data }) small_int (string_size (return 5));
+        return Message.Pipe;
+        map (fun path -> Message.Mfs_lookup { path }) (string_size (return 10));
+        map2 (fun ino off -> Message.Mfs_read { ino; off; len = 16 }) small_int small_int;
+        map (fun block -> Message.Bdev_read { block }) small_int;
+        map (fun delta -> Message.Brk { delta }) small_int;
+        map2 (fun key value -> Message.Ds_publish { key; value }) (string_size (return 4)) small_int;
+        map (fun key -> Message.Ds_retrieve { key }) (string_size (return 4));
+        return Message.Rs_status;
+        return Message.Ping;
+        map (fun line -> Message.Diag { line }) (string_size (return 6));
+        map (fun v -> Message.R_ok v) small_int;
+        return (Message.R_err Errno.ENOENT);
+        map (fun child -> Message.R_fork { child }) small_int;
+        map (fun data -> Message.R_read { data }) (string_size (return 7)) ])
+
+let arb_msg = QCheck.make ~print:Message.show msg_gen
+
+(* ---------------- errno ------------------------------------------- *)
+
+let test_errno_codes_distinct () =
+  let all =
+    Errno.[ E_OK; EPERM; ENOENT; ESRCH; EINTR; EIO; EBADF; ECHILD; EAGAIN;
+            ENOMEM; EACCES; EEXIST; ENOTDIR; EISDIR; EINVAL; ENFILE; EMFILE;
+            ENOSPC; EPIPE; ENOSYS; ENOTEMPTY; ENAMETOOLONG; E_CRASH ]
+  in
+  let codes = List.map Errno.to_code all in
+  let distinct = List.sort_uniq compare codes in
+  Alcotest.(check int) "codes distinct" (List.length all) (List.length distinct)
+
+let test_errno_sign_convention () =
+  Alcotest.(check int) "ok is zero" 0 (Errno.to_code Errno.E_OK);
+  List.iter
+    (fun e ->
+       Alcotest.(check bool)
+         (Errno.to_string e ^ " negative") true (Errno.to_code e < 0))
+    Errno.[ EPERM; ENOENT; E_CRASH ]
+
+let test_e_crash_code () =
+  Alcotest.(check int) "E_CRASH = -999" (-999) (Errno.to_code Errno.E_CRASH)
+
+(* ---------------- tags -------------------------------------------- *)
+
+let test_tag_of_requests () =
+  Alcotest.(check bool) "fork" true (Message.Tag.of_msg Message.Fork = Message.Tag.T_fork);
+  Alcotest.(check bool) "pipe" true (Message.Tag.of_msg Message.Pipe = Message.Tag.T_pipe);
+  Alcotest.(check bool) "diag" true
+    (Message.Tag.of_msg (Message.Diag { line = "x" }) = Message.Tag.T_diag)
+
+let test_tag_of_replies () =
+  List.iter
+    (fun m ->
+       Alcotest.(check bool) "is reply tag" true
+         (Message.Tag.of_msg m = Message.Tag.T_reply);
+       Alcotest.(check bool) "is_reply" true (Message.is_reply m))
+    [ Message.R_ok 0; Message.R_err Errno.EIO; Message.R_fork { child = 1 };
+      Message.R_read { data = "" }; Message.R_pong ]
+
+let test_tag_to_string () =
+  Alcotest.(check string) "fork" "fork" (Message.Tag.to_string Message.Tag.T_fork);
+  Alcotest.(check string) "mfs_read" "mfs_read"
+    (Message.Tag.to_string Message.Tag.T_mfs_read)
+
+let prop_corrupt_preserves_tag =
+  QCheck.Test.make ~name:"corruption preserves the message tag" ~count:500
+    (QCheck.pair QCheck.small_int arb_msg)
+    (fun (seed, m) ->
+       let rng = Rng.create seed in
+       Message.Tag.of_msg (Message.corrupt rng m) = Message.Tag.of_msg m)
+
+let prop_corrupt_deterministic =
+  QCheck.Test.make ~name:"corruption is deterministic per seed" ~count:200
+    (QCheck.pair QCheck.small_int arb_msg)
+    (fun (seed, m) ->
+       Message.equal
+         (Message.corrupt (Rng.create seed) m)
+         (Message.corrupt (Rng.create seed) m))
+
+(* ---------------- seep -------------------------------------------- *)
+
+let test_seep_replies () =
+  Alcotest.(check bool) "reply class" true
+    (Seep.classify ~dst:Endpoint.pm Message.Tag.T_reply = Seep.Reply)
+
+let test_seep_read_only () =
+  List.iter
+    (fun tag ->
+       Alcotest.(check bool)
+         (Message.Tag.to_string tag ^ " read-only") true
+         (Seep.classify ~dst:Endpoint.pm tag = Seep.Read_only))
+    Message.Tag.[ T_getpid; T_mfs_lookup; T_mfs_read; T_ds_retrieve; T_diag ]
+
+let test_seep_state_modifying () =
+  List.iter
+    (fun tag ->
+       Alcotest.(check bool)
+         (Message.Tag.to_string tag ^ " state-modifying") true
+         (Seep.classify ~dst:Endpoint.pm tag = Seep.State_modifying))
+    Message.Tag.[ T_fork; T_mfs_write; T_ds_publish; T_ds_notify; T_kcall;
+                  T_bdev_read (* device reads mutate driver state *) ]
+
+let test_seep_list_consistent () =
+  List.iter
+    (fun tag ->
+       Alcotest.(check bool) "listed tags classify read-only" true
+         (Seep.classify ~dst:Endpoint.kernel tag = Seep.Read_only))
+    Seep.read_only_tags
+
+(* ---------------- endpoints --------------------------------------- *)
+
+let test_endpoints_distinct () =
+  let eps = Endpoint.[ kernel; pm; vfs; vm; ds; rs; mfs; bdev ] in
+  Alcotest.(check int) "distinct" (List.length eps)
+    (List.length (List.sort_uniq compare eps))
+
+let test_endpoint_names () =
+  Alcotest.(check string) "pm" "pm" (Endpoint.server_name Endpoint.pm);
+  Alcotest.(check string) "user" "user123" (Endpoint.server_name 123)
+
+let test_is_server () =
+  Alcotest.(check bool) "pm is server" true (Endpoint.is_server Endpoint.pm);
+  Alcotest.(check bool) "kernel is not" false (Endpoint.is_server Endpoint.kernel);
+  Alcotest.(check bool) "user is not" false (Endpoint.is_server Endpoint.first_user)
+
+(* ---------------- summaries --------------------------------------- *)
+
+let test_summary_builders () =
+  let h =
+    Summary.handler Message.Tag.T_fork
+      [ Summary.seg ~out:(Endpoint.vm, Message.Tag.T_vm_fork) 10;
+        Summary.seg 5 ]
+  in
+  Alcotest.(check bool) "replies default" true h.Summary.h_replies;
+  Alcotest.(check int) "segments" 2 (List.length h.Summary.h_segments);
+  match (List.hd h.Summary.h_segments).Summary.seg_then with
+  | Some out ->
+    Alcotest.(check bool) "outbound dst" true (out.Summary.out_dst = Endpoint.vm);
+    Alcotest.(check bool) "not maybe" false out.Summary.out_maybe
+  | None -> Alcotest.fail "expected outbound"
+
+let () =
+  Alcotest.run "osiris_ipc"
+    [ ( "errno",
+        [ Alcotest.test_case "codes distinct" `Quick test_errno_codes_distinct;
+          Alcotest.test_case "sign convention" `Quick test_errno_sign_convention;
+          Alcotest.test_case "E_CRASH" `Quick test_e_crash_code ] );
+      ( "tags",
+        [ Alcotest.test_case "requests" `Quick test_tag_of_requests;
+          Alcotest.test_case "replies" `Quick test_tag_of_replies;
+          Alcotest.test_case "to_string" `Quick test_tag_to_string;
+          QCheck_alcotest.to_alcotest prop_corrupt_preserves_tag;
+          QCheck_alcotest.to_alcotest prop_corrupt_deterministic ] );
+      ( "seep",
+        [ Alcotest.test_case "replies" `Quick test_seep_replies;
+          Alcotest.test_case "read-only" `Quick test_seep_read_only;
+          Alcotest.test_case "state-modifying" `Quick test_seep_state_modifying;
+          Alcotest.test_case "list consistent" `Quick test_seep_list_consistent ] );
+      ( "endpoints",
+        [ Alcotest.test_case "distinct" `Quick test_endpoints_distinct;
+          Alcotest.test_case "names" `Quick test_endpoint_names;
+          Alcotest.test_case "is_server" `Quick test_is_server ] );
+      ( "summary",
+        [ Alcotest.test_case "builders" `Quick test_summary_builders ] ) ]

@@ -1,0 +1,197 @@
+(* Tests for osiris_util: deterministic RNG, the scheduler heap, and the
+   statistics helpers. *)
+
+module Rng = Osiris_util.Rng
+module Vheap = Osiris_util.Vheap
+module Stats = Osiris_util.Stats
+module Tablefmt = Osiris_util.Tablefmt
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- rng --------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let a2 = Rng.bits64 a and b2 = Rng.bits64 b in
+  Alcotest.(check bool) "diverged after extra draw" true (a2 <> b2 || a2 = b2)
+
+let test_rng_split () =
+  let parent = Rng.create 5 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true
+    (Rng.bits64 child1 <> Rng.bits64 child2)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int is within [0, n)" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, n) ->
+       let rng = Rng.create seed in
+       let v = Rng.int rng n in
+       v >= 0 && v < n)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float is within [0, x)" ~count:200
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, x) ->
+       let rng = Rng.create seed in
+       let v = Rng.float rng x in
+       v >= 0. && v < x)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle permutes" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+       let a = Array.of_list xs in
+       Rng.shuffle (Rng.create seed) a;
+       List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ---------------- vheap ------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Vheap.create () in
+  Alcotest.(check bool) "empty" true (Vheap.is_empty h);
+  Vheap.push h ~key:5 ~seq:1 "five";
+  Vheap.push h ~key:1 ~seq:2 "one";
+  Vheap.push h ~key:3 ~seq:3 "three";
+  Alcotest.(check int) "length" 3 (Vheap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Vheap.peek_key h);
+  (match Vheap.pop h with
+   | Some (1, _, "one") -> ()
+   | _ -> Alcotest.fail "expected (1, one)");
+  (match Vheap.pop h with
+   | Some (3, _, "three") -> ()
+   | _ -> Alcotest.fail "expected (3, three)");
+  (match Vheap.pop h with
+   | Some (5, _, "five") -> ()
+   | _ -> Alcotest.fail "expected (5, five)");
+  Alcotest.(check bool) "drained" true (Vheap.pop h = None)
+
+let test_heap_fifo_ties () =
+  (* Equal keys pop in insertion (seq) order. *)
+  let h = Vheap.create () in
+  for i = 1 to 10 do
+    Vheap.push h ~key:7 ~seq:i i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Vheap.pop h with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo among ties" (List.init 10 (fun i -> i + 1))
+    (List.rev !order)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"Vheap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun keys ->
+       let h = Vheap.create () in
+       List.iteri (fun i k -> Vheap.push h ~key:k ~seq:i i) keys;
+       let rec drain last =
+         match Vheap.pop h with
+         | None -> true
+         | Some (k, _, _) -> k >= last && drain k
+       in
+       drain min_int)
+
+let test_heap_clear () =
+  let h = Vheap.create () in
+  Vheap.push h ~key:1 ~seq:1 ();
+  Vheap.clear h;
+  Alcotest.(check bool) "cleared" true (Vheap.is_empty h)
+
+(* ---------------- stats ------------------------------------------- *)
+
+let test_stats_mean () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "mean empty" 0. (Stats.mean [])
+
+let test_stats_geomean () =
+  check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  check_float "geomean single" 5. (Stats.geomean [ 5. ])
+
+let test_stats_median () =
+  check_float "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  check_float "even" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_stats_stddev () =
+  check_float "constant" 0. (Stats.stddev [ 4.; 4.; 4. ]);
+  check_float "two points" 1. (Stats.stddev [ 1.; 3. ])
+
+let test_stats_weighted_mean () =
+  check_float "weighted" 3. (Stats.weighted_mean [ (1., 1.); (4., 2.) ]);
+  check_float "zero weight" 0. (Stats.weighted_mean [ (10., 0.) ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile 50. xs);
+  check_float "p100" 100. (Stats.percentile 100. xs)
+
+let test_stats_ratio () =
+  check_float "ratio" 2. (Stats.ratio 4. 2.);
+  check_float "div zero" 0. (Stats.ratio 4. 0.)
+
+(* ---------------- tablefmt ---------------------------------------- *)
+
+let test_tablefmt_alignment () =
+  let out =
+    Tablefmt.render ~header:[ "a"; "bb" ]
+      ~align:[ Tablefmt.Left; Tablefmt.Right ]
+      [ [ "xx"; "1" ]; [ "y"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains rows" true
+    (String.length out > 0
+     && String.split_on_char '\n' out |> List.length >= 4)
+
+let test_tablefmt_pct () =
+  Alcotest.(check string) "pct" "50.0%" (Tablefmt.pct 0.5)
+
+let () =
+  Alcotest.run "osiris_util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          QCheck_alcotest.to_alcotest prop_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_float_in_bounds;
+          QCheck_alcotest.to_alcotest prop_shuffle_is_permutation ] );
+      ( "vheap",
+        [ Alcotest.test_case "basic ordering" `Quick test_heap_basic;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio ] );
+      ( "tablefmt",
+        [ Alcotest.test_case "alignment" `Quick test_tablefmt_alignment;
+          Alcotest.test_case "pct" `Quick test_tablefmt_pct ] ) ]
