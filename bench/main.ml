@@ -542,9 +542,12 @@ let micro () =
   let image = Memimage.create ~name:"bench" ~size:(1 lsl 20) in
   let undo = Undo_log.create () in
   let t_append =
+    let i = ref 0 in
     Test.make ~name:"undo_log.record"
       (Staged.stage (fun () ->
-           Undo_log.record undo ~offset:128 ~old:(Bytes.create 8);
+           incr i;
+           ignore
+             (Undo_log.record undo ~image ~offset:(8 * (!i land 0xFFF)) ~len:8);
            if Undo_log.entries undo > 4096 then Undo_log.clear undo))
   in
   let window = Window.create Window.When_open image in
@@ -652,7 +655,8 @@ let micro () =
 let all_experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("table5", table5); ("table6", table6);
-    ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro) ]
+    ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro);
+    ("checkpoint", Checkpoint_bench.run) ]
 
 let () =
   let requested =

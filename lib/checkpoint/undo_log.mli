@@ -1,42 +1,75 @@
 (** Per-component undo log — the paper's incremental in-memory
     checkpoint (Vogt et al., DSN 2015, as used by OSIRIS Section IV-C).
 
-    Each entry records the absolute offset and previous contents of an
-    overwritten range. Rolling back replays entries newest-first,
-    restoring the image to its state at the last {!clear} (the
-    checkpoint taken at the top of the request-processing loop).
+    Entries live in a single growable flat arena (packed payload bytes)
+    plus parallel offset/length int arrays: {!record} is a bounds check
+    and a blit straight out of the image, with zero per-entry heap
+    allocation once the arena has grown to the window's working size.
+    Rolling back replays entries newest-first, restoring the image to
+    its state at the last {!clear} (the checkpoint taken at the top of
+    the request-processing loop).
+
+    With [coalesce] enabled, a small open-addressing offset table elides
+    repeated stores to an already-logged range within one window:
+    rollback only needs the *oldest* value per location, so first-write
+    -wins is correctness-preserving and shrinks write-hot logs.
 
     This module is part of the Reliable Computing Base: it is trusted,
-    never fault-injected, and its writes bypass instrumentation. *)
+    never fault-injected, and its writes bypass instrumentation.
+
+    {2 Counter lifetimes}
+
+    Per-window (reset by {!clear}, and therefore by {!rollback}, which
+    ends with a clear): {!entries}, {!bytes_used}.
+
+    Lifetime (monotonic; survive {!clear} and {!rollback} alike):
+    {!peak_bytes}, {!total_records}, {!coalesced_stores},
+    {!rollback_bytes}. In particular [peak_bytes] is the high-water
+    mark over the whole run — the Table VI metric — and is deliberately
+    *not* reset when a window closes or rolls back. *)
 
 type t
 
-val create : unit -> t
+val create : ?coalesce:bool -> unit -> t
+(** [coalesce] (default false) enables first-write-wins elision of
+    repeated stores to an already-covered offset within one window. *)
 
-val record : t -> offset:int -> old:bytes -> unit
-(** Append an entry. Called from the image write hook while the
-    recovery window is open (or unconditionally in the unoptimized
-    instrumentation mode). *)
+val record : t -> image:Memimage.t -> offset:int -> len:int -> bool
+(** Log the current contents of [image] at [offset, offset+len) —
+    called from the image write hook *before* the store lands, while
+    the recovery window is open (or unconditionally in the unoptimized
+    instrumentation mode). Returns [false] when the store was elided by
+    coalescing (an earlier entry already covers the range), [true] when
+    an entry was appended. Steady-state appends perform no heap
+    allocation. *)
 
 val entries : t -> int
-(** Entries currently in the log. *)
+(** Entries currently in the log (per-window). *)
 
 val bytes_used : t -> int
 (** Live log size: sum of entry payloads plus per-entry header, the
-    metric reported in Table VI. *)
+    metric reported in Table VI (per-window). *)
 
 val peak_bytes : t -> int
-(** High-water mark of {!bytes_used} since creation. *)
+(** High-water mark of {!bytes_used} since creation (lifetime). *)
 
 val total_records : t -> int
-(** Lifetime number of {!record} calls (monotonic; survives {!clear}).
-    Used to measure instrumentation overhead. *)
+(** Lifetime number of appended entries (survives {!clear}). Used to
+    measure instrumentation overhead. *)
+
+val coalesced_stores : t -> int
+(** Lifetime number of stores elided by write coalescing. *)
+
+val rollback_bytes : t -> int
+(** Lifetime payload bytes blitted back into images by {!rollback}. *)
 
 val rollback : t -> Memimage.t -> unit
-(** Undo all logged writes, newest first, then clear the log. The
-    image's write hook is suspended during rollback so the undo itself
-    is not re-logged. *)
+(** Undo all logged writes, newest first, then clear the log. The undo
+    blits bypass the image's write hook, so the rollback itself is
+    never re-logged (the hook stays installed throughout). *)
 
 val clear : t -> unit
-(** Drop all entries — taken a new checkpoint or the window closed and
-    the log is discarded. *)
+(** Drop all entries and reset the coalescing table — a new checkpoint
+    was taken, or the window closed and the log is discarded. Arena
+    capacity is retained, keeping subsequent windows allocation-free.
+    Lifetime counters are unaffected. *)

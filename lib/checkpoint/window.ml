@@ -2,10 +2,8 @@ type instrumentation = Always | When_open | Never | Snapshot
 
 type t = {
   mode : instrumentation;
-  dedup : bool;
   img : Memimage.t;
   undo : Undo_log.t;
-  logged_offsets : (int, unit) Hashtbl.t;  (* per-window, when dedup *)
   mutable snap : bytes option;
   mutable window_open : bool;
   mutable opens : int;
@@ -14,24 +12,20 @@ type t = {
   mutable deduped : int;
 }
 
-let log_store t ~offset ~old =
-  (* First-write-wins: rollback only needs the oldest value at each
-     location, so later stores to a logged offset can be elided. The
-     check is per exact offset, which covers the word-stores that
-     dominate hot paths. *)
-  if t.dedup && Hashtbl.mem t.logged_offsets offset then
+let log_store t ~offset ~len =
+  (* First-write-wins coalescing lives inside the log itself (an
+     open-addressing offset table): rollback only needs the oldest
+     value at each location, so later stores to a logged range are
+     elided there and merely counted here. *)
+  if not (Undo_log.record t.undo ~image:t.img ~offset ~len) then
     t.deduped <- t.deduped + 1
-  else begin
-    if t.dedup then Hashtbl.replace t.logged_offsets offset ();
-    Undo_log.record t.undo ~offset ~old
-  end
 
-let hook t ~offset ~old =
+let hook t ~offset ~len =
   match t.mode with
   | Never | Snapshot -> t.skipped <- t.skipped + 1
-  | Always -> log_store t ~offset ~old
+  | Always -> log_store t ~offset ~len
   | When_open ->
-    if t.window_open then log_store t ~offset ~old
+    if t.window_open then log_store t ~offset ~len
     else t.skipped <- t.skipped + 1
 
 let reinstall_hook t = Memimage.set_write_hook t.img (Some (hook t))
@@ -39,10 +33,8 @@ let reinstall_hook t = Memimage.set_write_hook t.img (Some (hook t))
 let create ?(dedup = false) mode img =
   let t =
     { mode;
-      dedup;
       img;
-      undo = Undo_log.create ();
-      logged_offsets = Hashtbl.create 64;
+      undo = Undo_log.create ~coalesce:dedup ();
       snap = None;
       window_open = false;
       opens = 0;
@@ -68,7 +60,6 @@ let instrumentation t = t.mode
 
 let open_window t =
   Undo_log.clear t.undo;
-  if t.dedup then Hashtbl.reset t.logged_offsets;
   if t.mode = Snapshot then t.snap <- Some (Memimage.snapshot t.img);
   t.window_open <- true;
   t.opens <- t.opens + 1
@@ -77,7 +68,6 @@ let close_window t =
   if t.window_open then begin
     t.window_open <- false;
     t.snap <- None;
-    if t.dedup then Hashtbl.reset t.logged_offsets;
     Undo_log.clear t.undo
   end
 
@@ -88,9 +78,8 @@ let rollback t =
    | Snapshot, Some snap -> Memimage.restore t.img snap
    | Snapshot, None -> invalid_arg "Window.rollback: snapshot missing"
    | _ ->
-     Undo_log.rollback t.undo t.img;
-     (* Undo_log.rollback suspends the hook; restore it. *)
-     reinstall_hook t);
+     (* Undo_log.rollback bypasses the hook, which stays installed. *)
+     Undo_log.rollback t.undo t.img);
   t.snap <- None;
   t.window_open <- false
 

@@ -33,12 +33,13 @@ val create : ?dedup:bool -> instrumentation -> Memimage.t -> t
 (** Attach to [image]: installs the write hook implementing the chosen
     instrumentation mode. The window starts closed.
 
-    [dedup] (default false) enables first-write-wins log deduplication:
-    a second store to an offset already logged in this window is not
-    logged again. Rollback needs only the *oldest* value per location,
-    so this is correctness-preserving and shrinks logs on write-hot
-    state (one of the representation trade-offs of the DSN'15
-    checkpointing study). *)
+    [dedup] (default false) enables first-write-wins write coalescing
+    inside the undo log (see {!Undo_log.create}): a second store to a
+    range already covered in this window is not logged again. Rollback
+    needs only the *oldest* value per location, so this is
+    correctness-preserving and shrinks logs on write-hot state (one of
+    the representation trade-offs of the DSN'15 checkpointing
+    study). *)
 
 val image : t -> Memimage.t
 val log : t -> Undo_log.t
@@ -90,4 +91,4 @@ val skipped_stores : t -> int
     [When_open] optimization. *)
 
 val deduped_stores : t -> int
-(** Stores elided by first-write-wins deduplication (lifetime). *)
+(** Stores elided by first-write-wins write coalescing (lifetime). *)

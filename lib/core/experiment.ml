@@ -102,3 +102,38 @@ let memory_overhead ?(seed = 42) () =
          mem_undo_kb = undo_kb;
          mem_total_overhead_kb = clone_kb + undo_kb })
     System.core_servers
+
+type recovery_bytes_row = {
+  rb_server : string;
+  rb_image_bytes : int;
+  rb_rollback_bytes : int;
+  rb_restore_bytes_saved : int;
+  rb_restarts : int;
+}
+
+let recovery_bytes ?(seed = 42) ?(period = 400) policy =
+  let sys = System.build ~seed ~max_crashes:10_000 policy in
+  let kernel = System.kernel sys in
+  (* A periodic crash probe across all servers: every [period]-th
+     eligible fault site fires, so the run exercises both the rollback
+     path (in-window crashes) and the restart path. *)
+  let tick = ref 0 in
+  Kernel.set_fault_hook kernel
+    (Some
+       (fun (_ : Kernel.site) ->
+          incr tick;
+          if !tick mod period = 0 then Some (Kernel.F_crash "byte probe")
+          else None));
+  let halt = System.run sys ~root:Testsuite.driver in
+  let rows =
+    List.map
+      (fun ep ->
+         let s = Kernel.server_stats kernel ep in
+         { rb_server = s.Kernel.ss_name;
+           rb_image_bytes = s.Kernel.ss_image_bytes;
+           rb_rollback_bytes = s.Kernel.ss_rollback_bytes;
+           rb_restore_bytes_saved = s.Kernel.ss_restore_bytes_saved;
+           rb_restarts = s.Kernel.ss_restarts })
+      System.core_servers
+  in
+  (rows, halt)

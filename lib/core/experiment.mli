@@ -57,3 +57,21 @@ type memory_row = {
 val memory_overhead : ?seed:int -> unit -> memory_row list
 (** Run the Unixbench workloads under the enhanced policy and report
     per-component memory overheads. *)
+
+(** {1 Recovery data movement} *)
+
+type recovery_bytes_row = {
+  rb_server : string;
+  rb_image_bytes : int;          (** Full image size, the O(image) bound. *)
+  rb_rollback_bytes : int;       (** Payload bytes blitted back by undo-log rollbacks. *)
+  rb_restore_bytes_saved : int;  (** Bytes dirty-region restarts did not copy. *)
+  rb_restarts : int;
+}
+
+val recovery_bytes :
+  ?seed:int -> ?period:int -> Policy.t -> recovery_bytes_row list * Kernel.halt
+(** Run the prototype suite under a periodic crash probe (every
+    [period]-th eligible fault site fires) and report how many bytes
+    recovery actually moved per server — the full-system evidence that
+    rollback scales with logged stores and stateless restarts with
+    dirty granules, not with image size. *)

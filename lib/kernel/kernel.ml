@@ -183,7 +183,8 @@ type proc = {
   mutable hung : bool;
   mutable in_heap : bool;
   mutable loop_prog : unit Prog.t option;
-  mutable boot_snapshot : bytes option;
+  mutable baseline_ready : bool;  (* boot image recorded in the Memimage baseline *)
+  mutable restore_saved : int;    (* bytes dirty-region restarts did not blit *)
   clone_extra_kb : int;
   multithreaded : bool;
   mutable crash_ctx : crash_ctx option;
@@ -475,9 +476,12 @@ and k_mk_clone t p =
 
 and k_clear_state t p =
   Queue.clear p.runq;
-  (match p.image, p.boot_snapshot with
-   | Some img, Some snap ->
-     Memimage.restore img snap;
+  (match p.image with
+   | Some img when p.baseline_ready ->
+     (* Stateless restart: back to the boot image. Only dirty granules
+        are blitted — O(touched state), not O(image). *)
+     let restored = Memimage.restore_baseline img in
+     p.restore_saved <- p.restore_saved + (Memimage.size img - restored);
      (match p.window with
       | Some w -> Window.close_window w; Window.reinstall_hook w
       | None -> ())
@@ -597,7 +601,8 @@ let add_server t srv =
       hung = false;
       in_heap = false;
       loop_prog = Some srv.srv_loop;
-      boot_snapshot = None;
+      baseline_ready = false;
+      restore_saved = 0;
       clone_extra_kb = srv.srv_clone_extra_kb;
       multithreaded = srv.srv_multithreaded;
       crash_ctx = None;
@@ -640,7 +645,8 @@ let spawn_user t ~name ~prog ~parent:_ =
       hung = false;
       in_heap = false;
       loop_prog = None;
-      boot_snapshot = None;
+      baseline_ready = false;
+      restore_saved = 0;
       clone_extra_kb = 0;
       multithreaded = false;
       crash_ctx = None;
@@ -1331,7 +1337,11 @@ let boot t =
     (fun _ p ->
        match p.image with
        | Some img when p.kind = Server_proc ->
-         p.boot_snapshot <- Some (Memimage.snapshot img)
+         (* The booted image is the pristine clone state: record it as
+            the dirty-tracking baseline so stateless restarts blit only
+            the granules touched since boot. *)
+         Memimage.set_baseline img;
+         p.baseline_ready <- true
        | _ -> ())
     t.procs;
   t.booted <- true
@@ -1360,6 +1370,8 @@ type server_stats = {
   ss_deduped_stores : int;
   ss_undo_peak_bytes : int;
   ss_undo_entries_lifetime : int;
+  ss_rollback_bytes : int;
+  ss_restore_bytes_saved : int;
   ss_image_bytes : int;
   ss_image_used_bytes : int;
   ss_clone_extra_kb : int;
@@ -1370,7 +1382,7 @@ type server_stats = {
 
 let server_stats t ep =
   let p = get_proc t ep in
-  let logged, skipped, deduped, peak, lifetime, opens, closes =
+  let logged, skipped, deduped, peak, lifetime, rollback_b, opens, closes =
     match p.window with
     | Some w ->
       ( Window.logged_stores w,
@@ -1378,9 +1390,10 @@ let server_stats t ep =
         Window.deduped_stores w,
         Undo_log.peak_bytes (Window.log w),
         Undo_log.total_records (Window.log w),
+        Undo_log.rollback_bytes (Window.log w),
         Window.opens w,
         Window.closes_by_policy w )
-    | None -> (0, 0, 0, 0, 0, 0, 0)
+    | None -> (0, 0, 0, 0, 0, 0, 0, 0)
   in
   { ss_name = p.pname;
     ss_ops_total = p.ops_total;
@@ -1391,6 +1404,8 @@ let server_stats t ep =
     ss_deduped_stores = deduped;
     ss_undo_peak_bytes = peak;
     ss_undo_entries_lifetime = lifetime;
+    ss_rollback_bytes = rollback_b;
+    ss_restore_bytes_saved = p.restore_saved;
     ss_image_bytes = (match p.image with Some i -> Memimage.size i | None -> 0);
     ss_image_used_bytes =
       (match p.image with Some i -> Memimage.allocated i | None -> 0);
@@ -1398,6 +1413,11 @@ let server_stats t ep =
     ss_window_opens = opens;
     ss_policy_closes = closes;
     ss_restarts = p.restart_count }
+
+let server_image t ep =
+  match proc_of t ep with
+  | Some { image = Some img; _ } -> Some (Memimage.snapshot img)
+  | _ -> None
 
 let server_endpoints t = t.servers
 

@@ -196,6 +196,8 @@ type server_stats = {
   ss_deduped_stores : int;
   ss_undo_peak_bytes : int;
   ss_undo_entries_lifetime : int;
+  ss_rollback_bytes : int;        (** Lifetime payload bytes blitted back by rollbacks. *)
+  ss_restore_bytes_saved : int;   (** Bytes dirty-region stateless restarts did not blit. *)
   ss_image_bytes : int;
   ss_image_used_bytes : int;
   ss_clone_extra_kb : int;
@@ -205,6 +207,11 @@ type server_stats = {
 }
 
 val server_stats : t -> Endpoint.t -> server_stats
+
+val server_image : t -> Endpoint.t -> bytes option
+(** Snapshot of the server's current memory image ([None] for unknown
+    or image-less endpoints). Test support: lets equivalence tests
+    compare post-recovery state byte-for-byte across configurations. *)
 
 val handler_counts : t -> Endpoint.t -> (Message.Tag.t * int) list
 (** How many times each request type was handled (post-boot), the

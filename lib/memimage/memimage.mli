@@ -7,6 +7,12 @@
     checkpointing library's undo log attaches (the simulation analogue of
     the paper's LLVM store instrumentation).
 
+    The image additionally tracks *dirty regions* at a coarse
+    {!granule} granularity (the simulated analogue of the paper's
+    copy-on-write clone pages): every hook-visible or raw write marks
+    the granules it covers, so restoring a component to its pristine
+    {!set_baseline} state blits O(dirty) bytes instead of O(image).
+
     Direct accessors here are reserved for the Reliable Computing Base
     (kernel, recovery server, checkpoint library); instrumented server
     code reaches memory through the program DSL, which adds simulated
@@ -14,12 +20,18 @@
 
 type t
 
-type write_hook = offset:int -> old:bytes -> unit
-(** Called before a write with the overwritten range's previous
-    contents. [old] is a fresh copy; the hook may retain it. *)
+type write_hook = offset:int -> len:int -> unit
+(** Called before a write with the location and length of the range
+    about to be overwritten. The image still holds the *previous*
+    contents when the hook runs: a hook that needs the old value reads
+    it straight out of the image (e.g. {!blit_out} into an undo-log
+    arena), with no intermediate copy materialized. *)
+
+val granule : int
+(** Dirty-tracking granularity in bytes (256). *)
 
 val create : name:string -> size:int -> t
-(** Zero-filled image of [size] bytes. *)
+(** Zero-filled image of [size] bytes, no granule dirty. *)
 
 val name : t -> string
 
@@ -51,6 +63,29 @@ val get_string : t -> off:int -> len:int -> string
 val set_string : t -> off:int -> len:int -> string -> unit
 (** @raise Invalid_argument if the string exceeds the field length. *)
 
+(** {2 RCB raw access} — allocation-free, hook-bypassing primitives for
+    the checkpoint library. Not for instrumented server code. *)
+
+val raw_bytes : t -> bytes
+(** The live backing store itself, not a copy. Strictly for the
+    checkpoint hot path (undo-log record/rollback), which performs its
+    own bounds checks; writes made through it MUST be paired with
+    {!mark_dirty} or dirty-region restarts become unsound. *)
+
+val mark_dirty : t -> off:int -> len:int -> unit
+(** Mark the granules covering a range as written, for callers that
+    mutate via {!raw_bytes}. *)
+
+val blit_out : t -> off:int -> len:int -> bytes -> int -> unit
+(** [blit_out t ~off ~len dst dst_off] copies [len] image bytes at
+    [off] into [dst] at [dst_off] without allocating. *)
+
+val write_raw : t -> off:int -> bytes -> src_off:int -> len:int -> unit
+(** Overwrite a range from [src], bypassing the write hook and the
+    write accounting (rollback must not re-log itself). Dirty granules
+    are still marked: raw writes move the image away from its
+    baseline. *)
+
 (** {2 Whole-image operations (RCB only)} *)
 
 val snapshot : t -> bytes
@@ -58,13 +93,35 @@ val snapshot : t -> bytes
 
 val restore : t -> bytes -> unit
 (** Overwrite contents from a snapshot of equal size, bypassing the
-    write hook. *)
+    write hook. The snapshot has no known relation to the baseline, so
+    every granule is conservatively marked dirty. *)
+
+val set_baseline : t -> unit
+(** Record the current contents as the pristine baseline (the paper's
+    prepared-clone image) and mark every granule clean. Restart paths
+    use {!restore_baseline} to return to this state in O(dirty). *)
+
+val has_baseline : t -> bool
+
+val restore_baseline : t -> int
+(** Blit only the dirty granules back from the baseline and mark them
+    clean; returns the number of bytes actually restored (O(dirty
+    granules), not O(image)).
+    @raise Invalid_argument if {!set_baseline} was never called. *)
+
+val dirty_granules : t -> int
+(** Granules written since the last clean point ({!create} or
+    {!set_baseline}). *)
+
+val dirty_bytes : t -> int
+(** Upper bound on the bytes covered by dirty granules. *)
 
 val clone : t -> name:string -> t
-(** Fresh image with identical contents and layout cursor, no hook. *)
+(** Fresh image with identical contents and layout cursor, no hook, no
+    baseline, conservatively all-dirty. *)
 
 val clear : t -> unit
-(** Zero the contents, bypassing the hook. *)
+(** Zero the contents, bypassing the hook; marks everything dirty. *)
 
 (** {2 Accounting} *)
 
@@ -73,3 +130,12 @@ val writes : t -> int
 
 val bytes_written : t -> int
 (** Total bytes covered by hook-visible writes. *)
+
+val restore_bytes : t -> int
+(** Total bytes blitted by {!restore} and {!restore_baseline} since
+    creation. *)
+
+val restore_bytes_saved : t -> int
+(** Bytes {!restore_baseline} did *not* have to blit because their
+    granules were clean — the measured savings of dirty-region
+    restarts over full-image restores. *)

@@ -7,13 +7,19 @@ let mk () = Memimage.create ~name:"test" ~size:4096
 
 (* ---------------- undo log ---------------------------------------- *)
 
+(* Attach a bare undo log to an image the way Window does: the hook
+   records the about-to-be-overwritten range straight from the image. *)
+let attach ?coalesce img =
+  let undo = Undo_log.create ?coalesce () in
+  Memimage.set_write_hook img
+    (Some (fun ~offset ~len -> ignore (Undo_log.record undo ~image:img ~offset ~len)));
+  undo
+
 let test_rollback_restores () =
   let img = mk () in
   Memimage.set_word img 0 10;
   Memimage.set_word img 8 20;
-  let undo = Undo_log.create () in
-  Memimage.set_write_hook img
-    (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+  let undo = attach img in
   Memimage.set_word img 0 99;
   Memimage.set_word img 8 98;
   Memimage.set_word img 0 97;  (* second write to the same offset *)
@@ -26,9 +32,7 @@ let test_rollback_newest_first () =
   (* Overlapping writes must unwind in reverse order. *)
   let img = mk () in
   Memimage.set_string img ~off:0 ~len:8 "orig";
-  let undo = Undo_log.create () in
-  Memimage.set_write_hook img
-    (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+  let undo = attach img in
   Memimage.set_string img ~off:0 ~len:8 "midval";
   Memimage.set_string img ~off:0 ~len:8 "last";
   Undo_log.rollback undo img;
@@ -36,9 +40,10 @@ let test_rollback_newest_first () =
     (Memimage.get_string img ~off:0 ~len:8)
 
 let test_undo_accounting () =
+  let img = mk () in
   let undo = Undo_log.create () in
-  Undo_log.record undo ~offset:0 ~old:(Bytes.create 8);
-  Undo_log.record undo ~offset:8 ~old:(Bytes.create 16);
+  ignore (Undo_log.record undo ~image:img ~offset:0 ~len:8);
+  ignore (Undo_log.record undo ~image:img ~offset:8 ~len:16);
   Alcotest.(check int) "entries" 2 (Undo_log.entries undo);
   (* 2 * 16-byte headers + 24 bytes payload *)
   Alcotest.(check int) "bytes" 56 (Undo_log.bytes_used undo);
@@ -61,9 +66,7 @@ let prop_rollback_inverse =
          Memimage.set_word img (i * 8) (i * 1000)
        done;
        let before = Memimage.snapshot img in
-       let undo = Undo_log.create () in
-       Memimage.set_write_hook img
-         (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+       let undo = attach img in
        List.iter (fun (slot, v) -> Memimage.set_word img (slot * 8) v) writes;
        Undo_log.rollback undo img;
        Memimage.snapshot img = before)
@@ -74,9 +77,7 @@ let prop_rollback_string_writes =
     (fun writes ->
        let img = mk () in
        let before = Memimage.snapshot img in
-       let undo = Undo_log.create () in
-       Memimage.set_write_hook img
-         (Some (fun ~offset ~old -> Undo_log.record undo ~offset ~old));
+       let undo = attach img in
        List.iter
          (fun (slot, s) ->
             Memimage.set_string img ~off:(slot * 32) ~len:16
@@ -84,6 +85,126 @@ let prop_rollback_string_writes =
          writes;
        Undo_log.rollback undo img;
        Memimage.snapshot img = before)
+
+(* ---------------- arena representation ---------------------------- *)
+
+(* Overlapping and duplicate-offset byte-range writes, with lengths
+   crossing the word fast path (8), the small-copy loop (<=16) and the
+   blit path, and offsets chosen so ranges straddle dirty-granule
+   boundaries. Rollback must restore the exact pre-window image. *)
+let arb_range_writes =
+  QCheck.(
+    list_of_size (Gen.int_range 0 64)
+      (pair (int_range 0 4000) (int_range 1 48)))
+
+let seed_image img =
+  for i = 0 to 511 do
+    Memimage.set_word img (i * 8) ((i * 2654435761) land 0xFFFF)
+  done
+
+let rollback_inverts ~coalesce writes =
+  let img = mk () in
+  seed_image img;
+  let before = Memimage.snapshot img in
+  let undo = attach ~coalesce img in
+  List.iteri
+    (fun i (off, len) ->
+       let off = min off (4096 - len) in
+       Memimage.set_bytes img ~off (Bytes.make len (Char.chr (i land 0xff))))
+    writes;
+  Undo_log.rollback undo img;
+  Memimage.snapshot img = before
+
+let prop_arena_rollback_overlapping =
+  QCheck.Test.make
+    ~name:"arena rollback inverts overlapping range writes" ~count:300
+    arb_range_writes (rollback_inverts ~coalesce:false)
+
+let prop_coalesced_rollback_overlapping =
+  QCheck.Test.make
+    ~name:"coalesced rollback inverts overlapping range writes" ~count:300
+    arb_range_writes (rollback_inverts ~coalesce:true)
+
+let prop_granule_boundary_writes =
+  (* Writes clustered around dirty-granule boundaries (multiples of
+     Memimage.granule), spanning them by a few bytes either side. *)
+  QCheck.Test.make ~name:"rollback inverts granule-straddling writes"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 32)
+        (triple (int_range 1 15) (int_range 0 31) (int_range 1 40)))
+    (fun writes ->
+       List.for_all
+         (fun coalesce ->
+            let img = mk () in
+            seed_image img;
+            let before = Memimage.snapshot img in
+            let undo = attach ~coalesce img in
+            List.iter
+              (fun (g, back, len) ->
+                 let off = (g * Memimage.granule) - back in
+                 let off = max 0 (min off (4096 - len)) in
+                 Memimage.set_bytes img ~off (Bytes.make len '!'))
+              writes;
+            Undo_log.rollback undo img;
+            Memimage.snapshot img = before)
+         [ false; true ])
+
+let test_coalesce_wider_rewrite () =
+  (* A second, wider store at a coalesced offset must be re-logged or
+     rollback would lose its tail bytes. *)
+  let img = mk () in
+  Memimage.set_string img ~off:0 ~len:16 "original-vals";
+  let before = Memimage.snapshot img in
+  let undo = attach ~coalesce:true img in
+  Memimage.set_word img 0 1;                      (* 8-byte entry *)
+  Memimage.set_string img ~off:0 ~len:16 "wider"; (* 16 bytes, same offset *)
+  Memimage.set_word img 0 2;                      (* coalesced *)
+  Alcotest.(check int) "one store coalesced" 1 (Undo_log.coalesced_stores undo);
+  Undo_log.rollback undo img;
+  Alcotest.(check bytes) "exact restore" before (Memimage.snapshot img)
+
+let test_coalesce_counts () =
+  let img = mk () in
+  let undo = Undo_log.create ~coalesce:true () in
+  Alcotest.(check bool) "first logged" true
+    (Undo_log.record undo ~image:img ~offset:0 ~len:8);
+  Alcotest.(check bool) "repeat elided" false
+    (Undo_log.record undo ~image:img ~offset:0 ~len:8);
+  Alcotest.(check int) "entries" 1 (Undo_log.entries undo);
+  Alcotest.(check int) "coalesced" 1 (Undo_log.coalesced_stores undo);
+  Undo_log.clear undo;
+  Alcotest.(check bool) "logged again after clear" true
+    (Undo_log.record undo ~image:img ~offset:0 ~len:8);
+  Alcotest.(check int) "coalesced is lifetime" 1
+    (Undo_log.coalesced_stores undo)
+
+let test_rollback_bytes_counter () =
+  let img = mk () in
+  let undo = attach img in
+  Memimage.set_word img 0 1;
+  Memimage.set_word img 8 2;
+  Undo_log.rollback undo img;
+  Alcotest.(check int) "16 payload bytes rolled back" 16
+    (Undo_log.rollback_bytes undo);
+  Memimage.set_word img 0 3;
+  Undo_log.rollback undo img;
+  Alcotest.(check int) "counter is lifetime" 24
+    (Undo_log.rollback_bytes undo)
+
+let test_arena_growth_preserves_entries () =
+  (* Force both entry-array and arena growth mid-window. *)
+  let img = Memimage.create ~name:"big" ~size:65536 in
+  seed_image img;
+  let before = Memimage.snapshot img in
+  let undo = attach img in
+  for i = 0 to 2047 do
+    Memimage.set_word img (i * 8) i
+  done;
+  Alcotest.(check int) "2048 entries" 2048 (Undo_log.entries undo);
+  Undo_log.rollback undo img;
+  Alcotest.(check bytes) "restored across growth" before
+    (Memimage.snapshot img)
 
 (* ---------------- window ------------------------------------------ *)
 
@@ -241,6 +362,17 @@ let () =
           Alcotest.test_case "accounting" `Quick test_undo_accounting;
           QCheck_alcotest.to_alcotest prop_rollback_inverse;
           QCheck_alcotest.to_alcotest prop_rollback_string_writes ] );
+      ( "arena",
+        [ Alcotest.test_case "wider rewrite re-logged" `Quick
+            test_coalesce_wider_rewrite;
+          Alcotest.test_case "coalesce counts" `Quick test_coalesce_counts;
+          Alcotest.test_case "rollback bytes lifetime" `Quick
+            test_rollback_bytes_counter;
+          Alcotest.test_case "growth preserves entries" `Quick
+            test_arena_growth_preserves_entries;
+          QCheck_alcotest.to_alcotest prop_arena_rollback_overlapping;
+          QCheck_alcotest.to_alcotest prop_coalesced_rollback_overlapping;
+          QCheck_alcotest.to_alcotest prop_granule_boundary_writes ] );
       ( "window",
         [ Alcotest.test_case "when_open gates" `Quick
             test_window_when_open_gates_logging;

@@ -43,11 +43,15 @@ let test_bytes_roundtrip () =
 (* ---------------- hook -------------------------------------------- *)
 
 let test_hook_sees_old_contents () =
+  (* The hook runs before the store lands: reading the hooked range out
+     of the image yields the previous value. *)
   let img = mk () in
   Memimage.set_word img 0 1111;
   let captured = ref [] in
   Memimage.set_write_hook img
-    (Some (fun ~offset ~old -> captured := (offset, Bytes.copy old) :: !captured));
+    (Some
+       (fun ~offset ~len ->
+          captured := (offset, Memimage.get_bytes img ~off:offset ~len) :: !captured));
   Memimage.set_word img 0 2222;
   match !captured with
   | [ (0, old) ] ->
@@ -58,7 +62,7 @@ let test_hook_sees_old_contents () =
 let test_hook_removal () =
   let img = mk () in
   let hits = ref 0 in
-  Memimage.set_write_hook img (Some (fun ~offset:_ ~old:_ -> incr hits));
+  Memimage.set_write_hook img (Some (fun ~offset:_ ~len:_ -> incr hits));
   Memimage.set_word img 0 1;
   Memimage.set_write_hook img None;
   Memimage.set_word img 0 2;
@@ -126,6 +130,89 @@ let prop_word_store_load =
        Hashtbl.fold
          (fun slot v acc -> acc && Memimage.get_word img (slot * 8) = v)
          model true)
+
+(* ---------------- dirty regions / baseline ------------------------ *)
+
+let test_dirty_marking () =
+  let img = mk () in
+  Alcotest.(check int) "fresh image clean" 0 (Memimage.dirty_granules img);
+  Memimage.set_word img 0 1;
+  Alcotest.(check int) "one granule" 1 (Memimage.dirty_granules img);
+  Memimage.set_word img 8 2;
+  Alcotest.(check int) "same granule not recounted" 1
+    (Memimage.dirty_granules img);
+  (* A write spanning a granule boundary marks both granules. *)
+  Memimage.set_bytes img ~off:((2 * Memimage.granule) - 4) (Bytes.create 8);
+  Alcotest.(check int) "boundary write marks two" 3
+    (Memimage.dirty_granules img)
+
+let test_baseline_restore_exact () =
+  let img = mk () in
+  Memimage.set_word img 0 7;
+  Memimage.set_word img 512 8;
+  Memimage.set_baseline img;
+  Alcotest.(check int) "clean after set_baseline" 0
+    (Memimage.dirty_granules img);
+  let pristine = Memimage.snapshot img in
+  Memimage.set_word img 0 99;
+  Memimage.set_word img 1024 100;
+  let restored = Memimage.restore_baseline img in
+  Alcotest.(check bytes) "contents back to baseline" pristine
+    (Memimage.snapshot img);
+  Alcotest.(check int) "restored two granules" (2 * Memimage.granule) restored;
+  Alcotest.(check int) "clean again" 0 (Memimage.dirty_granules img);
+  Alcotest.(check int) "savings accounted"
+    (Memimage.size img - restored)
+    (Memimage.restore_bytes_saved img)
+
+let test_restore_baseline_requires_baseline () =
+  let img = mk () in
+  Alcotest.check_raises "no baseline"
+    (Invalid_argument "Memimage.restore_baseline: no baseline set") (fun () ->
+        ignore (Memimage.restore_baseline img))
+
+let test_write_raw_marks_dirty () =
+  (* Raw (hook-bypassing) writes must still be visible to dirty-region
+     restarts, or restore_baseline would miss them. *)
+  let img = mk () in
+  Memimage.set_baseline img;
+  let pristine = Memimage.snapshot img in
+  Memimage.write_raw img ~off:300 (Bytes.of_string "XYZ") ~src_off:0 ~len:3;
+  Alcotest.(check int) "raw write dirtied" 1 (Memimage.dirty_granules img);
+  ignore (Memimage.restore_baseline img);
+  Alcotest.(check bytes) "raw write undone" pristine (Memimage.snapshot img)
+
+let test_generic_restore_conservative () =
+  let img = mk () in
+  Memimage.set_baseline img;
+  let snap = Memimage.snapshot img in
+  Memimage.restore img snap;
+  Alcotest.(check int) "generic restore marks everything"
+    (Memimage.size img / Memimage.granule)
+    (Memimage.dirty_granules img)
+
+let prop_baseline_restore_inverse =
+  QCheck.Test.make
+    ~name:"restore_baseline undoes any mix of hooked and raw writes"
+    ~count:200
+    QCheck.(list (pair (int_range 0 4070) (int_range 1 24)))
+    (fun writes ->
+       let img = mk () in
+       for i = 0 to 63 do
+         Memimage.set_word img (i * 8) (i * 31)
+       done;
+       Memimage.set_baseline img;
+       let pristine = Memimage.snapshot img in
+       List.iteri
+         (fun i (off, len) ->
+            if i land 1 = 0 then
+              Memimage.set_bytes img ~off (Bytes.make len 'w')
+            else
+              Memimage.write_raw img ~off (Bytes.make len 'r') ~src_off:0 ~len)
+         writes;
+       ignore (Memimage.restore_baseline img);
+       Memimage.snapshot img = pristine
+       && Memimage.dirty_granules img = 0)
 
 (* ---------------- layout ------------------------------------------ *)
 
@@ -217,6 +304,17 @@ let () =
           Alcotest.test_case "clone independent" `Quick test_clone_independent;
           Alcotest.test_case "alloc" `Quick test_alloc;
           Alcotest.test_case "alloc exhaustion" `Quick test_alloc_exhaustion ] );
+      ( "dirty",
+        [ Alcotest.test_case "granule marking" `Quick test_dirty_marking;
+          Alcotest.test_case "baseline restore exact" `Quick
+            test_baseline_restore_exact;
+          Alcotest.test_case "baseline required" `Quick
+            test_restore_baseline_requires_baseline;
+          Alcotest.test_case "raw writes dirty" `Quick
+            test_write_raw_marks_dirty;
+          Alcotest.test_case "generic restore conservative" `Quick
+            test_generic_restore_conservative;
+          QCheck_alcotest.to_alcotest prop_baseline_restore_inverse ] );
       ( "layout",
         [ Alcotest.test_case "sizeof" `Quick test_layout_sizeof;
           Alcotest.test_case "sealed" `Quick test_layout_sealed;

@@ -418,6 +418,52 @@ let test_suite_survives_fail_silent_corruption () =
   | Kernel.H_completed _ | Kernel.H_shutdown _ | Kernel.H_hang
   | Kernel.H_panic _ -> ()
 
+(* ---------------- write coalescing is recovery-invariant ----------- *)
+
+let test_coalescing_preserves_recovery_semantics () =
+  (* Run the same crash-and-recover scenario with write coalescing off
+     (enhanced) and on (enhanced-dedup). Coalescing only changes the
+     undo log's *representation* — rollback must restore the same
+     bytes, so both runs must halt identically and leave every core
+     server with a byte-identical post-recovery image. *)
+  let root = Testsuite.driver in
+  let run policy =
+    let sys, halt =
+      with_fault ~policy
+        (fun site ->
+           site_in Endpoint.ds Message.Tag.T_ds_publish site
+           && site.Kernel.site_kind = Kernel.Op_store)
+        (Kernel.F_crash "injected mid-publish") root
+    in
+    let kernel = System.kernel sys in
+    let images =
+      List.map (fun ep -> Kernel.server_image kernel ep) System.core_servers
+    in
+    let deduped =
+      List.fold_left
+        (fun acc ep -> acc + (Kernel.server_stats kernel ep).Kernel.ss_deduped_stores)
+        0 System.core_servers
+    in
+    (halt, images, Kernel.restarts kernel, deduped)
+  in
+  let halt_plain, images_plain, restarts_plain, _ = run Policy.enhanced in
+  let halt_coal, images_coal, restarts_coal, deduped_coal =
+    run Policy.enhanced_dedup
+  in
+  Alcotest.check halt_t "plain run recovers" (Kernel.H_completed 0) halt_plain;
+  Alcotest.check halt_t "identical halt" halt_plain halt_coal;
+  Alcotest.(check int) "identical recovery count" restarts_plain restarts_coal;
+  List.iteri
+    (fun i (a, b) ->
+       let name = Endpoint.server_name (List.nth System.core_servers i) in
+       Alcotest.(check bool)
+         (name ^ " post-recovery image identical") true (a = b))
+    (List.combine images_plain images_coal);
+  (* The comparison must not be vacuous: the coalesced run has to have
+     actually elided stores somewhere. *)
+  Alcotest.(check bool) "coalescing actually elided stores" true
+    (deduped_coal > 0)
+
 let () =
   Alcotest.run "osiris_recovery"
     [ ( "in-window",
@@ -450,4 +496,7 @@ let () =
             test_notification_context_crash_recovers_silently;
           Alcotest.test_case "rs self-recovery" `Quick test_rs_self_recovery;
           Alcotest.test_case "fail-silent halts" `Quick
-            test_suite_survives_fail_silent_corruption ] ) ]
+            test_suite_survives_fail_silent_corruption ] );
+      ( "coalescing",
+        [ Alcotest.test_case "recovery semantics invariant" `Quick
+            test_coalescing_preserves_recovery_semantics ] ) ]
