@@ -480,14 +480,17 @@ let ablation () =
           end
           else None));
   let (_ : Kernel.halt) = System.run lat_sys ~root:Testsuite.driver in
+  (* [recovery_latencies] returns newest first; [summarize] sorts a
+     copy internally, so no caller-side reversal is needed. *)
   let lats = List.map float_of_int (Kernel.recovery_latencies lat_kernel) in
-  if lats <> [] then
+  if lats <> [] then begin
+    let s = Osiris_util.Stats.summarize lats in
     Printf.printf
       "(f) PM recovery latency over %d recoveries: median %.0f cycles        (%.1f us simulated), p95 %.0f\n"
-      (List.length lats)
-      (Osiris_util.Stats.median lats)
-      (1e6 *. Costs.cycles_to_seconds (int_of_float (Osiris_util.Stats.median lats)))
-      (Osiris_util.Stats.percentile 95. lats);
+      s.Osiris_util.Stats.n s.Osiris_util.Stats.p50
+      (1e6 *. Costs.cycles_to_seconds (int_of_float s.Osiris_util.Stats.p50))
+      s.Osiris_util.Stats.p95
+  end;
   (* (g) beyond the single-fault assumption: several faults per run. *)
   List.iter
     (fun k ->
@@ -656,7 +659,7 @@ let all_experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("table5", table5); ("table6", table6);
     ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro);
-    ("checkpoint", Checkpoint_bench.run) ]
+    ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run) ]
 
 let () =
   let requested =

@@ -8,6 +8,8 @@
      survive   fault-injection survivability campaign (Tables II/III)
      disrupt   service-disruption sweep on one benchmark (Figure 3)
      sites     profile and list fault sites
+     trace     run the quickstart workload, export a Perfetto trace
+     report    per-handler latency / recovery / metrics report
 *)
 
 open Cmdliner
@@ -286,11 +288,120 @@ let timeline_cmd =
        ~doc:"Run a generated workload and print the tail of its IPC timeline.")
     Term.(const run $ policy_arg $ seed_arg $ last_arg)
 
+(* Shared by trace/report: run the quickstart workload with a collector
+   attached from boot, optionally injecting one crash at the first
+   in-window Reply of the chosen server — deterministically
+   recoverable, so the trace shows a full crash/rollback/restart
+   sequence nested under the request that triggered it. *)
+let server_conv =
+  let parse = function
+    | "none" -> Ok None
+    | "pm" -> Ok (Some Endpoint.pm)
+    | "vfs" -> Ok (Some Endpoint.vfs)
+    | "vm" -> Ok (Some Endpoint.vm)
+    | "ds" -> Ok (Some Endpoint.ds)
+    | "rs" -> Ok (Some Endpoint.rs)
+    | s -> Error (`Msg (Printf.sprintf
+                          "unknown server %S (pm|vfs|vm|ds|rs|none)" s))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "none"
+    | Some ep -> Format.pp_print_string fmt (Endpoint.server_name ep)
+  in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  Arg.(value & opt server_conv (Some Endpoint.ds)
+       & info [ "crash" ] ~docv:"SERVER"
+         ~doc:"Inject one recoverable crash into this server (none to \
+               disable).")
+
+let obs_run policy seed crash =
+  let metrics = Metrics.create () in
+  let collector = Obs_collector.create ~metrics () in
+  let sys =
+    System.build ~seed ~event_hook:(Obs_collector.record collector) policy
+  in
+  let kernel = System.kernel sys in
+  (match crash with
+   | None -> ()
+   | Some ep ->
+     let armed = ref true in
+     Kernel.set_fault_hook kernel
+       (Some
+          (fun site ->
+             if !armed
+                && site.Kernel.site_ep = ep
+                && site.Kernel.site_kind = Kernel.Op_reply
+                && Kernel.window_is_open kernel ep
+             then begin
+               armed := false;
+               Some (Kernel.F_crash "injected for tracing")
+             end
+             else None)));
+  let halt = System.run sys ~root:Workgen.quickstart in
+  Obs_collector.snapshot_server_stats metrics kernel;
+  (sys, collector, metrics, halt)
+
+let trace_cmd =
+  let json_arg =
+    Arg.(value & opt string "osiris_trace.json"
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"Chrome trace-event output file (load it in \
+                 ui.perfetto.dev).")
+  in
+  let run policy seed crash json =
+    setup_logs ();
+    let sys, collector, _metrics, halt = obs_run policy seed crash in
+    let events = Obs_collector.events collector in
+    let spans = Span.build events in
+    let oc = open_out json in
+    output_string oc (Chrome_trace.of_spans ~events spans);
+    close_out oc;
+    (* Show the trees that contain recovery work; the full forest
+       (boot included) lives in the JSON. *)
+    let interesting =
+      List.filter
+        (fun s ->
+           Span.find (fun x -> x.Span.sp_kind = Span.Recovery) [ s ] <> None)
+        spans
+    in
+    List.iter print_endline (Span.render_tree interesting);
+    Printf.printf
+      "%d events, %d spans (%d with recovery) | halted: %s\nwrote %s\n"
+      (Obs_collector.count collector)
+      (Span.count spans) (List.length interesting)
+      (Kernel.halt_to_string halt) json;
+    ignore sys;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the quickstart workload and export a Perfetto-loadable \
+             span trace.")
+    Term.(const run $ policy_arg $ seed_arg $ crash_arg $ json_arg)
+
+let report_cmd =
+  let run policy seed crash =
+    setup_logs ();
+    let sys, collector, metrics, halt = obs_run policy seed crash in
+    let spans = Span.build (Obs_collector.events collector) in
+    print_endline (Obs_report.render ~metrics ~kernel:(System.kernel sys) spans);
+    Printf.printf "halted: %s\n" (Kernel.halt_to_string halt);
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the quickstart workload and print latency / recovery / \
+             metrics tables.")
+    Term.(const run $ policy_arg $ seed_arg $ crash_arg)
+
 let main =
   Cmd.group
     (Cmd.info "osiris" ~version:"1.0.0"
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
-      disrupt_cmd; sites_cmd; fsck_cmd; stress_cmd; timeline_cmd ]
+      disrupt_cmd; sites_cmd; fsck_cmd; stress_cmd; timeline_cmd;
+      trace_cmd; report_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -1,8 +1,14 @@
-(* Observability tour: generate a random-but-deterministic workload,
-   watch it through the event tracer, inject a mid-run fault, and audit
-   the filesystem afterwards.
+(* Observability tour: run a random-but-deterministic workload with the
+   full lib/obs pipeline attached — collector + metrics from boot, a
+   mid-run fault, then span trees, latency/recovery/metrics tables, and
+   a Perfetto-loadable Chrome trace.
 
-     dune exec examples/observability.exe [seed]        (default 2026) *)
+     dune exec examples/observability.exe [seed]        (default 2026)
+
+   Load the written observability_trace.json at https://ui.perfetto.dev
+   to browse the same run visually: one track per server, request spans
+   nested under the user program, the crash's recovery span nested
+   under the request that triggered it. *)
 
 let () =
   let seed =
@@ -11,9 +17,19 @@ let () =
   Printf.printf "workload plan (seed %d):\n" seed;
   List.iteri (fun i a -> Printf.printf "  %2d. %s\n" (i + 1) a)
     (Workgen.describe ~seed ());
-  let sys = System.build ~seed Policy.enhanced in
+  (* Collector + metrics registry, attached before boot so the trace
+     includes boot traffic; a small tracer rides along on the same hook
+     as a cheap flight recorder for the closing timeline. *)
+  let metrics = Metrics.create () in
+  let collector = Obs_collector.create ~metrics () in
   let tracer = Tracer.create ~capacity:24 () in
-  Tracer.attach tracer (System.kernel sys);
+  let sys =
+    System.build ~seed
+      ~event_hook:(fun ev ->
+        Obs_collector.record collector ev;
+        Tracer.record tracer ev)
+      Policy.enhanced
+  in
   (* Crash VFS once, mid-workload, inside a window. *)
   let fired = ref false in
   Kernel.set_fault_hook (System.kernel sys)
@@ -37,17 +53,26 @@ let () =
   (match Mfs.check_invariants (System.mfs sys) ~bdev:(System.bdev sys) with
    | Ok () -> print_endline "\nfsck: clean — block conservation holds"
    | Error m -> Printf.printf "\nfsck: CORRUPT: %s\n" m);
-  print_endline "per-server recovery-window stats:";
-  List.iter
-    (fun ep ->
-       let s = Kernel.server_stats (System.kernel sys) ep in
-       Printf.printf
-         "  %-4s ops %6d  in-window %5.1f%%  checkpoints %5d  logged %6d \
-          stores  restarts %d\n"
-         s.Kernel.ss_name s.Kernel.ss_ops_total
-         (100.
-          *. float_of_int s.Kernel.ss_ops_in_window
-          /. float_of_int (max 1 s.Kernel.ss_ops_total))
-         s.Kernel.ss_window_opens s.Kernel.ss_logged_stores
-         s.Kernel.ss_restarts)
-    System.core_servers
+  (* Span forest: show the trees that contain recovery work. *)
+  let events = Obs_collector.events collector in
+  let spans = Span.build events in
+  let recovering =
+    List.filter
+      (fun s ->
+         Span.find (fun x -> x.Span.sp_kind = Span.Recovery) [ s ] <> None)
+      spans
+  in
+  Printf.printf "\n%d events folded into %d spans; trees with recovery:\n"
+    (Obs_collector.count collector) (Span.count spans);
+  List.iter (fun l -> print_endline ("  " ^ l))
+    (Span.render_tree recovering);
+  (* Latency / recovery / metrics tables. *)
+  Obs_collector.snapshot_server_stats metrics (System.kernel sys);
+  print_newline ();
+  print_endline (Obs_report.render ~metrics ~kernel:(System.kernel sys) spans);
+  (* Perfetto export. *)
+  let path = "observability_trace.json" in
+  let oc = open_out path in
+  output_string oc (Chrome_trace.of_spans ~events spans);
+  close_out oc;
+  Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path

@@ -26,7 +26,7 @@ let etc_data =
   Buffer.sub b 0 1024
 
 let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
-    ?(trace = false) ?extra_register policy =
+    ?(trace = false) ?event_hook ?extra_register policy =
   let registry = Registry.create () in
   Testsuite.register registry;
   Unixbench.register registry;
@@ -61,6 +61,11 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
         (match max_crashes with Some m -> m | None -> base.Kernel.max_crashes) }
   in
   let kernel = Kernel.create cfg in
+  (* Installed before boot so observers see boot traffic too; a hook
+     attached after build (e.g. Tracer.attach) only sees the run. *)
+  (match event_hook with
+   | Some f -> Kernel.set_event_hook kernel (Some f)
+   | None -> ());
   List.iter (Kernel.add_server kernel)
     [ Pm.server pm; Vfs.server vfs; Vm.server vm; Ds.server ds;
       Rs.server rs; Mfs.server mfs; Bdev.server bdev ];

@@ -22,13 +22,17 @@ val build :
   ?max_ops:int ->
   ?max_crashes:int ->
   ?trace:bool ->
+  ?event_hook:(Kernel.event -> unit) ->
   ?extra_register:(Registry.t -> unit) ->
   Policy.t ->
   t
 (** Create and boot a system: servers installed, filesystem populated
     with /bin (every registered executable), /etc/data and /tmp, boot
     snapshots taken. The prototype test suite and the Unixbench
-    programs are always registered; add more via [extra_register]. *)
+    programs are always registered; add more via [extra_register].
+    [event_hook] is installed {e before} boot, so observers (e.g. an
+    [Obs_collector]) capture boot traffic; attaching after [build]
+    misses it. *)
 
 val kernel : t -> Kernel.t
 val registry : t -> Registry.t

@@ -134,6 +134,7 @@ type req = {
   rq_tag : Message.Tag.t;
   rq_call : bool;
   rq_msg : Message.t;
+  rq_rid : int;  (* causal request id; preserved across K_replay *)
 }
 
 type tstate =
@@ -146,6 +147,8 @@ type thread = {
   mutable tstate : tstate;
   mutable treq : req option;
   mutable started : bool;
+  mutable cause : int;    (* rid of the request this thread is handling; 0 = root *)
+  mutable out_rid : int;  (* rid of this thread's outstanding Call, for reply matching *)
   occ : int array;
 }
 
@@ -155,6 +158,7 @@ type inbox_entry = {
   ib_msg : Message.t;
   ib_call : bool;
   ib_time : int;  (* sender's clock at send: receive cannot precede it *)
+  ib_rid : int;
 }
 
 type crash_ctx = {
@@ -203,12 +207,21 @@ type sched_item = S_run of Endpoint.t | S_alarm of Endpoint.t | S_hangcheck of E
 
 type event =
   | E_msg of { time : int; src : Endpoint.t; dst : Endpoint.t;
-               tag : Message.Tag.t; call : bool }
+               tag : Message.Tag.t; call : bool;
+               rid : int; parent : int; cls : Seep.cls }
   | E_reply of { time : int; src : Endpoint.t; dst : Endpoint.t;
-                 tag : Message.Tag.t }
+                 tag : Message.Tag.t; rid : int }
+  | E_window_open of { time : int; ep : Endpoint.t; rid : int }
+  | E_window_close of { time : int; ep : Endpoint.t; rid : int; policy : bool }
+  | E_checkpoint of { time : int; ep : Endpoint.t; rid : int; cycles : int }
+  | E_store_logged of { time : int; ep : Endpoint.t; rid : int; bytes : int }
+  | E_kcall of { time : int; ep : Endpoint.t; rid : int; kc : string }
   | E_crash of { time : int; ep : Endpoint.t; reason : string;
-                 window_open : bool }
-  | E_restart of { time : int; ep : Endpoint.t }
+                 window_open : bool; rid : int }
+  | E_hang_detected of { time : int; ep : Endpoint.t }
+  | E_rollback_begin of { time : int; ep : Endpoint.t; rid : int }
+  | E_rollback_end of { time : int; ep : Endpoint.t; rid : int; bytes : int }
+  | E_restart of { time : int; ep : Endpoint.t; rid : int }
   | E_halt of { time : int; halt : halt }
 
 type t = {
@@ -234,6 +247,7 @@ type t = {
   mutable n_users : int;
   mutable global_now : int;
   mutable recovery_latencies : int list;
+  mutable next_rid : int;
 }
 
 let create cfg =
@@ -258,20 +272,38 @@ let create cfg =
     n_delivered = 0;
     n_users = 0;
     global_now = 0;
-    recovery_latencies = [] }
+    recovery_latencies = [];
+    next_rid = 0 }
 
 let set_fault_hook t hook = t.fault_hook <- hook
 
 let set_event_hook t hook = t.event_hook <- hook
 
 let emit t ev = match t.event_hook with Some f -> f ev | None -> ()
+
+(* Events are constructed at the emission sites, so every site must
+   check this first: with no hook installed the event record is never
+   allocated and the hot path pays a single branch. *)
+let[@inline] hooked t = t.event_hook <> None
+
+(* Causal request id allocation: every delivered message gets a fresh
+   rid; its parent is the sender thread's current cause (the rid of the
+   request that thread is itself handling, 0 at a root). Allocation is
+   unconditional — an int increment — so attaching a hook mid-run never
+   changes numbering. *)
+let[@inline] alloc_rid t =
+  t.next_rid <- t.next_rid + 1;
+  t.next_rid
+
 let set_site_recorder t recorder = t.site_recorder <- recorder
 let set_halt_on_exit t ep = t.halt_on_exit <- Some ep
 
 let fresh_thread p ?(started = true) ?req prog =
   let tid = p.tid_counter in
   p.tid_counter <- p.tid_counter + 1;
-  { tid; tstate = T_ready prog; treq = req; started; occ = Array.make n_op_kinds 0 }
+  let cause = match req with Some r -> r.rq_rid | None -> 0 in
+  { tid; tstate = T_ready prog; treq = req; started; cause; out_rid = 0;
+    occ = Array.make n_op_kinds 0 }
 
 let proc_of t ep = Hashtbl.find_opt t.procs ep
 
@@ -314,7 +346,7 @@ let wake_receiver t p =
 let halt t h =
   if t.halted = None then begin
     t.halted <- Some h;
-    emit t (E_halt { time = t.global_now; halt = h })
+    if hooked t then emit t (E_halt { time = t.global_now; halt = h })
   end
 
 let panic t reason =
@@ -325,12 +357,16 @@ let panic t reason =
 (* Windows and coverage                                                *)
 (* ------------------------------------------------------------------ *)
 
-let close_window_if_open p =
+let close_window_if_open ?(policy = false) ?(rid = 0) t p =
   match p.window with
-  | Some w when Window.is_open w -> Window.close_window w
+  | Some w when Window.is_open w ->
+    if policy then Window.note_policy_close w;
+    Window.close_window w;
+    if hooked t then
+      emit t (E_window_close { time = p.vtime; ep = p.ep; rid; policy })
   | _ -> ()
 
-let policy_close ?tag t p cls =
+let policy_close ?tag ?(rid = 0) t p cls =
   (* The sender's recovery window closes when a policy-forbidden SEEP
      is crossed (paper Section IV-B). Requester-local SEEPs (extension,
      Section VII) keep the window open but are remembered: crossing one
@@ -351,13 +387,11 @@ let policy_close ?tag t p cls =
       | None -> false
     in
     if requester_local && not hardened then p.rlocal_crossed <- true
-    else if hardened || t.cfg.policy.Policy.closes_window cls then begin
-      Window.note_policy_close w;
-      Window.close_window w
-    end
+    else if hardened || t.cfg.policy.Policy.closes_window cls then
+      close_window_if_open ~policy:true ~rid t p
   | _ -> ()
 
-let open_handler_window t p =
+let open_handler_window ?(rid = 0) t p =
   if t.cfg.policy.Policy.window_on_receive then
     match p.window with
     | Some w ->
@@ -365,6 +399,8 @@ let open_handler_window t p =
       p.rlocal_crossed <- false;
       p.window_seeps <- 0;
       Window.open_window w;
+      if hooked t then
+        emit t (E_window_open { time = p.vtime; ep = p.ep; rid });
       (* Full-copy checkpointing pays for the image copy at every
          window open; the undo log pays per store instead. *)
       let cost =
@@ -372,7 +408,9 @@ let open_handler_window t p =
           max t.cfg.costs.Costs.c_checkpoint (Memimage.size (Window.image w) / 8)
         else t.cfg.costs.Costs.c_checkpoint
       in
-      p.vtime <- p.vtime + cost
+      p.vtime <- p.vtime + cost;
+      if hooked t then
+        emit t (E_checkpoint { time = p.vtime; ep = p.ep; rid; cycles = cost })
     | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -390,7 +428,7 @@ let requester_of p =
      | Some r when r.rq_call -> Some (r.rq_src, r.rq_src_tid)
      | _ -> None)
 
-let deliver_to_inbox t ?at ~src ~src_tid ~call dst msg =
+let deliver_to_inbox t ?at ~src ~src_tid ~call ~rid ~parent dst msg =
   let at = match at with Some a -> a | None -> t.global_now in
   match proc_of t dst with
   | None ->
@@ -408,10 +446,12 @@ let deliver_to_inbox t ?at ~src ~src_tid ~call dst msg =
               (Endpoint.server_name dst)
               (Message.Tag.to_string (Message.Tag.of_msg msg))
               (if call then " (call)" else ""));
-      emit t (E_msg { time = at; src; dst; tag = Message.Tag.of_msg msg; call });
+      if hooked t then
+        emit t (E_msg { time = at; src; dst; tag = Message.Tag.of_msg msg;
+                        call; rid; parent; cls = Seep.classify_msg ~dst msg });
       Queue.push
         { ib_src = src; ib_src_tid = src_tid; ib_msg = msg; ib_call = call;
-          ib_time = at }
+          ib_time = at; ib_rid = rid }
         p.inbox;
       t.n_delivered <- t.n_delivered + 1;
       wake_receiver t p;
@@ -429,6 +469,7 @@ let rec crash_proc t p reason =
     in
     let requester = requester_of p in
     let request = match p.active with Some th -> th.treq | None -> None in
+    let cause = match p.active with Some th -> th.cause | None -> 0 in
     p.crash_ctx <-
       Some
         { cc_window_open = window_open;
@@ -456,13 +497,19 @@ let rec crash_proc t p reason =
     p.stalled <- true;
     p.hung <- false;
     p.crashed_at <- max p.vtime t.global_now;
-    emit t (E_crash { time = p.crashed_at; ep = p.ep; reason; window_open });
+    if hooked t then
+      emit t (E_crash { time = p.crashed_at; ep = p.ep; reason; window_open;
+                        rid = cause });
     match t.cfg.policy.Policy.recovery with
     | Policy.No_recovery -> panic t (Printf.sprintf "unrecovered crash in %s: %s" p.pname reason)
     | _ ->
       if p.ep = Endpoint.rs then kernel_recover_rs t p
       else
-        deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false Endpoint.rs
+        (* The notification is parented under the crashed request, so
+           RS' recovery handling nests causally beneath the user request
+           that triggered the crash. *)
+        deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false
+          ~rid:(alloc_rid t) ~parent:cause Endpoint.rs
           (Message.Crash_notify { ep = p.ep; reason })
   end
 
@@ -490,14 +537,35 @@ and k_clear_state t p =
   Queue.clear p.inbox;
   ignore t
 
-and k_rollback _t p =
+and k_rollback t p =
   match p.window, p.crash_ctx with
-  | Some w, Some ctx when ctx.cc_window_open -> Window.rollback w; true
+  | Some w, Some ctx when ctx.cc_window_open ->
+    let rid = match ctx.cc_request with Some rq -> rq.rq_rid | None -> 0 in
+    let at = max t.global_now p.vtime in
+    if hooked t then
+      emit t (E_rollback_begin { time = at; ep = p.ep; rid });
+    let before = Undo_log.rollback_bytes (Window.log w) in
+    Window.rollback w;
+    if hooked t then begin
+      let bytes =
+        if Window.instrumentation w = Window.Snapshot then
+          Memimage.size (Window.image w)
+        else Undo_log.rollback_bytes (Window.log w) - before
+      in
+      emit t (E_rollback_end { time = at; ep = p.ep; rid; bytes })
+    end;
+    true
   | _ -> false
 
 and k_go t p =
-  if p.kind = Server_proc then
-    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep });
+  if p.kind = Server_proc && hooked t then begin
+    let rid =
+      match p.crash_ctx with
+      | Some { cc_request = Some rq; _ } -> rq.rq_rid
+      | _ -> 0
+    in
+    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep; rid })
+  end;
   if p.kind = Server_proc && p.crashed_at > 0 then begin
     t.recovery_latencies <-
       (max 0 (max t.global_now p.vtime - p.crashed_at)) :: t.recovery_latencies;
@@ -531,13 +599,19 @@ and k_reply_error t ~target ~err =
         (match th.tstate with
          | T_call_wait { callee; k } ->
            (match proc_of t callee with
-            | Some cp when (not cp.alive) || cp.stalled -> Some (th, k)
+            | Some cp when (not cp.alive) || cp.stalled -> Some (th, k, callee)
             | _ -> find rest)
          | _ -> find rest)
     in
     (match find rp.threads with
      | None -> false
-     | Some (th, k) ->
+     | Some (th, k, callee) ->
+       (* The virtualized error closes the requester's in-flight call:
+          report it as a reply so its span completes. *)
+       if hooked t then
+         emit t (E_reply { time = t.global_now; src = callee; dst = target;
+                           tag = Message.Tag.of_msg (Message.R_err err);
+                           rid = th.out_rid });
        th.tstate <- T_ready (k (Message.R_err err));
        rp.vtime <- max rp.vtime t.global_now;
        Queue.push th rp.runq;
@@ -827,9 +901,11 @@ let exec_kcall t p kc : Prog.kresult =
   | Prog.K_replay ep ->
     (match proc_of t ep with
      | Some ({ crash_ctx = Some { cc_request = Some rq; _ }; _ } as cp) ->
+       (* Re-delivery keeps the original rid: the replayed handling is
+          the same causal request, not a new one. *)
        Queue.push
          { ib_src = rq.rq_src; ib_src_tid = rq.rq_src_tid; ib_msg = rq.rq_msg;
-           ib_call = rq.rq_call; ib_time = p.vtime }
+           ib_call = rq.rq_call; ib_time = p.vtime; ib_rid = rq.rq_rid }
          cp.inbox;
        Prog.Kr_ok
      | _ -> Prog.Kr_err Errno.ESRCH)
@@ -911,17 +987,39 @@ let op_site t p th kind =
 exception Thread_parked
 exception Thread_finished
 
-let deactivate p =
+(* Constant strings: naming a kcall for the event stream allocates
+   nothing. *)
+let kcall_name : Prog.kcall -> string = function
+  | Prog.K_fork _ -> "fork"
+  | Prog.K_exec _ -> "exec"
+  | Prog.K_kill _ -> "kill"
+  | Prog.K_crash_context _ -> "crash_context"
+  | Prog.K_mk_clone _ -> "mk_clone"
+  | Prog.K_rollback _ -> "rollback"
+  | Prog.K_clear_state _ -> "clear_state"
+  | Prog.K_go _ -> "go"
+  | Prog.K_reply_error _ -> "reply_error"
+  | Prog.K_shutdown _ -> "shutdown"
+  | Prog.K_alarm _ -> "alarm"
+  | Prog.K_mmu _ -> "mmu"
+  | Prog.K_replay _ -> "replay"
+  | Prog.K_live_update _ -> "live_update"
+  | Prog.K_kill_requester _ -> "kill_requester"
+
+let deactivate t p =
   (* The active thread stops running: in a multithreaded component the
      next thread's writes would interleave, so the window must close
      (paper Section IV-E). *)
-  if p.multithreaded && List.length p.threads > 1 then close_window_if_open p;
+  if p.multithreaded && List.length p.threads > 1 then begin
+    let rid = match p.active with Some th -> th.cause | None -> 0 in
+    close_window_if_open ~rid t p
+  end;
   p.active <- None
 
 let finish_thread t p th =
   (match p.kind with
    | Server_proc ->
-     if p.multithreaded then close_window_if_open p;
+     if p.multithreaded then close_window_if_open ~rid:th.cause t p;
      p.threads <- List.filter (fun x -> x.tid <> th.tid) p.threads;
      p.active <- None
    | User_proc ->
@@ -992,6 +1090,9 @@ let step t p th prog =
          match p.window with Some w -> Window.would_log w | None -> false
        in
        charge t p (costs.Costs.c_store + if logged then costs.Costs.c_log else 0);
+       if logged && hooked t then
+         emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
+                                  bytes = 8 });
        (match action with
         | Some F_drop_store -> ()
         | Some F_corrupt_store ->
@@ -1027,6 +1128,9 @@ let step t p th prog =
          + (if logged then costs.Costs.c_log + (len * costs.Costs.c_log_per_byte) else 0)
        in
        charge t p cost;
+       if logged && hooked t then
+         emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
+                                  bytes = len });
        (match action with
         | Some F_drop_store -> ()
         | Some F_corrupt_store ->
@@ -1054,12 +1158,15 @@ let step t p th prog =
     in
     charge t p costs.Costs.c_send;
     if p.kind = Server_proc then
-      policy_close ~tag:(Message.Tag.of_msg msg) t p (Seep.classify_msg ~dst msg);
+      policy_close ~tag:(Message.Tag.of_msg msg) ~rid:th.cause t p
+        (Seep.classify_msg ~dst msg);
     (if dst = Endpoint.kernel then
        match msg, t.cfg.log_sink with
        | Message.Diag { line }, Some sink -> sink line
        | _ -> ()
-     else deliver_to_inbox t ~src:p.ep ~src_tid:th.tid ~call:false dst msg);
+     else
+       deliver_to_inbox t ~src:p.ep ~src_tid:th.tid ~call:false
+         ~rid:(alloc_rid t) ~parent:th.cause dst msg);
     th.tstate <- T_ready (k ())
   | Prog.Call (dst, msg, k) ->
     coverage t p;
@@ -1079,7 +1186,8 @@ let step t p th prog =
     in
     charge t p costs.Costs.c_call;
     if p.kind = Server_proc then
-      policy_close ~tag:(Message.Tag.of_msg msg) t p (Seep.classify_msg ~dst msg);
+      policy_close ~tag:(Message.Tag.of_msg msg) ~rid:th.cause t p
+        (Seep.classify_msg ~dst msg);
     if dst = Endpoint.kernel then begin
       (match msg, t.cfg.log_sink with
        | Message.Diag { line }, Some sink -> sink line
@@ -1087,9 +1195,12 @@ let step t p th prog =
       th.tstate <- T_ready (k (Message.R_ok 0))
     end
     else begin
+      let rid = alloc_rid t in
+      th.out_rid <- rid;
       th.tstate <- T_call_wait { callee = dst; k };
-      deliver_to_inbox t ~at:p.vtime ~src:p.ep ~src_tid:th.tid ~call:true dst msg;
-      deactivate p;
+      deliver_to_inbox t ~at:p.vtime ~src:p.ep ~src_tid:th.tid ~call:true
+        ~rid ~parent:th.cause dst msg;
+      deactivate t p;
       raise Thread_parked
     end
   | Prog.Receive k ->
@@ -1099,8 +1210,9 @@ let step t p th prog =
        deferred waitpid, a notification). Rolling back past this point
        would silently undo state other components rely on, so the
        window must close here, not at the next checkpoint. *)
+    if p.kind = Server_proc then close_window_if_open ~rid:th.cause t p;
     th.treq <- None;
-    if p.kind = Server_proc then close_window_if_open p;
+    th.cause <- 0;
     (match op_site t p th Op_receive with
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
@@ -1115,7 +1227,7 @@ let step t p th prog =
     end;
     if Queue.is_empty p.inbox then begin
       th.tstate <- T_recv_wait { k };
-      deactivate p;
+      deactivate t p;
       raise Thread_parked
     end
     else begin
@@ -1126,14 +1238,16 @@ let step t p th prog =
                rq_src_tid = entry.ib_src_tid;
                rq_tag = Message.Tag.of_msg entry.ib_msg;
                rq_call = entry.ib_call;
-               rq_msg = entry.ib_msg };
+               rq_msg = entry.ib_msg;
+               rq_rid = entry.ib_rid };
+      th.cause <- entry.ib_rid;
       if t.booted then begin
         let tag = Message.Tag.of_msg entry.ib_msg in
         Hashtbl.replace p.handler_tally tag
           (1 + Option.value ~default:0 (Hashtbl.find_opt p.handler_tally tag))
       end;
       Array.fill th.occ 0 n_op_kinds 0;
-      open_handler_window t p;
+      open_handler_window ~rid:entry.ib_rid t p;
       th.tstate <- T_ready (k (entry.ib_src, entry.ib_msg))
     end
   | Prog.Reply (dst, msg, k) ->
@@ -1153,7 +1267,7 @@ let step t p th prog =
       | _ -> msg
     in
     charge t p costs.Costs.c_reply;
-    if p.kind = Server_proc then policy_close t p Seep.Reply;
+    if p.kind = Server_proc then policy_close ~rid:th.cause t p Seep.Reply;
     (match proc_of t dst with
      | None -> t.n_orphans <- t.n_orphans + 1
      | Some rp ->
@@ -1187,9 +1301,10 @@ let step t p th prog =
                    m "t=%-10d %s => %s  reply %s" p.vtime
                      (Endpoint.server_name p.ep) (Endpoint.server_name dst)
                      (Message.Tag.to_string (Message.Tag.of_msg msg)));
-             emit t
-               (E_reply { time = p.vtime; src = p.ep; dst;
-                          tag = Message.Tag.of_msg msg });
+             if hooked t then
+               emit t
+                 (E_reply { time = p.vtime; src = p.ep; dst;
+                            tag = Message.Tag.of_msg msg; rid = th'.out_rid });
              th'.tstate <- T_ready (k' msg);
              rp.vtime <- max rp.vtime p.vtime;
              Queue.push th' rp.runq;
@@ -1201,7 +1316,7 @@ let step t p th prog =
     charge t p costs.Costs.c_yield;
     th.tstate <- T_ready (k ());
     Queue.push th p.runq;
-    deactivate p;
+    deactivate t p;
     raise Thread_parked
   | Prog.Spawn (prog, k) ->
     coverage t p;
@@ -1224,13 +1339,16 @@ let step t p th prog =
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
     charge t p costs.Costs.c_kcall;
+    if hooked t then
+      emit t (E_kcall { time = p.vtime; ep = p.ep; rid = th.cause;
+                        kc = kcall_name kc });
     if p.kind = Server_proc then begin
       let cls =
         match kc with
         | Prog.K_crash_context _ -> Seep.Read_only
         | _ -> Seep.State_modifying
       in
-      policy_close t p cls
+      policy_close ~rid:th.cause t p cls
     end;
     let r = exec_kcall t p kc in
     th.tstate <- T_ready (k r)
@@ -1303,11 +1421,14 @@ let dispatch t item =
        p.in_heap <- false;
        if runnable p then exec_proc t p)
   | S_alarm ep ->
-    deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false ep Message.Alarm
+    deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false
+      ~rid:(alloc_rid t) ~parent:0 ep Message.Alarm
   | S_hangcheck ep ->
     (match proc_of t ep with
      | Some p when p.hung && p.alive ->
        p.hung <- false;
+       if hooked t then
+         emit t (E_hang_detected { time = t.global_now; ep = p.ep });
        crash_proc t p "hang detected by heartbeat"
      | _ -> ())
 

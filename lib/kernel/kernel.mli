@@ -145,22 +145,62 @@ val set_halt_on_exit : t -> Endpoint.t -> unit
 val run : t -> halt
 (** Interpret until a halt condition. *)
 
-(** {1 Event tracing} *)
+(** {1 Event tracing}
+
+    Every delivered message carries a {e causal request id} ([rid],
+    positive, unique per run) and the rid of the request its sender was
+    handling at the time ([parent], 0 at a root — user programs and
+    kernel-originated notifications). Threading the rid through sendrec
+    chains links a user syscall to its server fan-out, and a crash to
+    the request whose handling triggered it: observers can rebuild the
+    whole request/recovery span tree from the flat event stream (see
+    [lib/obs]). Rid allocation is an unconditional int increment, so
+    attaching a hook mid-run never changes the numbering. *)
 
 type event =
   | E_msg of { time : int; src : Endpoint.t; dst : Endpoint.t;
-               tag : Message.Tag.t; call : bool }
-      (** A request or notification was delivered to [dst]'s inbox. *)
+               tag : Message.Tag.t; call : bool;
+               rid : int; parent : int; cls : Seep.cls }
+      (** A request or notification was delivered to [dst]'s inbox,
+          SEEP-classified from the receiver's point of view. *)
   | E_reply of { time : int; src : Endpoint.t; dst : Endpoint.t;
-                 tag : Message.Tag.t }
+                 tag : Message.Tag.t; rid : int }
+      (** The call [rid] completed — including virtualized
+          [E_CRASH] error replies injected by [K_reply_error]. *)
+  | E_window_open of { time : int; ep : Endpoint.t; rid : int }
+      (** A recovery window opened for handling request [rid]. *)
+  | E_window_close of { time : int; ep : Endpoint.t; rid : int; policy : bool }
+      (** The window closed; [policy] when a policy-forbidden SEEP (or
+          graduated hardening) forced it, false at handler completion
+          or thread switch. *)
+  | E_checkpoint of { time : int; ep : Endpoint.t; rid : int; cycles : int }
+      (** Checkpoint taken at window open ([cycles] charged — large
+          for [Snapshot] instrumentation, constant for undo logging). *)
+  | E_store_logged of { time : int; ep : Endpoint.t; rid : int; bytes : int }
+      (** An in-window store was offered to the undo log. *)
+  | E_kcall of { time : int; ep : Endpoint.t; rid : int; kc : string }
+      (** A kernel call (recovery protocol steps are the interesting
+          ones: mk_clone, rollback, go, ...). *)
   | E_crash of { time : int; ep : Endpoint.t; reason : string;
-                 window_open : bool }
-  | E_restart of { time : int; ep : Endpoint.t }
+                 window_open : bool; rid : int }
+      (** [rid] is the request being handled when the crash hit (0 in
+          loop/init code) — recovery spans nest under it. *)
+  | E_hang_detected of { time : int; ep : Endpoint.t }
+      (** The heartbeat detected a hung component (precedes the
+          corresponding [E_crash]). *)
+  | E_rollback_begin of { time : int; ep : Endpoint.t; rid : int }
+  | E_rollback_end of { time : int; ep : Endpoint.t; rid : int; bytes : int }
+      (** [bytes] actually blitted back: undo-log payload replayed, or
+          the image size under [Snapshot] instrumentation. *)
+  | E_restart of { time : int; ep : Endpoint.t; rid : int }
   | E_halt of { time : int; halt : halt }
 
 val set_event_hook : t -> (event -> unit) option -> unit
 (** Structured observability: invoked for every IPC delivery, reply,
-    crash, restart and halt. Costs one branch per event when unset. *)
+    window transition, checkpoint, logged store, kcall, crash,
+    rollback, restart and halt. When unset the emission sites skip
+    event construction entirely — one branch per event, zero
+    allocation (a bench gate in [bench/obs_bench.ml]). *)
 
 val live_update : t -> Endpoint.t -> unit Prog.t -> (unit, string) result
 (** Replace a server's request-processing loop with a new version,

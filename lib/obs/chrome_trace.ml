@@ -1,0 +1,96 @@
+let escape buf s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+type sep = { mutable first : bool }
+
+let next sep buf = if sep.first then sep.first <- false else Buffer.add_string buf ",\n"
+
+let add_meta buf sep ~tid ~name ~value =
+  next sep buf;
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":" tid);
+  add_str buf name;
+  Buffer.add_string buf ",\"args\":{\"name\":";
+  add_str buf value;
+  Buffer.add_string buf "}}"
+
+let add_span buf sep (s : Span.t) =
+  next sep buf;
+  Buffer.add_string buf "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int s.Span.sp_ep);
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (string_of_int s.Span.sp_start);
+  Buffer.add_string buf ",\"dur\":";
+  Buffer.add_string buf (string_of_int (s.Span.sp_end - s.Span.sp_start));
+  Buffer.add_string buf ",\"name\":";
+  add_str buf s.Span.sp_name;
+  Buffer.add_string buf ",\"cat\":";
+  add_str buf (Span.kind_to_string s.Span.sp_kind);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"args\":{\"rid\":%d,\"parent\":%d,\"src\":" s.Span.sp_id
+       s.Span.sp_parent);
+  add_str buf (Endpoint.server_name s.Span.sp_src);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"complete\":%b}}" s.Span.sp_complete)
+
+let add_instant buf sep ~tid ~ts ~name ~scope =
+  next sep buf;
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"s\":\"%s\",\"name\":"
+       tid ts scope);
+  add_str buf name;
+  Buffer.add_string buf "}"
+
+let of_spans ?(events = []) spans =
+  let buf = Buffer.create 4096 in
+  let sep = { first = true } in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  add_meta buf sep ~tid:0 ~name:"process_name" ~value:"osiris";
+  (* One named track per endpoint that hosts a span or instant. *)
+  let eps = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.t) -> Hashtbl.replace eps s.Span.sp_ep ())
+    (Span.flatten spans);
+  List.iter
+    (function
+      | Kernel.E_crash { ep; _ } | Kernel.E_hang_detected { ep; _ } ->
+        Hashtbl.replace eps ep ()
+      | _ -> ())
+    events;
+  let ep_list = List.sort compare (Hashtbl.fold (fun ep () l -> ep :: l) eps []) in
+  List.iter
+    (fun ep ->
+       add_meta buf sep ~tid:ep ~name:"thread_name"
+         ~value:(Endpoint.server_name ep))
+    ep_list;
+  List.iter (add_span buf sep) (Span.flatten spans);
+  List.iter
+    (function
+      | Kernel.E_crash { time; ep; reason; _ } ->
+        add_instant buf sep ~tid:ep ~ts:time ~name:("crash: " ^ reason)
+          ~scope:"t"
+      | Kernel.E_hang_detected { time; ep } ->
+        add_instant buf sep ~tid:ep ~ts:time ~name:"hang detected" ~scope:"t"
+      | Kernel.E_halt { time; halt } ->
+        add_instant buf sep ~tid:0 ~ts:time
+          ~name:("halt: " ^ Kernel.halt_to_string halt) ~scope:"g"
+      | _ -> ())
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+    Emits the JSON-object form [{"traceEvents": [...]}] with:
+    - one ["M"] (metadata) event naming the process and one per
+      endpoint track, so Perfetto shows a labelled track per server;
+    - one ["X"] (complete) event per span, [pid = 1],
+      [tid = the endpoint], [ts]/[dur] in virtual cycles interpreted
+      as microseconds, with the causal ids in [args];
+    - one ["i"] (instant) event per crash / hang / halt when the raw
+      event stream is supplied.
+
+    The JSON is hand-rolled into a [Buffer] — the repo deliberately
+    carries no JSON dependency. *)
+
+val of_spans : ?events:Kernel.event list -> Span.t list -> string
+(** Serialize a span forest (plus optional instants from the raw
+    stream) to a Chrome trace-event JSON string. *)

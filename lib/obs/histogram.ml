@@ -1,0 +1,76 @@
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : int;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let n_buckets = 64
+
+let create () =
+  { counts = Array.make n_buckets 0;
+    n = 0;
+    total = 0;
+    max_v = 0;
+    min_v = max_int }
+
+(* Bit length of v = bucket index; tail-recursive over immediate ints,
+   so it never allocates. *)
+let rec bits v acc =
+  if v = 0 then acc
+  else if v land lnot 0xFFFF <> 0 then bits (v lsr 16) (acc + 16)
+  else if v land 0xFF00 <> 0 then bits (v lsr 8) (acc + 8)
+  else bits (v lsr 1) (acc + 1)
+
+let[@inline] bucket_of v = if v <= 0 then 0 else bits v 0
+
+let observe t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total + v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else float_of_int t.total /. float_of_int t.n
+let max_value t = t.max_v
+let min_value t = if t.n = 0 then 0 else t.min_v
+
+let upper_bound b = if b = 0 then 0 else (1 lsl b) - 1
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.n)))
+    in
+    let rec go b cum =
+      if b >= n_buckets then float_of_int t.max_v
+      else
+        let cum = cum + t.counts.(b) in
+        if cum >= rank then float_of_int (min (upper_bound b) t.max_v)
+        else go (b + 1) cum
+    in
+    go 0 0
+  end
+
+let p50 t = percentile t 50.
+let p95 t = percentile t 95.
+let p99 t = percentile t 99.
+
+let buckets t =
+  let out = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if t.counts.(b) > 0 then out := (upper_bound b, t.counts.(b)) :: !out
+  done;
+  !out
+
+let clear t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.n <- 0;
+  t.total <- 0;
+  t.max_v <- 0;
+  t.min_v <- max_int

@@ -1,0 +1,39 @@
+(** Log-bucketed integer histogram for virtual-cycle latencies.
+
+    Values are binned by bit length (bucket [i] holds values in
+    [[2{^i-1}, 2{^i})]), giving a fixed 64-slot footprint over the full
+    int range with ~2x relative quantile error — the right trade for
+    always-on latency recording. {!observe} is a handful of integer
+    mutations: O(1) and {e zero allocation} (a bench gate in
+    [bench/obs_bench.ml]). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one value (negative values count into the 0 bucket). *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val max_value : t -> int
+(** Largest observed value, exact (0 when empty). *)
+
+val min_value : t -> int
+(** Smallest observed value, exact (0 when empty). *)
+
+val percentile : t -> float -> float
+(** [percentile t p], [p] in [\[0,100\]], nearest-rank over the
+    buckets: the estimate is the upper bound of the bucket containing
+    the rank, clamped to the exact observed max. 0. when empty. *)
+
+val p50 : t -> float
+val p95 : t -> float
+val p99 : t -> float
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+val clear : t -> unit

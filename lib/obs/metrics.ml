@@ -1,0 +1,66 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type value =
+  | V_counter of int
+  | V_gauge of int
+  | V_hist of Histogram.t
+
+type series =
+  | S_counter of counter
+  | S_gauge of gauge
+  | S_hist of Histogram.t
+
+type t = {
+  tbl : (string, series) Hashtbl.t;
+  mutable names : string list;  (* reverse registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 64; names = [] }
+
+let register t name mk =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None ->
+    let s = mk () in
+    Hashtbl.replace t.tbl name s;
+    t.names <- name :: t.names;
+    s
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a different kind" name)
+
+let counter t name =
+  match register t name (fun () -> S_counter { c = 0 }) with
+  | S_counter c -> c
+  | _ -> kind_error name
+
+let gauge t name =
+  match register t name (fun () -> S_gauge { g = 0 }) with
+  | S_gauge g -> g
+  | _ -> kind_error name
+
+let histogram t name =
+  match register t name (fun () -> S_hist (Histogram.create ())) with
+  | S_hist h -> h
+  | _ -> kind_error name
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let value_of = function
+  | S_counter c -> V_counter c.c
+  | S_gauge g -> V_gauge g.g
+  | S_hist h -> V_hist h
+
+let dump t =
+  List.rev_map
+    (fun name -> (name, value_of (Hashtbl.find t.tbl name)))
+    t.names
+
+let find t name = Option.map value_of (Hashtbl.find_opt t.tbl name)

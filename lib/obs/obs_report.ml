@@ -1,0 +1,90 @@
+module Tablefmt = Osiris_util.Tablefmt
+module Stats = Osiris_util.Stats
+
+let handler_table spans =
+  (* Bucket completed request-span latencies per (server, handler). *)
+  let tbl : (int * string, Histogram.t) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Span.t) ->
+       if s.Span.sp_kind = Span.Request && s.Span.sp_complete then begin
+         let key = (s.Span.sp_ep, s.Span.sp_name) in
+         let h =
+           match Hashtbl.find_opt tbl key with
+           | Some h -> h
+           | None ->
+             let h = Histogram.create () in
+             Hashtbl.replace tbl key h;
+             order := key :: !order;
+             h
+         in
+         Histogram.observe h (s.Span.sp_end - s.Span.sp_start)
+       end)
+    (Span.flatten spans);
+  let keys = List.sort compare (List.rev !order) in
+  if keys = [] then ""
+  else
+    let rows =
+      List.map
+        (fun ((ep, name) as key) ->
+           let h = Hashtbl.find tbl key in
+           [ Endpoint.server_name ep;
+             name;
+             string_of_int (Histogram.count h);
+             Tablefmt.fixed 0 (Histogram.p50 h);
+             Tablefmt.fixed 0 (Histogram.p95 h);
+             Tablefmt.fixed 0 (Histogram.p99 h);
+             string_of_int (Histogram.max_value h) ])
+        keys
+    in
+    Tablefmt.render ~title:"per-handler latency (virtual cycles)"
+      ~header:[ "server"; "handler"; "count"; "p50"; "p95"; "p99"; "max" ]
+      ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+               Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+      rows
+
+let recovery_table kernel =
+  (* Kernel.recovery_latencies is newest-first; summarize sorts, so the
+     ordering is irrelevant here — it only matters to consumers that
+     index the list directly. *)
+  let lats = List.map float_of_int (Kernel.recovery_latencies kernel) in
+  if lats = [] then ""
+  else
+    let s = Stats.summarize lats in
+    Tablefmt.render ~title:"recovery latency (crash -> restart, virtual cycles)"
+      ~header:[ "count"; "p50"; "p95"; "p99"; "max" ]
+      ~align:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+               Tablefmt.Right ]
+      [ [ string_of_int s.Stats.n;
+          Tablefmt.fixed 0 s.Stats.p50;
+          Tablefmt.fixed 0 s.Stats.p95;
+          Tablefmt.fixed 0 s.Stats.p99;
+          Tablefmt.fixed 0 s.Stats.max ] ]
+
+let metrics_table m =
+  let rows =
+    List.map
+      (fun (name, v) ->
+         match v with
+         | Metrics.V_counter c -> [ name; "counter"; string_of_int c ]
+         | Metrics.V_gauge g -> [ name; "gauge"; string_of_int g ]
+         | Metrics.V_hist h ->
+           [ name; "histogram";
+             Printf.sprintf "n=%d p50=%.0f p95=%.0f p99=%.0f max=%d"
+               (Histogram.count h) (Histogram.p50 h) (Histogram.p95 h)
+               (Histogram.p99 h) (Histogram.max_value h) ])
+      (Metrics.dump m)
+  in
+  if rows = [] then ""
+  else
+    Tablefmt.render ~title:"metrics" ~header:[ "series"; "kind"; "value" ]
+      ~align:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right ]
+      rows
+
+let render ?metrics ~kernel spans =
+  let sections =
+    [ handler_table spans;
+      recovery_table kernel;
+      (match metrics with Some m -> metrics_table m | None -> "") ]
+  in
+  String.concat "\n" (List.filter (fun s -> s <> "") sections)

@@ -1,0 +1,18 @@
+(** Aligned-text report over spans, metrics and kernel introspection:
+    per-handler latency quantiles, recovery latency quantiles, and the
+    registry dump. The CLI's [osiris report] and
+    [examples/observability.ml] render through this. *)
+
+val handler_table : Span.t list -> string
+(** Per (server, handler) virtual-cycle latency of completed request
+    spans: count, p50/p95/p99 (log-bucketed estimates) and exact max. *)
+
+val recovery_table : Kernel.t -> string
+(** Quantiles over {!Kernel.recovery_latencies}. Empty string when no
+    recovery completed. *)
+
+val metrics_table : Metrics.t -> string
+(** Registry dump in registration order. *)
+
+val render : ?metrics:Metrics.t -> kernel:Kernel.t -> Span.t list -> string
+(** All applicable sections, separated by blank lines. *)

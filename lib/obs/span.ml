@@ -1,0 +1,171 @@
+type span_kind = Request | Notify | Recovery | Rollback
+
+let kind_to_string = function
+  | Request -> "request"
+  | Notify -> "notify"
+  | Recovery -> "recovery"
+  | Rollback -> "rollback"
+
+type t = {
+  sp_id : int;
+  sp_parent : int;
+  sp_kind : span_kind;
+  sp_name : string;
+  sp_src : Endpoint.t;
+  sp_ep : Endpoint.t;
+  sp_start : int;
+  sp_end : int;
+  sp_complete : bool;
+  sp_children : t list;
+}
+
+(* Mutable accumulator while folding the stream. *)
+type acc = {
+  a_id : int;
+  a_parent : int;
+  a_kind : span_kind;
+  mutable a_name : string;
+  a_src : Endpoint.t;
+  a_ep : Endpoint.t;
+  a_start : int;
+  mutable a_stop : int;
+  mutable a_complete : bool;
+}
+
+let build events =
+  let spans : (int, acc) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in  (* creation order, reversed *)
+  let recovery_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rollback_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let synth = ref 0 in
+  let last_time = ref 0 in
+  let fresh_synth () = decr synth; !synth in
+  let open_span ~id ~parent ~kind ~name ~src ~ep ~start =
+    if not (Hashtbl.mem spans id) then begin
+      Hashtbl.replace spans id
+        { a_id = id; a_parent = parent; a_kind = kind; a_name = name;
+          a_src = src; a_ep = ep; a_start = start; a_stop = start;
+          a_complete = (kind = Notify) };
+      order := id :: !order
+    end
+  in
+  let close_span id time =
+    match Hashtbl.find_opt spans id with
+    | None -> ()
+    | Some a ->
+      a.a_stop <- max a.a_start time;
+      a.a_complete <- true
+  in
+  List.iter
+    (fun ev ->
+       (match ev with
+        | Kernel.E_msg { time; _ } | Kernel.E_reply { time; _ }
+        | Kernel.E_window_open { time; _ } | Kernel.E_window_close { time; _ }
+        | Kernel.E_checkpoint { time; _ } | Kernel.E_store_logged { time; _ }
+        | Kernel.E_kcall { time; _ } | Kernel.E_crash { time; _ }
+        | Kernel.E_hang_detected { time; _ }
+        | Kernel.E_rollback_begin { time; _ }
+        | Kernel.E_rollback_end { time; _ } | Kernel.E_restart { time; _ }
+        | Kernel.E_halt { time; _ } -> last_time := max !last_time time);
+       match ev with
+       | Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls = _ } ->
+         open_span ~id:rid ~parent
+           ~kind:(if call then Request else Notify)
+           ~name:(Message.Tag.to_string tag) ~src ~ep:dst ~start:time
+       | Kernel.E_reply { rid; time; _ } -> close_span rid time
+       | Kernel.E_crash { time; ep; rid; _ } ->
+         let id = fresh_synth () in
+         open_span ~id ~parent:rid ~kind:Recovery ~name:"recovery" ~src:ep
+           ~ep ~start:time;
+         Hashtbl.replace recovery_of ep id
+       | Kernel.E_rollback_begin { time; ep; rid = _ } ->
+         let parent =
+           Option.value ~default:0 (Hashtbl.find_opt recovery_of ep)
+         in
+         let id = fresh_synth () in
+         open_span ~id ~parent ~kind:Rollback ~name:"rollback" ~src:ep ~ep
+           ~start:time;
+         Hashtbl.replace rollback_of ep id
+       | Kernel.E_rollback_end { time; ep; bytes; rid = _ } ->
+         (match Hashtbl.find_opt rollback_of ep with
+          | None -> ()
+          | Some id ->
+            (match Hashtbl.find_opt spans id with
+             | Some a -> a.a_name <- Printf.sprintf "rollback %dB" bytes
+             | None -> ());
+            close_span id time;
+            Hashtbl.remove rollback_of ep)
+       | Kernel.E_restart { time; ep; rid = _ } ->
+         (match Hashtbl.find_opt recovery_of ep with
+          | None -> ()
+          | Some id ->
+            close_span id time;
+            Hashtbl.remove recovery_of ep)
+       | Kernel.E_window_open _ | Kernel.E_window_close _
+       | Kernel.E_checkpoint _ | Kernel.E_store_logged _ | Kernel.E_kcall _
+       | Kernel.E_hang_detected _ | Kernel.E_halt _ -> ())
+    events;
+  (* Truncated stream: cap still-open spans at the last event time. *)
+  List.iter
+    (fun id ->
+       let a = Hashtbl.find spans id in
+       if not a.a_complete then a.a_stop <- max a.a_start !last_time)
+    !order;
+  (* Assemble the forest. An unknown parent (before the capture window,
+     or 0) makes a root. *)
+  let children : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let roots = ref [] in
+  List.iter
+    (fun id ->
+       let a = Hashtbl.find spans id in
+       if a.a_parent <> 0 && Hashtbl.mem spans a.a_parent then
+         Hashtbl.replace children a.a_parent
+           (id :: Option.value ~default:[] (Hashtbl.find_opt children a.a_parent))
+       else roots := id :: !roots)
+    (List.rev !order);
+  let by_start ids =
+    List.sort
+      (fun i j ->
+         let a = Hashtbl.find spans i and b = Hashtbl.find spans j in
+         compare (a.a_start, a.a_id) (b.a_start, b.a_id))
+      ids
+  in
+  let rec freeze id =
+    let a = Hashtbl.find spans id in
+    let kids =
+      by_start (List.rev (Option.value ~default:[] (Hashtbl.find_opt children id)))
+    in
+    { sp_id = a.a_id; sp_parent = a.a_parent; sp_kind = a.a_kind;
+      sp_name = a.a_name; sp_src = a.a_src; sp_ep = a.a_ep;
+      sp_start = a.a_start; sp_end = a.a_stop; sp_complete = a.a_complete;
+      sp_children = List.map freeze kids }
+  in
+  List.map freeze (by_start !roots)
+
+let rec flatten spans =
+  List.concat_map (fun s -> s :: flatten s.sp_children) spans
+
+let count spans = List.length (flatten spans)
+
+let find f spans = List.find_opt f (flatten spans)
+
+let render_tree spans =
+  let buf = ref [] in
+  let rec go depth s =
+    let line =
+      Printf.sprintf "%10d %s%s %s -> %s  %s (%d cycles)%s [id %d]"
+        s.sp_start
+        (String.concat "" (List.init depth (fun _ -> "  ")))
+        (kind_to_string s.sp_kind)
+        (Endpoint.server_name s.sp_src)
+        (Endpoint.server_name s.sp_ep)
+        s.sp_name
+        (s.sp_end - s.sp_start)
+        (if s.sp_complete then "" else " [open]")
+        s.sp_id
+    in
+    buf := line :: !buf;
+    List.iter (go (depth + 1)) s.sp_children
+  in
+  List.iter (go 0) spans;
+  List.rev !buf

@@ -19,13 +19,18 @@ let record t ev =
 let attach t kernel = Kernel.set_event_hook kernel (Some (record t))
 
 let events t =
+  (* Only [min total capacity] slots hold events; before the ring wraps
+     the rest are None and need not be scanned. The occupied window
+     ends just before [next], so walking it newest-index-first and
+     consing yields oldest-first order. *)
+  let n = min t.total t.capacity in
   let out = ref [] in
-  for i = t.capacity - 1 downto 0 do
-    match t.ring.((t.next + i) mod t.capacity) with
+  for i = n - 1 downto 0 do
+    match t.ring.((t.next - n + i + t.capacity) mod t.capacity) with
     | Some ev -> out := ev :: !out
     | None -> ()
   done;
-  !out  (* oldest first: built by consing from the newest index down *)
+  !out
 
 let recorded t = t.total
 
@@ -34,26 +39,67 @@ let clear t =
   t.next <- 0;
   t.total <- 0
 
+(* Endpoint columns are 8 wide: long server names ("user100" is 7
+   chars, bdev/mfs are shorter) keep the arrows aligned. *)
 let pp_event = function
-  | Kernel.E_msg { time; src; dst; tag; call } ->
-    Printf.sprintf "%10d  %-6s -> %-6s %s%s" time (Endpoint.server_name src)
-      (Endpoint.server_name dst) (Message.Tag.to_string tag)
+  | Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls = _ } ->
+    Printf.sprintf "%10d  %-8s -> %-8s %s%s [rid %d%s]" time
+      (Endpoint.server_name src) (Endpoint.server_name dst)
+      (Message.Tag.to_string tag)
       (if call then " (call)" else "")
-  | Kernel.E_reply { time; src; dst; tag = _ } ->
-    Printf.sprintf "%10d  %-6s => %-6s reply" time (Endpoint.server_name src)
-      (Endpoint.server_name dst)
-  | Kernel.E_crash { time; ep; reason; window_open } ->
-    Printf.sprintf "%10d  CRASH %s (%s) window=%s" time
-      (Endpoint.server_name ep) reason (if window_open then "open" else "closed")
-  | Kernel.E_restart { time; ep } ->
-    Printf.sprintf "%10d  RESTART %s" time (Endpoint.server_name ep)
+      rid
+      (if parent = 0 then "" else Printf.sprintf " < %d" parent)
+  | Kernel.E_reply { time; src; dst; tag = _; rid } ->
+    Printf.sprintf "%10d  %-8s => %-8s reply [rid %d]" time
+      (Endpoint.server_name src) (Endpoint.server_name dst) rid
+  | Kernel.E_window_open { time; ep; rid } ->
+    Printf.sprintf "%10d  %-8s window open [rid %d]" time
+      (Endpoint.server_name ep) rid
+  | Kernel.E_window_close { time; ep; rid; policy } ->
+    Printf.sprintf "%10d  %-8s window close%s [rid %d]" time
+      (Endpoint.server_name ep)
+      (if policy then " (policy)" else "")
+      rid
+  | Kernel.E_checkpoint { time; ep; rid; cycles } ->
+    Printf.sprintf "%10d  %-8s checkpoint (%d cycles) [rid %d]" time
+      (Endpoint.server_name ep) cycles rid
+  | Kernel.E_store_logged { time; ep; rid; bytes } ->
+    Printf.sprintf "%10d  %-8s store logged (%dB) [rid %d]" time
+      (Endpoint.server_name ep) bytes rid
+  | Kernel.E_kcall { time; ep; rid; kc } ->
+    Printf.sprintf "%10d  %-8s kcall %s [rid %d]" time
+      (Endpoint.server_name ep) kc rid
+  | Kernel.E_crash { time; ep; reason; window_open; rid } ->
+    Printf.sprintf "%10d  CRASH %s (%s) window=%s [rid %d]" time
+      (Endpoint.server_name ep) reason
+      (if window_open then "open" else "closed")
+      rid
+  | Kernel.E_hang_detected { time; ep } ->
+    Printf.sprintf "%10d  HANG %s" time (Endpoint.server_name ep)
+  | Kernel.E_rollback_begin { time; ep; rid } ->
+    Printf.sprintf "%10d  %-8s rollback begin [rid %d]" time
+      (Endpoint.server_name ep) rid
+  | Kernel.E_rollback_end { time; ep; rid; bytes } ->
+    Printf.sprintf "%10d  %-8s rollback end (%dB) [rid %d]" time
+      (Endpoint.server_name ep) bytes rid
+  | Kernel.E_restart { time; ep; rid } ->
+    Printf.sprintf "%10d  RESTART %s [rid %d]" time (Endpoint.server_name ep) rid
   | Kernel.E_halt { time; halt } ->
     Printf.sprintf "%10d  HALT %s" time (Kernel.halt_to_string halt)
 
 let touches ep = function
   | Kernel.E_msg { src; dst; _ } | Kernel.E_reply { src; dst; _ } ->
     src = ep || dst = ep
-  | Kernel.E_crash { ep = e; _ } | Kernel.E_restart { ep = e; _ } -> e = ep
+  | Kernel.E_crash { ep = e; _ }
+  | Kernel.E_restart { ep = e; _ }
+  | Kernel.E_window_open { ep = e; _ }
+  | Kernel.E_window_close { ep = e; _ }
+  | Kernel.E_checkpoint { ep = e; _ }
+  | Kernel.E_store_logged { ep = e; _ }
+  | Kernel.E_kcall { ep = e; _ }
+  | Kernel.E_hang_detected { ep = e; _ }
+  | Kernel.E_rollback_begin { ep = e; _ }
+  | Kernel.E_rollback_end { ep = e; _ } -> e = ep
   | Kernel.E_halt _ -> true
 
 let timeline ?only t =

@@ -4,6 +4,10 @@
     the last [capacity] IPC/crash/recovery events; render them as an
     aligned timeline for debugging deadlocks and recovery sequences.
 
+    For structured consumption of the event stream (span trees, metrics,
+    Perfetto export) use [lib/obs] instead; the tracer is the low-cost
+    flight recorder.
+
     {[
       let tracer = Tracer.create ~capacity:256 () in
       Tracer.attach tracer (System.kernel sys);
@@ -19,8 +23,15 @@ val create : ?capacity:int -> unit -> t
 val attach : t -> Kernel.t -> unit
 (** Install as the kernel's event hook (replaces any previous hook). *)
 
+val record : t -> Kernel.event -> unit
+(** The hook body: append one event, evicting the oldest when the ring
+    is full. Exposed so tests and composite hooks can feed a tracer
+    directly. *)
+
 val events : t -> Kernel.event list
-(** Recorded events, oldest first (at most [capacity]). *)
+(** Recorded events, oldest first (at most [capacity]). Costs
+    O(min recorded capacity) — a partially filled ring does not pay for
+    its unused slots. *)
 
 val recorded : t -> int
 (** Total events seen, including ones evicted from the ring. *)
@@ -29,6 +40,9 @@ val clear : t -> unit
 
 val timeline : ?only:Endpoint.t -> t -> string list
 (** Render, one line per event, optionally filtered to events touching
-    the given endpoint. *)
+    the given endpoint. The [only] filter deliberately always lets
+    [E_halt] through: a halt is a system-wide event that terminates
+    every per-endpoint story, so a filtered timeline still ends with
+    the run's outcome. *)
 
 val pp_event : Kernel.event -> string

@@ -18,6 +18,20 @@ let stddev xs =
 
 let sorted xs = List.sort compare xs
 
+let sorted_array xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a
+
+let percentile_sorted a p =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+  end
+
 let median xs =
   match sorted xs with
   | [] -> 0.
@@ -26,15 +40,18 @@ let median xs =
     let a = Array.of_list s in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-let percentile p xs =
-  match sorted xs with
-  | [] -> 0.
-  | s ->
-    let a = Array.of_list s in
-    let n = Array.length a in
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    a.(idx)
+let percentile p xs = percentile_sorted (sorted_array xs) p
+
+type summary = { n : int; p50 : float; p95 : float; p99 : float; max : float }
+
+let summarize xs =
+  let a = sorted_array xs in
+  let n = Array.length a in
+  { n;
+    p50 = percentile_sorted a 50.;
+    p95 = percentile_sorted a 95.;
+    p99 = percentile_sorted a 99.;
+    max = (if n = 0 then 0. else a.(n - 1)) }
 
 let weighted_mean pairs =
   let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in

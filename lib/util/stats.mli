@@ -14,7 +14,24 @@ val median : float list -> float
 (** Median (average of middle two for even length); 0. on empty. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank method. *)
+(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank method.
+    Sorts per call; for repeated queries over one sample, sort once and
+    use {!percentile_sorted}. *)
+
+val sorted_array : float list -> float array
+(** The sample as a freshly sorted (ascending) array. *)
+
+val percentile_sorted : float array -> float -> float
+(** [percentile_sorted a p]: nearest-rank percentile over an array that
+    is {e already sorted ascending} ([a] as produced by
+    {!sorted_array}); O(1). [p] in [\[0, 100\]]; 0. on the empty
+    array. Shared by the benchmark harness and the observability
+    report so both quote identical quantiles. *)
+
+type summary = { n : int; p50 : float; p95 : float; p99 : float; max : float }
+
+val summarize : float list -> summary
+(** One sort, the quantiles every latency report needs. *)
 
 val weighted_mean : (float * float) list -> float
 (** [weighted_mean \[(v, w); ...\]] = sum(v*w) / sum(w); 0. if the total

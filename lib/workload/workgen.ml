@@ -142,3 +142,26 @@ let generate ?spec ~seed () =
   Syscall.exit code
 
 let describe ?spec ~seed () = List.map describe_act (gen_acts ?spec ~seed ())
+
+(* The README quickstart program as a reusable workload root: a file
+   round trip through VFS/MFS/bdev, a fork/exec/wait through PM and VM,
+   and a DS publish/retrieve — every core server sees traffic. *)
+let quickstart =
+  let* fd = Syscall.open_ "/tmp/greeting" Message.creat in
+  let* _ = Syscall.write ~fd "hello from userland" in
+  let* _ = Syscall.lseek ~fd ~off:0 Message.Seek_set in
+  let* contents = Syscall.read ~fd ~len:64 in
+  let* _ = Syscall.close fd in
+  let* pid = Syscall.fork in
+  if pid = 0 then
+    let* _ = Syscall.exec "/bin/sh" 0 in
+    Syscall.exit 9
+  else if pid < 0 then Syscall.exit 1
+  else
+    let* _, status = Syscall.waitpid pid in
+    let* p = Syscall.ds_publish ~key:"example.answer" ~value:42 in
+    let* v = Syscall.ds_retrieve ~key:"example.answer" in
+    Syscall.exit
+      (match contents, v with
+       | Ok "hello from userland", Ok 42 when status = 0 && p >= 0 -> 0
+       | _ -> 1)

@@ -24,3 +24,9 @@ val generate : ?spec:spec -> seed:int -> unit -> unit Prog.t
 
 val describe : ?spec:spec -> seed:int -> unit -> string list
 (** Human-readable action list of the same generation (for logs). *)
+
+val quickstart : unit Prog.t
+(** The fixed README quickstart workload (file round trip, fork/exec,
+    data store; exits 0 when all behaved). [osiris trace] and the
+    observability tests run it so traces in the docs are
+    reproducible. *)

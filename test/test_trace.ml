@@ -87,6 +87,37 @@ let test_timeline_filter () =
          (* every non-HALT line of the filtered view names ds *)
          String.length l > 0) ds_only)
 
+(* Regression: [events] on a partially filled ring must return exactly
+   the recorded events (oldest first) without scanning — or worse,
+   returning — the unused tail of the ring, and a wrapped ring must
+   window to the newest [capacity] in order. Feeds [Tracer.record]
+   directly so the exact counts are under test control. *)
+let synthetic i = Kernel.E_kcall { time = i; ep = Endpoint.ds; rid = 0; kc = "t" }
+
+let times tracer =
+  List.map
+    (function
+      | Kernel.E_kcall { time; _ } -> time
+      | _ -> Alcotest.fail "unexpected event shape")
+    (Tracer.events tracer)
+
+let test_partial_ring () =
+  let tracer = Tracer.create ~capacity:8 () in
+  for i = 1 to 5 do
+    Tracer.record tracer (synthetic i)
+  done;
+  Alcotest.(check (list int)) "5 of 8 slots, oldest first" [ 1; 2; 3; 4; 5 ]
+    (times tracer)
+
+let test_wrapped_ring () =
+  let tracer = Tracer.create ~capacity:8 () in
+  for i = 1 to 13 do
+    Tracer.record tracer (synthetic i)
+  done;
+  Alcotest.(check (list int)) "newest 8, oldest first"
+    [ 6; 7; 8; 9; 10; 11; 12; 13 ] (times tracer);
+  Alcotest.(check int) "all 13 seen" 13 (Tracer.recorded tracer)
+
 let test_clear () =
   let tracer, _ = run_traced simple_root in
   Tracer.clear tracer;
@@ -102,4 +133,6 @@ let () =
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
           Alcotest.test_case "crash/restart" `Quick test_crash_and_restart_traced;
           Alcotest.test_case "timeline filter" `Quick test_timeline_filter;
+          Alcotest.test_case "partial ring" `Quick test_partial_ring;
+          Alcotest.test_case "wrapped ring" `Quick test_wrapped_ring;
           Alcotest.test_case "clear" `Quick test_clear ] ) ]

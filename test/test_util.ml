@@ -150,6 +150,40 @@ let test_stats_percentile () =
   check_float "p50" 50. (Stats.percentile 50. xs);
   check_float "p100" 100. (Stats.percentile 100. xs)
 
+let test_stats_percentile_sorted () =
+  let a = Stats.sorted_array [ 5.; 1.; 3.; 2.; 4. ] in
+  check_float "sorts ascending" 1. a.(0);
+  check_float "sorts ascending (max)" 5. a.(4);
+  check_float "p0 clamps to first" 1. (Stats.percentile_sorted a 0.);
+  check_float "p50" 3. (Stats.percentile_sorted a 50.);
+  check_float "p100" 5. (Stats.percentile_sorted a 100.);
+  check_float "empty" 0. (Stats.percentile_sorted [||] 50.);
+  (* agrees with the sort-per-call list version at every quantile *)
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let sorted = Stats.sorted_array xs in
+  List.iter
+    (fun p ->
+       check_float
+         (Printf.sprintf "agrees with percentile at p%.0f" p)
+         (Stats.percentile p xs)
+         (Stats.percentile_sorted sorted p))
+    [ 1.; 25.; 50.; 95.; 99.; 100. ]
+
+let test_stats_summarize () =
+  let s = Stats.summarize (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check int) "n" 100 s.Stats.n;
+  check_float "p50" 50. s.Stats.p50;
+  check_float "p95" 95. s.Stats.p95;
+  check_float "p99" 99. s.Stats.p99;
+  check_float "max" 100. s.Stats.max;
+  (* input order must not matter: Kernel.recovery_latencies hands
+     callers newest-first lists and summarize sorts internally *)
+  let newest_first =
+    Stats.summarize (List.rev_map float_of_int (List.init 100 (fun i -> i + 1)))
+  in
+  check_float "order-insensitive p95" s.Stats.p95 newest_first.Stats.p95;
+  Alcotest.(check int) "empty n" 0 (Stats.summarize []).Stats.n
+
 let test_stats_ratio () =
   check_float "ratio" 2. (Stats.ratio 4. 2.);
   check_float "div zero" 0. (Stats.ratio 4. 0.)
@@ -191,6 +225,9 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile_sorted" `Quick
+            test_stats_percentile_sorted;
+          Alcotest.test_case "summarize" `Quick test_stats_summarize;
           Alcotest.test_case "ratio" `Quick test_stats_ratio ] );
       ( "tablefmt",
         [ Alcotest.test_case "alignment" `Quick test_tablefmt_alignment;
