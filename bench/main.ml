@@ -34,7 +34,7 @@ let table1 () =
   let pess, _ = Experiment.coverage_run Policy.pessimistic in
   let enh, _ = Experiment.coverage_run Policy.enhanced in
   (* Static predictions weighted by measured handler frequencies. *)
-  let freq_sys = System.build Policy.enhanced in
+  let freq_sys = System.build (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run freq_sys ~root:Testsuite.driver in
   let freq_kernel = System.kernel freq_sys in
   let static_report policy =
@@ -413,7 +413,7 @@ let ablation () =
     (geo pess_perf)
     (100. *. Experiment.weighted_mean_coverage enh_cov)
     (geo enh);
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run sys ~root:Testsuite.driver in
   let k = System.kernel sys in
   List.iter
@@ -450,7 +450,7 @@ let ablation () =
   (* (e) reconciliation strategy under a persistent fault: replay
      crash-loops; error virtualization degrades gracefully. *)
   let run_persistent policy =
-    let sys = System.build policy in
+    let sys = System.build (Sysconf.uniform policy) in
     Kernel.set_fault_hook (System.kernel sys)
       (Some
          (fun site ->
@@ -465,7 +465,7 @@ let ablation () =
     (halt, results, Kernel.restarts (System.kernel sys))
   in
   (* (f) recovery latency: crash-to-restart, per component size. *)
-  let lat_sys = System.build ~max_crashes:10_000 Policy.enhanced in
+  let lat_sys = System.build ~max_crashes:10_000 (Sysconf.uniform Policy.enhanced) in
   let lat_kernel = System.kernel lat_sys in
   let every = ref 0 in
   Kernel.set_fault_hook lat_kernel
@@ -582,12 +582,12 @@ let micro () =
   in
   let t_boot =
     Test.make ~name:"system.build+boot"
-      (Staged.stage (fun () -> ignore (System.build Policy.enhanced)))
+      (Staged.stage (fun () -> ignore (System.build (Sysconf.uniform Policy.enhanced))))
   in
   let t_suite =
     Test.make ~name:"full test-suite run"
       (Staged.stage (fun () ->
-           let sys = System.build Policy.enhanced in
+           let sys = System.build (Sysconf.uniform Policy.enhanced) in
            ignore (System.run sys ~root:Testsuite.driver)))
   in
   let t_ipc =
@@ -595,7 +595,7 @@ let micro () =
       (Staged.stage
          (let open Prog.Syntax in
           fun () ->
-            let sys = System.build Policy.enhanced in
+            let sys = System.build (Sysconf.uniform Policy.enhanced) in
             let root =
               let rec go n =
                 if n = 0 then Syscall.exit 0
@@ -612,7 +612,7 @@ let micro () =
       (Staged.stage
          (let open Prog.Syntax in
           fun () ->
-            let sys = System.build Policy.enhanced in
+            let sys = System.build (Sysconf.uniform Policy.enhanced) in
             let fired = ref false in
             Kernel.set_fault_hook (System.kernel sys)
               (Some
@@ -659,7 +659,8 @@ let all_experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("table5", table5); ("table6", table6);
     ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro);
-    ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run) ]
+    ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run);
+    ("matrix", Matrix_bench.run) ]
 
 let () =
   let requested =

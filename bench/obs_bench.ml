@@ -57,7 +57,7 @@ let now_ns () = Int64.to_float (Monotonic_clock.now ())
 let workload_seed = 42
 
 let run_once ?event_hook () =
-  let sys = System.build ?event_hook ~seed:workload_seed Policy.enhanced in
+  let sys = System.build ?event_hook ~seed:workload_seed (Sysconf.uniform Policy.enhanced) in
   match System.run sys ~root:(Workgen.generate ~seed:workload_seed ()) with
   | Kernel.H_completed _ -> ()
   | halt -> failwith ("obs bench workload halted: " ^ Kernel.halt_to_string halt)

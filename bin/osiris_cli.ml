@@ -10,6 +10,9 @@
      sites     profile and list fault sites
      trace     run the quickstart workload, export a Perfetto trace
      report    per-handler latency / recovery / metrics report
+     survivability
+               mixed-policy survivability matrix over system specs
+     policies  list the named recovery policies and the spec grammar
 *)
 
 open Cmdliner
@@ -55,7 +58,7 @@ let suite_cmd =
   let run policy seed verbose trace =
     setup_logs ();
     if trace then Logs.set_level (Some Logs.Debug);
-    let sys = System.build ~seed ~trace policy in
+    let sys = System.build ~seed ~trace (Sysconf.uniform policy) in
     let halt = System.run sys ~root:Testsuite.driver in
     let lines = System.log_lines sys in
     if verbose then List.iter print_endline lines;
@@ -228,7 +231,7 @@ let stress_cmd =
     let failures = ref 0 in
     for i = 0 to count - 1 do
       let wseed = seed + i in
-      let sys = System.build ~seed:wseed policy in
+      let sys = System.build ~seed:wseed (Sysconf.uniform policy) in
       let halt = System.run sys ~root:(Workgen.generate ~seed:wseed ()) in
       let ok = halt = Kernel.H_completed 0 in
       if not ok then begin
@@ -251,7 +254,7 @@ let stress_cmd =
 let fsck_cmd =
   let run policy seed =
     setup_logs ();
-    let sys = System.build ~seed policy in
+    let sys = System.build ~seed (Sysconf.uniform policy) in
     let halt = System.run sys ~root:Testsuite.driver in
     Printf.printf "suite: %s\n" (Kernel.halt_to_string halt);
     (match Mfs.check_invariants (System.mfs sys) ~bdev:(System.bdev sys) with
@@ -274,7 +277,7 @@ let timeline_cmd =
   in
   let run policy seed last =
     setup_logs ();
-    let sys = System.build ~seed policy in
+    let sys = System.build ~seed (Sysconf.uniform policy) in
     let tracer = Tracer.create ~capacity:(max 1 last) () in
     Tracer.attach tracer (System.kernel sys);
     let halt = System.run sys ~root:(Workgen.generate ~seed ()) in
@@ -320,7 +323,8 @@ let obs_run policy seed crash =
   let metrics = Metrics.create () in
   let collector = Obs_collector.create ~metrics () in
   let sys =
-    System.build ~seed ~event_hook:(Obs_collector.record collector) policy
+    System.build ~seed ~event_hook:(Obs_collector.record collector)
+      (Sysconf.uniform policy)
   in
   let kernel = System.kernel sys in
   (match crash with
@@ -396,12 +400,162 @@ let report_cmd =
              metrics tables.")
     Term.(const run $ policy_arg $ seed_arg $ crash_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Compartment-layer commands                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sysconf_conv =
+  let parse s =
+    match Sysconf.parse s with Ok c -> Ok c | Error m -> Error (`Msg m)
+  in
+  let print fmt (c : Sysconf.t) = Format.pp_print_string fmt (Sysconf.name c) in
+  Arg.conv (parse, print)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let survivability_cmd =
+  let model_arg =
+    let model_c =
+      Arg.enum [ ("fail-stop", Edfi.Fail_stop); ("full-edfi", Edfi.Full_edfi) ]
+    in
+    Arg.(value & opt model_c Edfi.Fail_stop
+         & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 60
+         & info [ "sample" ] ~docv:"N" ~doc:"Fault sites per spec (0 = all).")
+  in
+  let spec_arg =
+    Arg.(value & opt_all sysconf_conv []
+         & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"System spec: default[,server=policy[/budget]]..., e.g. \
+                 'enhanced,ds=stateless,vm=pessimistic/3'. Repeatable; one \
+                 matrix row per spec. Default: uniform specs of the four \
+                 evaluation policies (the Tables II/III diagonal).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_SURVIVABILITY_JSON \
+                 or survivability.json).")
+  in
+  let run model sample seed specs json =
+    setup_logs ();
+    let specs =
+      match specs with
+      | [] -> List.map Sysconf.uniform Policy.all_evaluated
+      | specs -> specs
+    in
+    let model_name =
+      match model with Edfi.Fail_stop -> "fail-stop" | Edfi.Full_edfi -> "full-edfi"
+    in
+    let rows = Campaign.survivability_matrix ~seed ~sample model specs in
+    Printf.printf "%-40s %6s %6s %9s %6s (%d runs each)\n" "spec" "pass%"
+      "fail%" "shutdown%" "crash%"
+      (match rows with r :: _ -> r.Campaign.runs | [] -> 0);
+    List.iter
+      (fun r ->
+         let f o = 100. *. Campaign.fraction r o in
+         Printf.printf "%-40s %6.1f %6.1f %9.1f %6.1f\n" r.Campaign.row_policy
+           (f Campaign.Pass) (f Campaign.Fail) (f Campaign.Shutdown)
+           (f Campaign.Crash))
+      rows;
+    (* Artifact, OSIRIS_BENCH_JSON-style: flag > env > default. *)
+    let path =
+      match json with
+      | Some p -> p
+      | None ->
+        (match Sys.getenv_opt "OSIRIS_SURVIVABILITY_JSON" with
+         | Some p when p <> "" -> p
+         | _ -> "survivability.json")
+    in
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf
+      "{\n  \"experiment\": \"survivability_matrix\",\n  \"model\": %S,\n\
+      \  \"seed\": %d,\n  \"sample\": %d,\n  \"rows\": [\n"
+      model_name seed sample;
+    List.iteri
+      (fun i r ->
+         Printf.bprintf buf
+           "    {\"spec\": \"%s\", \"runs\": %d, \"pass\": %d, \"fail\": %d, \
+            \"shutdown\": %d, \"crash\": %d}%s\n"
+           (json_escape r.Campaign.row_policy) r.Campaign.runs r.Campaign.pass
+           r.Campaign.fail r.Campaign.shutdown r.Campaign.crash
+           (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "wrote %s\n" path;
+    0
+  in
+  Cmd.v
+    (Cmd.info "survivability"
+       ~doc:"Mixed-policy survivability matrix: one row per system spec \
+             (uniform specs re-derive Tables II/III).")
+    Term.(const run $ model_arg $ sample_arg $ seed_arg $ spec_arg $ json_arg)
+
+let policies_cmd =
+  let run () =
+    setup_logs ();
+    Printf.printf "%-18s %-12s %-8s %-22s %-6s %s\n" "name" "instrument"
+      "window" "recovery" "dedup" "closes-window-on";
+    List.iter
+      (fun (p : Policy.t) ->
+         let closes =
+           let cls =
+             List.filter p.Policy.closes_window
+               [ Seep.Read_only; Seep.State_modifying; Seep.Reply ]
+           in
+           if cls = [] then "nothing"
+           else
+             String.concat ","
+               (List.map
+                  (function
+                    | Seep.Read_only -> "read-only"
+                    | Seep.State_modifying -> "state-modifying"
+                    | Seep.Reply -> "reply")
+                  cls)
+         in
+         Printf.printf "%-18s %-12s %-8s %-22s %-6b %s%s\n" p.Policy.name
+           (match p.Policy.instrumentation with
+            | Window.Never -> "never"
+            | Window.When_open -> "when-open"
+            | Window.Always -> "always"
+            | Window.Snapshot -> "snapshot")
+           (if p.Policy.window_on_receive then "yes" else "no")
+           (Policy.recovery_to_string p.Policy.recovery)
+           p.Policy.dedup_log closes
+           (match p.Policy.graduated with
+            | Some k -> Printf.sprintf " (hardens after %d SEEPs)" k
+            | None -> ""))
+      Policy.all_known;
+    print_endline
+      "\nspecs for `osiris survivability --spec` combine these per \
+       compartment:\n  default[,server=policy[/budget]]...   e.g. \
+       enhanced,ds=stateless,vm=pessimistic/3";
+    0
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"List the known recovery policies and their attributes.")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "osiris" ~version:"1.0.0"
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
-      disrupt_cmd; sites_cmd; fsck_cmd; stress_cmd; timeline_cmd;
-      trace_cmd; report_cmd ]
+      survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
+      stress_cmd; timeline_cmd; trace_cmd; report_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -12,7 +12,7 @@ open Prog.Syntax
 let demo_in_window () =
   print_endline "--- scenario 1: crash INSIDE the recovery window ------------";
   print_endline "fault: PM dies at the start of fork() handling";
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let tracer = Tracer.create ~capacity:64 () in
   Tracer.attach tracer (System.kernel sys);
   let fired = ref false in
@@ -57,7 +57,7 @@ let demo_in_window () =
 let demo_out_of_window () =
   print_endline "--- scenario 2: crash OUTSIDE the recovery window ------------";
   print_endline "fault: PM dies after telling VM about the new process";
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let armed = ref false in
   Kernel.set_fault_hook (System.kernel sys)
     (Some
@@ -91,7 +91,7 @@ let demo_out_of_window () =
 let demo_persistent () =
   print_endline "--- scenario 3: persistent fault --------------------------";
   print_endline "fault: DS crashes EVERY time it looks up 'poison'";
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   Kernel.set_fault_hook (System.kernel sys)
     (Some
        (fun site ->

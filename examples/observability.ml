@@ -27,8 +27,7 @@ let () =
     System.build ~seed
       ~event_hook:(fun ev ->
         Obs_collector.record collector ev;
-        Tracer.record tracer ev)
-      Policy.enhanced
+        Tracer.record tracer ev) (Sysconf.uniform Policy.enhanced)
   in
   (* Crash VFS once, mid-workload, inside a window. *)
   let fired = ref false in

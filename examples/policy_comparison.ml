@@ -40,7 +40,7 @@ let workload =
 
 let run_under policy =
   Printf.printf "=== policy: %s ===\n" policy.Policy.name;
-  let sys = System.build policy in
+  let sys = System.build (Sysconf.uniform policy) in
   (* Arm the fault on the SECOND publish the Data Store handles: the
      first one ("before") must land, the second ("poison") dies. *)
   let activations = ref 0 in

@@ -44,7 +44,7 @@ let my_program =
 
 let () =
   print_endline "booting OSIRIS (enhanced recovery policy)...";
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let halt = System.run sys ~root:my_program in
   List.iter (fun line -> print_endline ("  [console] " ^ line)) (System.log_lines sys);
   Printf.printf "halted: %s after %d simulated cycles (%.3f ms of virtual time)\n"

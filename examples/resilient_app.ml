@@ -92,7 +92,7 @@ let () =
     "pipeline of two processes + DS progress checkpoints, with fail-stop\n\
      faults injected into VFS and DS inside their recovery windows\n\
      (roughly one crash per ten requests):";
-  let sys = System.build ~max_crashes:10_000 Policy.enhanced in
+  let sys = System.build ~max_crashes:10_000 (Sysconf.uniform Policy.enhanced) in
   let kernel = System.kernel sys in
   let countdown = ref 0 in
   Kernel.set_fault_hook kernel

@@ -30,7 +30,7 @@ let () =
   print_endline
     "frequency-weighted predictions (handler frequencies measured from a\n\
      suite run, then fed back into the static analysis):";
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run sys ~root:Testsuite.driver in
   let kernel = System.kernel sys in
   List.iter

@@ -15,7 +15,7 @@ let coverage_row kernel ep =
     cov_weight = float_of_int s.Kernel.ss_busy_cycles }
 
 let coverage_run ?(seed = 42) policy =
-  let sys = System.build ~seed policy in
+  let sys = System.build ~seed (Sysconf.uniform policy) in
   let halt = System.run sys ~root:Testsuite.driver in
   let rows =
     List.map (coverage_row (System.kernel sys)) System.core_servers
@@ -42,7 +42,7 @@ type bench_result = {
 }
 
 let run_bench ?(arch = Kernel.Microkernel) ?(seed = 42) policy bench =
-  let sys = System.build ~arch ~seed policy in
+  let sys = System.build ~arch ~seed (Sysconf.uniform policy) in
   let t0 = Kernel.now (System.kernel sys) in
   let halt = System.run sys ~root:bench.Unixbench.b_driver in
   let t1 = Kernel.now (System.kernel sys) in
@@ -87,7 +87,7 @@ let memory_root =
   run Unixbench.all
 
 let memory_overhead ?(seed = 42) () =
-  let sys = System.build ~seed Policy.enhanced in
+  let sys = System.build ~seed (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run sys ~root:memory_root in
   let kernel = System.kernel sys in
   List.map
@@ -112,7 +112,7 @@ type recovery_bytes_row = {
 }
 
 let recovery_bytes ?(seed = 42) ?(period = 400) policy =
-  let sys = System.build ~seed ~max_crashes:10_000 policy in
+  let sys = System.build ~seed ~max_crashes:10_000 (Sysconf.uniform policy) in
   let kernel = System.kernel sys in
   (* A periodic crash probe across all servers: every [period]-th
      eligible fault site fires, so the run exercises both the rollback

@@ -1,7 +1,7 @@
 type t = {
   sys_kernel : Kernel.t;
   sys_registry : Registry.t;
-  sys_policy : Policy.t;
+  sys_conf : Sysconf.t;
   sys_bdev : Bdev.t;
   sys_mfs : Mfs.t;
   sys_vfs : Vfs.t;
@@ -26,7 +26,22 @@ let etc_data =
   Buffer.sub b 0 1024
 
 let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
-    ?(trace = false) ?event_hook ?extra_register policy =
+    ?(trace = false) ?event_hook ?extra_register conf =
+  (match Sysconf.validate conf with
+   | Ok () -> ()
+   | Error problems ->
+     invalid_arg
+       ("System.build: invalid sysconf: " ^ String.concat "; " problems));
+  let policy = Sysconf.default conf in
+  let overrides = Sysconf.to_assoc conf in
+  let budgets =
+    List.filter_map
+      (fun c ->
+         match Compartment.budget c with
+         | Some b -> Some (Compartment.ep c, b)
+         | None -> None)
+      (Sysconf.compartments conf)
+  in
   let registry = Registry.create () in
   Testsuite.register registry;
   Unixbench.register registry;
@@ -35,7 +50,7 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
   let vfs = Vfs.create () in
   let vm = Vm.create () in
   let ds = Ds.create () in
-  let rs = Rs.create policy in
+  let rs = Rs.create ~policies:overrides ~budgets policy in
   let mfs = Mfs.create () in
   let bdev = Bdev.create () in
   (* mkfs: /tmp, /etc/data, and one file per registered executable so
@@ -50,7 +65,7 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
   let log = ref [] in
   let cfg =
     let base =
-      Kernel.default_config ~arch ~seed policy
+      Kernel.default_config ~arch ~seed ~policies:overrides policy
         ~lookup_program:(Registry.lookup registry) ()
     in
     { base with
@@ -72,7 +87,7 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
   Kernel.boot kernel;
   { sys_kernel = kernel;
     sys_registry = registry;
-    sys_policy = policy;
+    sys_conf = conf;
     sys_bdev = bdev;
     sys_mfs = mfs;
     sys_vfs = vfs;
@@ -80,7 +95,9 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
 
 let kernel t = t.sys_kernel
 let registry t = t.sys_registry
-let policy t = t.sys_policy
+let sysconf t = t.sys_conf
+let policy t = Sysconf.default t.sys_conf
+let policy_of t ep = Sysconf.policy_for t.sys_conf ep
 let bdev t = t.sys_bdev
 let mfs t = t.sys_mfs
 let vfs t = t.sys_vfs

@@ -3,12 +3,18 @@
 
     This is the library's main entry point. Typical use:
     {[
-      let sys = System.build Policy.enhanced in
+      let sys = System.build (Sysconf.uniform Policy.enhanced) in
       let halt = System.run sys ~root:Testsuite.driver in
       match halt with
       | Kernel.H_completed 0 -> ...  (* inspect System.log_lines *)
       | _ -> ...
     ]}
+
+    [build] consumes a declarative {!Sysconf.t}: a uniform spec
+    reproduces the old single-global-policy behavior byte for byte,
+    while a mixed spec assigns each compartment its own recovery policy
+    and optional restart budget (resolved per process at boot; see
+    {!Compartment}).
 
     Every system is fully deterministic for a given configuration and
     seed. Build one fresh system per experiment run; systems are not
@@ -24,7 +30,7 @@ val build :
   ?trace:bool ->
   ?event_hook:(Kernel.event -> unit) ->
   ?extra_register:(Registry.t -> unit) ->
-  Policy.t ->
+  Sysconf.t ->
   t
 (** Create and boot a system: servers installed, filesystem populated
     with /bin (every registered executable), /etc/data and /tmp, boot
@@ -32,11 +38,22 @@ val build :
     programs are always registered; add more via [extra_register].
     [event_hook] is installed {e before} boot, so observers (e.g. an
     [Obs_collector]) capture boot traffic; attaching after [build]
-    misses it. *)
+    misses it.
+    @raise Invalid_argument when {!Sysconf.validate} rejects the spec. *)
 
 val kernel : t -> Kernel.t
 val registry : t -> Registry.t
+
+val sysconf : t -> Sysconf.t
+(** The spec the system was built from. *)
+
 val policy : t -> Policy.t
+(** The spec's default policy (what the pre-compartment global policy
+    used to be). *)
+
+val policy_of : t -> Endpoint.t -> Policy.t
+(** Per-compartment resolution, as the kernel performed it at boot. *)
+
 val bdev : t -> Bdev.t
 
 val mfs : t -> Mfs.t

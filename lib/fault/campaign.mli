@@ -21,14 +21,21 @@ val outcome_name : outcome -> string
 
 val profile_sites : ?seed:int -> Policy.t -> Kernel.site list
 (** Distinct post-boot sites in the five core servers, in first-
-    execution order. *)
+    execution order (uniform spec of the policy). *)
+
+val profile_sites_conf : ?seed:int -> Sysconf.t -> Kernel.site list
+(** Same, under an arbitrary (possibly mixed-policy) spec. *)
 
 val select_sites : ?seed:int -> sample:int -> Kernel.site list -> Kernel.site list
 (** Deterministic sample (shuffle + prefix); pass [sample <= 0] for all
     sites. *)
 
 val run_one : ?seed:int -> Policy.t -> Kernel.site -> Kernel.fault_action -> outcome
-(** One injection run. *)
+(** One injection run under a uniform spec of the policy. *)
+
+val run_one_conf :
+  ?seed:int -> Sysconf.t -> Kernel.site -> Kernel.fault_action -> outcome
+(** One injection run under an arbitrary spec. *)
 
 type row = {
   row_policy : string;
@@ -44,10 +51,21 @@ val fraction : row -> outcome -> float
 val survivability :
   ?seed:int -> ?sample:int -> Edfi.model -> Policy.t list -> row list
 (** The full experiment: profile once (under the enhanced policy, whose
-    site stream is a superset in practice), select the fault set for
-    the model, and run it under each policy. [sample] defaults to 120
-    sites; the paper used every triggered site (757 fail-stop, 992
-    full-EDFI) — pass [sample:0] to do the same at higher cost. *)
+    site stream is a superset of each evaluation policy's — asserted by
+    the profile-superset test in [test/test_compartment.ml]), select
+    the fault set for the model, and run it under each policy. [sample]
+    defaults to 120 sites; the paper used every triggered site (757
+    fail-stop, 992 full-EDFI) — pass [sample:0] to do the same at
+    higher cost. Equivalent to {!survivability_matrix} over uniform
+    specs — Tables II/III are the matrix's uniform diagonal. *)
+
+val survivability_matrix :
+  ?seed:int -> ?sample:int -> Edfi.model -> Sysconf.t list -> row list
+(** The mixed-policy generalization (FlexOS-style configuration sweep):
+    each spec may assign a different policy or restart budget per
+    compartment ("enhanced everywhere except a stateless DS"). The same
+    profiled fault set is applied under every spec; rows are labeled
+    with {!Sysconf.name}. *)
 
 val run_multi :
   ?seed:int -> Policy.t -> (Kernel.site * Kernel.fault_action) list -> outcome

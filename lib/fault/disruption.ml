@@ -9,7 +9,7 @@ type result = {
 let run ?(seed = 42) ~bench ~interval () =
   (* Periodic injection expects *many* recovered crashes per run; the
      crash-storm cutoff is a runaway guard, not a budget. *)
-  let sys = System.build ~seed ~max_crashes:1_000_000 Policy.enhanced in
+  let sys = System.build ~seed ~max_crashes:1_000_000 (Sysconf.uniform Policy.enhanced) in
   let kernel = System.kernel sys in
   if interval > 0 then begin
     let last = ref 0 in

@@ -98,6 +98,9 @@ let halt_to_string = function
 type config = {
   arch : arch;
   policy : Policy.t;
+  policies : (Endpoint.t * Policy.t) list;
+      (* per-compartment overrides, resolved once per process at
+         creation; [policy] covers user processes and unlisted servers *)
   costs : Costs.t;
   seed : int;
   max_ops : int;
@@ -109,9 +112,11 @@ type config = {
   trace : bool;
 }
 
-let default_config ?(arch = Microkernel) ?(seed = 42) policy ~lookup_program () =
+let default_config ?(arch = Microkernel) ?(seed = 42) ?(policies = []) policy
+    ~lookup_program () =
   { arch;
     policy;
+    policies;
     costs = (match arch with
         | Microkernel -> Costs.microkernel
         | Monolithic -> Costs.monolithic);
@@ -175,6 +180,7 @@ type proc = {
   ep : Endpoint.t;
   mutable pname : string;
   kind : kind;
+  policy : Policy.t;  (* compartment policy, fixed at process creation *)
   image : Memimage.t option;
   window : Window.t option;
   mutable threads : thread list;
@@ -217,11 +223,11 @@ type event =
   | E_store_logged of { time : int; ep : Endpoint.t; rid : int; bytes : int }
   | E_kcall of { time : int; ep : Endpoint.t; rid : int; kc : string }
   | E_crash of { time : int; ep : Endpoint.t; reason : string;
-                 window_open : bool; rid : int }
+                 window_open : bool; rid : int; policy : string }
   | E_hang_detected of { time : int; ep : Endpoint.t }
   | E_rollback_begin of { time : int; ep : Endpoint.t; rid : int }
   | E_rollback_end of { time : int; ep : Endpoint.t; rid : int; bytes : int }
-  | E_restart of { time : int; ep : Endpoint.t; rid : int }
+  | E_restart of { time : int; ep : Endpoint.t; rid : int; policy : string }
   | E_halt of { time : int; halt : halt }
 
 type t = {
@@ -373,7 +379,7 @@ let policy_close ?tag ?(rid = 0) t p cls =
      switches the reconciliation to kill-requester. *)
   let requester_local =
     match tag with
-    | Some tag -> List.mem tag t.cfg.policy.Policy.requester_local
+    | Some tag -> List.mem tag p.policy.Policy.requester_local
     | None -> false
   in
   match p.window with
@@ -382,17 +388,17 @@ let policy_close ?tag ?(rid = 0) t p cls =
     (* Graduated policies (extension): past the budget, the window
        hardens to pessimistic and any interaction closes it. *)
     let hardened =
-      match t.cfg.policy.Policy.graduated with
+      match p.policy.Policy.graduated with
       | Some k -> p.window_seeps > k
       | None -> false
     in
     if requester_local && not hardened then p.rlocal_crossed <- true
-    else if hardened || t.cfg.policy.Policy.closes_window cls then
+    else if hardened || p.policy.Policy.closes_window cls then
       close_window_if_open ~policy:true ~rid t p
   | _ -> ()
 
 let open_handler_window ?(rid = 0) t p =
-  if t.cfg.policy.Policy.window_on_receive then
+  if p.policy.Policy.window_on_receive then
     match p.window with
     | Some w ->
       if Window.is_open w then Window.close_window w;
@@ -499,8 +505,8 @@ let rec crash_proc t p reason =
     p.crashed_at <- max p.vtime t.global_now;
     if hooked t then
       emit t (E_crash { time = p.crashed_at; ep = p.ep; reason; window_open;
-                        rid = cause });
-    match t.cfg.policy.Policy.recovery with
+                        rid = cause; policy = p.policy.Policy.name });
+    match p.policy.Policy.recovery with
     | Policy.No_recovery -> panic t (Printf.sprintf "unrecovered crash in %s: %s" p.pname reason)
     | _ ->
       if p.ep = Endpoint.rs then kernel_recover_rs t p
@@ -564,7 +570,8 @@ and k_go t p =
       | Some { cc_request = Some rq; _ } -> rq.rq_rid
       | _ -> 0
     in
-    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep; rid })
+    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep; rid;
+                        policy = p.policy.Policy.name })
   end;
   if p.kind = Server_proc && p.crashed_at > 0 then begin
     t.recovery_latencies <-
@@ -625,7 +632,7 @@ and kernel_recover_rs t p =
      component with a clone prepared ahead of time" — for RS the kernel
      plays that role). *)
   let ctx = match p.crash_ctx with Some c -> c | None -> assert false in
-  match t.cfg.policy.Policy.recovery with
+  match p.policy.Policy.recovery with
   | Policy.No_recovery -> ()
   | Policy.Restart_fresh ->
     k_mk_clone t p; k_clear_state t p; k_go t p
@@ -650,19 +657,28 @@ and kernel_recover_rs t p =
 (* ------------------------------------------------------------------ *)
 
 let add_server t srv =
+  (* Per-compartment resolution happens exactly once, here: everything
+     downstream (window machinery, SEEP closing, recovery dispatch)
+     reads the policy pinned on the process. *)
+  let policy =
+    match List.assoc_opt srv.srv_ep t.cfg.policies with
+    | Some p -> p
+    | None -> t.cfg.policy
+  in
   let window =
-    if t.cfg.policy.Policy.instrumentation <> Window.Never
-       || t.cfg.policy.Policy.window_on_receive
+    if policy.Policy.instrumentation <> Window.Never
+       || policy.Policy.window_on_receive
     then
       Some
-        (Window.create ~dedup:t.cfg.policy.Policy.dedup_log
-           t.cfg.policy.Policy.instrumentation srv.srv_image)
+        (Window.create ~dedup:policy.Policy.dedup_log
+           policy.Policy.instrumentation srv.srv_image)
     else None
   in
   let p =
     { ep = srv.srv_ep;
       pname = srv.srv_name;
       kind = Server_proc;
+      policy;
       image = Some srv.srv_image;
       window;
       threads = [];
@@ -707,6 +723,7 @@ let spawn_user t ~name ~prog ~parent:_ =
     { ep;
       pname = name;
       kind = User_proc;
+      policy = t.cfg.policy;
       image = None;
       window = None;
       threads = [];
@@ -1483,6 +1500,7 @@ let total_ops t = t.n_ops
 
 type server_stats = {
   ss_name : string;
+  ss_policy : string;
   ss_ops_total : int;
   ss_ops_in_window : int;
   ss_busy_cycles : int;
@@ -1517,6 +1535,7 @@ let server_stats t ep =
     | None -> (0, 0, 0, 0, 0, 0, 0, 0)
   in
   { ss_name = p.pname;
+    ss_policy = p.policy.Policy.name;
     ss_ops_total = p.ops_total;
     ss_ops_in_window = p.ops_in_window;
     ss_busy_cycles = p.busy_cycles;
@@ -1556,6 +1575,9 @@ let messages_delivered t = t.n_delivered
 
 let proc_alive t ep =
   match proc_of t ep with Some p -> p.alive | None -> false
+
+let proc_policy_name t ep =
+  match proc_of t ep with Some p -> Some p.policy.Policy.name | None -> None
 
 let proc_vtime t ep =
   match proc_of t ep with Some p -> p.vtime | None -> 0

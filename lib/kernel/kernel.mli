@@ -104,6 +104,14 @@ val halt_to_string : halt -> string
 type config = {
   arch : arch;
   policy : Policy.t;
+      (** Default policy: user processes and any server without an
+          entry in [policies]. *)
+  policies : (Endpoint.t * Policy.t) list;
+      (** Per-compartment overrides. Resolution happens once, at
+          process creation ({!add_server}/{!spawn_user}): the window
+          machinery, store instrumentation, SEEP window-closing, dedup
+          and recovery dispatch all read the policy pinned on the
+          process, never this list. *)
   costs : Costs.t;
   seed : int;
   max_ops : int;            (** Total op budget; exceeding it means hang. *)
@@ -117,7 +125,8 @@ type config = {
   trace : bool;
 }
 
-val default_config : ?arch:arch -> ?seed:int -> Policy.t ->
+val default_config : ?arch:arch -> ?seed:int ->
+  ?policies:(Endpoint.t * Policy.t) list -> Policy.t ->
   lookup_program:(string -> (int -> unit Prog.t) option) -> unit -> config
 
 type t
@@ -182,9 +191,11 @@ type event =
       (** A kernel call (recovery protocol steps are the interesting
           ones: mk_clone, rollback, go, ...). *)
   | E_crash of { time : int; ep : Endpoint.t; reason : string;
-                 window_open : bool; rid : int }
+                 window_open : bool; rid : int; policy : string }
       (** [rid] is the request being handled when the crash hit (0 in
-          loop/init code) — recovery spans nest under it. *)
+          loop/init code) — recovery spans nest under it. [policy]
+          names the crashed compartment's policy, so traces from
+          heterogeneous (mixed-policy) runs stay attributable. *)
   | E_hang_detected of { time : int; ep : Endpoint.t }
       (** The heartbeat detected a hung component (precedes the
           corresponding [E_crash]). *)
@@ -192,7 +203,7 @@ type event =
   | E_rollback_end of { time : int; ep : Endpoint.t; rid : int; bytes : int }
       (** [bytes] actually blitted back: undo-log payload replayed, or
           the image size under [Snapshot] instrumentation. *)
-  | E_restart of { time : int; ep : Endpoint.t; rid : int }
+  | E_restart of { time : int; ep : Endpoint.t; rid : int; policy : string }
   | E_halt of { time : int; halt : halt }
 
 val set_event_hook : t -> (event -> unit) option -> unit
@@ -228,6 +239,7 @@ val total_ops : t -> int
 
 type server_stats = {
   ss_name : string;
+  ss_policy : string;          (** The compartment's resolved policy. *)
   ss_ops_total : int;          (** Post-boot ops executed. *)
   ss_ops_in_window : int;      (** Of which inside an open window. *)
   ss_busy_cycles : int;
@@ -274,6 +286,10 @@ val orphaned_replies : t -> int
 val messages_delivered : t -> int
 
 val proc_alive : t -> Endpoint.t -> bool
+
+val proc_policy_name : t -> Endpoint.t -> string option
+(** The policy the process was resolved to at creation ([None] for
+    unknown endpoints). *)
 
 val window_is_open : t -> Endpoint.t -> bool
 (** Whether the component's recovery window is currently open (false

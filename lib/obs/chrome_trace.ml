@@ -82,9 +82,9 @@ let of_spans ?(events = []) spans =
   List.iter (add_span buf sep) (Span.flatten spans);
   List.iter
     (function
-      | Kernel.E_crash { time; ep; reason; _ } ->
-        add_instant buf sep ~tid:ep ~ts:time ~name:("crash: " ^ reason)
-          ~scope:"t"
+      | Kernel.E_crash { time; ep; reason; policy; _ } ->
+        add_instant buf sep ~tid:ep ~ts:time
+          ~name:(Printf.sprintf "crash: %s [%s]" reason policy) ~scope:"t"
       | Kernel.E_hang_detected { time; ep } ->
         add_instant buf sep ~tid:ep ~ts:time ~name:"hang detected" ~scope:"t"
       | Kernel.E_halt { time; halt } ->

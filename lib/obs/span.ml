@@ -73,10 +73,13 @@ let build events =
            ~kind:(if call then Request else Notify)
            ~name:(Message.Tag.to_string tag) ~src ~ep:dst ~start:time
        | Kernel.E_reply { rid; time; _ } -> close_span rid time
-       | Kernel.E_crash { time; ep; rid; _ } ->
+       | Kernel.E_crash { time; ep; rid; policy; _ } ->
          let id = fresh_synth () in
-         open_span ~id ~parent:rid ~kind:Recovery ~name:"recovery" ~src:ep
-           ~ep ~start:time;
+         (* The compartment's policy in the name keeps mixed-policy
+            traces attributable span by span. *)
+         open_span ~id ~parent:rid ~kind:Recovery
+           ~name:(Printf.sprintf "recovery [%s]" policy) ~src:ep ~ep
+           ~start:time;
          Hashtbl.replace recovery_of ep id
        | Kernel.E_rollback_begin { time; ep; rid = _ } ->
          let parent =
@@ -95,7 +98,7 @@ let build events =
              | None -> ());
             close_span id time;
             Hashtbl.remove rollback_of ep)
-       | Kernel.E_restart { time; ep; rid = _ } ->
+       | Kernel.E_restart { time; ep; _ } ->
          (match Hashtbl.find_opt recovery_of ep with
           | None -> ()
           | Some id ->

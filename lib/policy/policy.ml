@@ -98,8 +98,15 @@ let enhanced_graduated k =
 
 let all_evaluated = [ stateless; naive; pessimistic; enhanced ]
 
-let by_name n =
-  List.find_opt
-    (fun p -> p.name = n)
-    [ stateless; naive; pessimistic; enhanced; enhanced_unoptimized; none;
-      enhanced_replay; enhanced_snapshot; enhanced_dedup ]
+let all_known =
+  [ stateless; naive; pessimistic; enhanced; enhanced_unoptimized; none;
+    enhanced_replay; enhanced_snapshot; enhanced_dedup ]
+
+let by_name n = List.find_opt (fun p -> p.name = n) all_known
+
+let recovery_to_string = function
+  | No_recovery -> "no-recovery"
+  | Restart_fresh -> "restart-fresh"
+  | Restart_keep_state -> "restart-keep-state"
+  | Rollback_or_shutdown -> "rollback-or-shutdown"
+  | Rollback_replay -> "rollback-replay"

@@ -98,3 +98,9 @@ val all_evaluated : t list
     stateless, naive, pessimistic, enhanced. *)
 
 val by_name : string -> t option
+
+val all_known : t list
+(** Every named configuration {!by_name} resolves (graduated policies
+    are constructed on demand and not listed). *)
+
+val recovery_to_string : recovery_action -> string

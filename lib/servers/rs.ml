@@ -9,7 +9,8 @@ let heartbeat_ticks = 1_000_000
 let image_kb = 1696
 
 type t = {
-  policy : Policy.t;
+  policy_for : Endpoint.t -> Policy.t;
+  budget_for : Endpoint.t -> int option;
   image : Memimage.t;
   services : Layout.Table.t;
   s_used : Layout.int_field;
@@ -22,7 +23,11 @@ type t = {
   c_heartbeats : Layout.Cell.t;
 }
 
-let create policy =
+let create ?(policies = []) ?(budgets = []) policy =
+  let policy_for ep =
+    match List.assoc_opt ep policies with Some p -> p | None -> policy
+  in
+  let budget_for ep = List.assoc_opt ep budgets in
   let image = Memimage.create ~name:"rs" ~size:(image_kb * 1024) in
   let spec = Layout.spec () in
   let s_used = Layout.int spec "used" in
@@ -35,8 +40,8 @@ let create policy =
   let c_shutdowns = Layout.Cell.alloc_int image "shutdowns" in
   let c_notices = Layout.Cell.alloc_int image "notices" in
   let c_heartbeats = Layout.Cell.alloc_int image "heartbeats" in
-  { policy; image; services; s_used; s_ep; s_label; s_restarts;
-    c_restarts; c_shutdowns; c_notices; c_heartbeats }
+  { policy_for; budget_for; image; services; s_used; s_ep; s_label;
+    s_restarts; c_restarts; c_shutdowns; c_notices; c_heartbeats }
 
 let find_service t ep =
   Srvlib.scan ~rows:max_services (fun row ->
@@ -58,14 +63,46 @@ let bump_restarts t ep =
   let* total = Prog.Mem.get_cell t.c_restarts in
   Prog.Mem.set_cell t.c_restarts (total + 1)
 
-(* The recovery procedure. Phases: restart, rollback, reconciliation. *)
+(* Restart-budget enforcement. Cost discipline: compartments without a
+   budget take the [None] branch, whose [Prog.return false] is a [Done]
+   — binding it interprets zero operations, so unbudgeted recoveries
+   execute the exact instruction stream they always did. Only budgeted
+   compartments pay the service-table scan. *)
+let budget_exhausted t ep =
+  match t.budget_for ep with
+  | None -> Prog.return false
+  | Some b ->
+    let* row = find_service t ep in
+    (match row with
+     | None -> Prog.return false
+     | Some row ->
+       let* n = Prog.Mem.get_int t.services ~row t.s_restarts in
+       Prog.return (n >= b))
+
+let controlled_shutdown t reason =
+  let* n = Prog.Mem.get_cell t.c_shutdowns in
+  let* () = Prog.Mem.set_cell t.c_shutdowns (n + 1) in
+  let* _ = Prog.kcall (Prog.K_shutdown reason) in
+  Prog.return ()
+
+(* The recovery procedure. Phases: restart, rollback, reconciliation.
+   Every decision is per compartment: the crashed component's own
+   policy picks the recovery action, and a crash-looping compartment
+   that exhausts its restart budget is taken down in a controlled
+   shutdown instead of being restarted forever. *)
 let recover t ep reason =
   let* () = Srvlib.diag (Printf.sprintf "rs: recovering %s (%s)"
                            (Endpoint.server_name ep) reason) in
   let* ctx = Prog.kcall (Prog.K_crash_context ep) in
   match ctx with
   | Prog.Kr_context { window_open; requester; reason = _; rlocal } ->
-    (match t.policy.Policy.recovery with
+    let* exhausted = budget_exhausted t ep in
+    if exhausted then
+      controlled_shutdown t
+        (Printf.sprintf "%s exhausted its restart budget"
+           (Endpoint.server_name ep))
+    else
+    (match (t.policy_for ep).Policy.recovery with
      | Policy.No_recovery ->
        (* Unreachable: the kernel panics before notifying RS. *)
        Prog.return ()
@@ -119,15 +156,9 @@ let recover t ep reason =
          (* The crash happened past the recovery window: rolling back
             would orphan state changes other components already saw.
             Controlled shutdown preserves consistency (Section III-C). *)
-         let* n = Prog.Mem.get_cell t.c_shutdowns in
-         let* () = Prog.Mem.set_cell t.c_shutdowns (n + 1) in
-         let* _ =
-           Prog.kcall
-             (Prog.K_shutdown
-                (Printf.sprintf "%s crashed outside recovery window"
-                   (Endpoint.server_name ep)))
-         in
-         Prog.return ()
+         controlled_shutdown t
+           (Printf.sprintf "%s crashed outside recovery window"
+              (Endpoint.server_name ep))
      | Policy.Rollback_replay ->
        if window_open then begin
          let* _ = Prog.kcall (Prog.K_mk_clone ep) in
@@ -141,15 +172,9 @@ let recover t ep reason =
          Prog.return ()
        end
        else
-         let* n = Prog.Mem.get_cell t.c_shutdowns in
-         let* () = Prog.Mem.set_cell t.c_shutdowns (n + 1) in
-         let* _ =
-           Prog.kcall
-             (Prog.K_shutdown
-                (Printf.sprintf "%s crashed outside recovery window"
-                   (Endpoint.server_name ep)))
-         in
-         Prog.return ())
+         controlled_shutdown t
+           (Printf.sprintf "%s crashed outside recovery window"
+              (Endpoint.server_name ep)))
   | _ ->
     (* Stale notification (component already recovered or gone). *)
     Prog.return ()

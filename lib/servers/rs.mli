@@ -22,7 +22,17 @@
 
 type t
 
-val create : Policy.t -> t
+val create :
+  ?policies:(Endpoint.t * Policy.t) list ->
+  ?budgets:(Endpoint.t * int) list ->
+  Policy.t -> t
+(** [create policy] recovers every compartment under [policy] (the old
+    global behavior). [policies] overrides the recovery decision per
+    compartment; [budgets] caps completed restarts per compartment —
+    once a crash-looping component has been restarted that many times,
+    the next crash triggers a controlled shutdown instead of another
+    restart. Unbudgeted compartments execute the exact pre-budget
+    instruction stream (the budget check compiles to a free bind). *)
 
 val server : t -> Kernel.server
 

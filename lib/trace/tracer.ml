@@ -69,11 +69,11 @@ let pp_event = function
   | Kernel.E_kcall { time; ep; rid; kc } ->
     Printf.sprintf "%10d  %-8s kcall %s [rid %d]" time
       (Endpoint.server_name ep) kc rid
-  | Kernel.E_crash { time; ep; reason; window_open; rid } ->
-    Printf.sprintf "%10d  CRASH %s (%s) window=%s [rid %d]" time
+  | Kernel.E_crash { time; ep; reason; window_open; rid; policy } ->
+    Printf.sprintf "%10d  CRASH %s (%s) window=%s policy=%s [rid %d]" time
       (Endpoint.server_name ep) reason
       (if window_open then "open" else "closed")
-      rid
+      policy rid
   | Kernel.E_hang_detected { time; ep } ->
     Printf.sprintf "%10d  HANG %s" time (Endpoint.server_name ep)
   | Kernel.E_rollback_begin { time; ep; rid } ->
@@ -82,8 +82,9 @@ let pp_event = function
   | Kernel.E_rollback_end { time; ep; rid; bytes } ->
     Printf.sprintf "%10d  %-8s rollback end (%dB) [rid %d]" time
       (Endpoint.server_name ep) bytes rid
-  | Kernel.E_restart { time; ep; rid } ->
-    Printf.sprintf "%10d  RESTART %s [rid %d]" time (Endpoint.server_name ep) rid
+  | Kernel.E_restart { time; ep; rid; policy } ->
+    Printf.sprintf "%10d  RESTART %s policy=%s [rid %d]" time
+      (Endpoint.server_name ep) policy rid
   | Kernel.E_halt { time; halt } ->
     Printf.sprintf "%10d  HALT %s" time (Kernel.halt_to_string halt)
 

@@ -9,7 +9,7 @@ let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
 
 let with_fault ?(policy = Policy.enhanced) ?(persistent = false) pred action
     root =
-  let sys = System.build policy in
+  let sys = System.build (Sysconf.uniform policy) in
   let fired = ref false in
   Kernel.set_fault_hook (System.kernel sys)
     (Some
@@ -84,7 +84,7 @@ let test_error_virtualization_survives_same_fault () =
 
 let test_replay_suite_clean () =
   (* Without faults the replay policy behaves exactly like enhanced. *)
-  let sys = System.build Policy.enhanced_replay in
+  let sys = System.build (Sysconf.uniform Policy.enhanced_replay) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
@@ -174,7 +174,7 @@ let test_live_update_preserves_state () =
   (* Swap DS's loop for a v2 that answers every retrieve with a marker
      value; the update happens from inside the running system, like
      MINIX's `service update`. *)
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let root =
     let* r0 = Syscall.ds_publish ~key:"lv" ~value:7 in
     if r0 < 0 then Syscall.exit 1
@@ -235,14 +235,14 @@ let test_live_update_rejects_busy () =
            Syscall.exit status
          | _ -> Syscall.exit 3)
   in
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let halt = System.run sys ~root in
   ignore sys;
   Alcotest.check halt_t "busy update refused, system intact"
     (Kernel.H_completed 0) halt
 
 let test_live_update_unknown_target () =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   match
     Kernel.live_update (System.kernel sys) 4242 (Prog.return ())
   with
@@ -265,7 +265,7 @@ let test_snapshot_window_rollback () =
   Alcotest.(check int) "second write gone" 0 (Memimage.get_word img 8)
 
 let test_snapshot_policy_suite_passes () =
-  let sys = System.build Policy.enhanced_snapshot in
+  let sys = System.build (Sysconf.uniform Policy.enhanced_snapshot) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
@@ -298,7 +298,7 @@ let test_snapshot_much_slower_than_undo_log () =
 (* ---------------- dedup policy ------------------------------------- *)
 
 let test_dedup_policy_suite_and_savings () =
-  let sys = System.build Policy.enhanced_dedup in
+  let sys = System.build (Sysconf.uniform Policy.enhanced_dedup) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.(check bool) "suite clean" true
@@ -353,7 +353,7 @@ let test_graduated_interpolates () =
   Alcotest.(check bool) "graduated is a real dial" true (pess < enh)
 
 let test_graduated_suite_passes () =
-  let sys = System.build (Policy.enhanced_graduated 2) in
+  let sys = System.build (Sysconf.uniform (Policy.enhanced_graduated 2)) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.(check bool) "completed cleanly" true

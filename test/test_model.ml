@@ -177,7 +177,7 @@ let run_fs_op op =
        else "rename ?")
 
 let observe_system ops =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let collected = ref [] in
   let root =
     let* () =
@@ -261,7 +261,7 @@ let observe_ds_model ops =
     ops
 
 let observe_ds_system ops =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let collected = ref [] in
   let root =
     let* () =

@@ -15,7 +15,7 @@ let run_with_crash ?(policy = Policy.enhanced) ?(crash = Some Endpoint.ds)
   let metrics = Metrics.create () in
   let collector = Obs_collector.create ~metrics () in
   let sys =
-    System.build ~event_hook:(Obs_collector.record collector) policy
+    System.build ~event_hook:(Obs_collector.record collector) (Sysconf.uniform policy)
   in
   let kernel = System.kernel sys in
   (match crash with

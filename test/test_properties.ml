@@ -198,7 +198,7 @@ let program_of acts =
   Syscall.exit 0
 
 let observe ?(arch = Kernel.Microkernel) policy acts =
-  let sys = System.build ~arch policy in
+  let sys = System.build ~arch (Sysconf.uniform policy) in
   let halt = System.run sys ~root:(program_of acts) in
   (* Compare only the program's own output: server diagnostics ("pm:
      fork", "rs: heartbeat N") are timing-dependent — policies with
@@ -257,12 +257,12 @@ let fsck sys =
     false
 
 let test_fsck_after_boot () =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   Alcotest.(check bool) "clean after boot" true (fsck sys)
 
 let test_fsck_detects_corruption () =
   (* Mutation check: the checker must actually catch broken states. *)
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let root =
     let* fd = Syscall.open_ "/tmp/fsckx" Message.creat in
     let* _ = Syscall.write ~fd (String.make 2048 'c') in
@@ -276,7 +276,7 @@ let test_fsck_detects_corruption () =
   Alcotest.(check bool) "corruption detected" false (fsck sys)
 
 let test_fsck_after_suite () =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run sys ~root:Testsuite.driver in
   Alcotest.(check bool) "clean after the whole suite" true (fsck sys)
 
@@ -285,7 +285,7 @@ let prop_fsck_random_workloads =
     ~name:"filesystem invariants hold after random workloads" ~count:25
     arb_acts
     (fun acts ->
-       let sys = System.build Policy.enhanced in
+       let sys = System.build (Sysconf.uniform Policy.enhanced) in
        let (_ : Kernel.halt) = System.run sys ~root:(program_of acts) in
        fsck sys)
 
@@ -296,7 +296,7 @@ let prop_fsck_after_faulted_runs =
     (fun si ->
        let sites = Lazy.force all_sites in
        let site = sites.(si mod Array.length sites) in
-       let sys = System.build Policy.enhanced in
+       let sys = System.build (Sysconf.uniform Policy.enhanced) in
        let fired = ref false in
        Kernel.set_fault_hook (System.kernel sys)
          (Some

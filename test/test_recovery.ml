@@ -12,7 +12,7 @@ let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
    match ([persistent] re-arms it forever). *)
 let with_fault ?(policy = Policy.enhanced) ?(persistent = false) site_pred
     action root =
-  let sys = System.build policy in
+  let sys = System.build (Sysconf.uniform policy) in
   let fired = ref false in
   Kernel.set_fault_hook (System.kernel sys)
     (Some
@@ -92,7 +92,7 @@ let test_rollback_preserves_pre_checkpoint_state () =
     else false
   in
   (* Arm at the second publish's first store. *)
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let shot = ref false in
   let seen_first = ref false in
   ignore pred;
@@ -401,7 +401,7 @@ let test_rs_self_recovery () =
 let test_suite_survives_fail_silent_corruption () =
   (* A corrupted store is fail-silent: the system must not wedge the
      kernel; any of the four outcomes is legal, but the run must halt. *)
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let fired = ref false in
   Kernel.set_fault_hook (System.kernel sys)
     (Some

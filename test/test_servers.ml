@@ -7,14 +7,14 @@ open Prog.Syntax
 let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
 
 let run_root ?(policy = Policy.enhanced) ?(arch = Kernel.Microkernel) root =
-  let sys = System.build ~arch policy in
+  let sys = System.build ~arch (Sysconf.uniform policy) in
   let halt = System.run sys ~root in
   (sys, halt)
 
 (* ---------------- full suite everywhere --------------------------- *)
 
 let suite_passes ?(arch = Kernel.Microkernel) policy () =
-  let sys = System.build ~arch policy in
+  let sys = System.build ~arch (Sysconf.uniform policy) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
@@ -24,8 +24,8 @@ let suite_passes ?(arch = Kernel.Microkernel) policy () =
   Alcotest.(check int) "no failures" 0 r.Testsuite.failed
 
 let test_boot_deterministic () =
-  let sys1 = System.build Policy.enhanced in
-  let sys2 = System.build Policy.enhanced in
+  let sys1 = System.build (Sysconf.uniform Policy.enhanced) in
+  let sys2 = System.build (Sysconf.uniform Policy.enhanced) in
   let h1 = System.run sys1 ~root:Testsuite.driver in
   let h2 = System.run sys2 ~root:Testsuite.driver in
   Alcotest.check halt_t "same halt" h1 h2;
@@ -37,7 +37,7 @@ let test_boot_deterministic () =
 let test_seed_changes_nothing_functional () =
   (* A different seed must not change functional outcomes (the RNG only
      feeds explicitly random programs and fault choices). *)
-  let sys = System.build ~seed:777 Policy.enhanced in
+  let sys = System.build ~seed:777 (Sysconf.uniform Policy.enhanced) in
   let halt = System.run sys ~root:Testsuite.driver in
   let r = Testsuite.parse_results (System.log_lines sys) in
   Alcotest.check halt_t "completed" (Kernel.H_completed 0) halt;
@@ -116,7 +116,7 @@ let test_rs_status_reports_services () =
 let test_vm_accounting_balanced_after_suite () =
   (* After the whole suite, every exited process must have released its
      pages: only the root remains. *)
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let root =
     let rec spawn_some n =
       if n = 0 then
@@ -160,7 +160,7 @@ let test_pipe_across_exec () =
   Alcotest.check halt_t "pipe across exec" (Kernel.H_completed 0) halt
 
 let test_orphan_replies_are_rare () =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let (_ : Kernel.halt) = System.run sys ~root:Testsuite.driver in
   (* DS notifications to already-exited subscribers are legitimately
      dropped; anything beyond that handful would indicate a protocol

@@ -8,7 +8,7 @@ open Prog.Syntax
 let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
 
 let run root =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   (sys, System.run sys ~root)
 
 let expect_exit name root expected =

@@ -4,7 +4,7 @@
 open Prog.Syntax
 
 let run_traced ?capacity ?fault root =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let tracer = Tracer.create ?capacity () in
   Tracer.attach tracer (System.kernel sys);
   (match fault with

@@ -108,7 +108,7 @@ let test_bench_register_adds_drivers () =
 let halt_t = Alcotest.testable (Fmt.of_to_string Kernel.halt_to_string) ( = )
 
 let run_root root =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   System.run sys ~root
 
 let test_stub_error_codes () =
@@ -127,7 +127,7 @@ let test_stub_error_codes () =
   Alcotest.check halt_t "codes" (Kernel.H_completed 0) (run_root root)
 
 let test_stub_print_reaches_log () =
-  let sys = System.build Policy.enhanced in
+  let sys = System.build (Sysconf.uniform Policy.enhanced) in
   let root =
     let* () = Syscall.print "custom-marker-line" in
     Syscall.exit 0
@@ -152,7 +152,7 @@ let test_workgen_spec_size () =
 
 let test_workgen_runs_clean () =
   for seed = 100 to 109 do
-    let sys = System.build ~seed Policy.enhanced in
+    let sys = System.build ~seed (Sysconf.uniform Policy.enhanced) in
     let halt = System.run sys ~root:(Workgen.generate ~seed ()) in
     Alcotest.check halt_t
       (Printf.sprintf "seed %d clean" seed)
