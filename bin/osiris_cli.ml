@@ -10,6 +10,10 @@
      sites     profile and list fault sites
      trace     run the quickstart workload, export a Perfetto trace
      report    per-handler latency / recovery / metrics report
+     profile   cycle-accounting profile (per-compartment phase matrix,
+               JSON + folded flamegraph artifacts)
+     health    recovery-health watchdog report (MTTR, crash loops,
+               overhead vs baseline)
      survivability
                mixed-policy survivability matrix over system specs
      policies  list the named recovery policies and the spec grammar
@@ -319,30 +323,34 @@ let crash_arg =
          ~doc:"Inject one recoverable crash into this server (none to \
                disable).")
 
-let obs_run policy seed crash =
+(* Deterministic crash injection: the first [count] in-window Replies
+   of [ep] fail-stop, each recoverable under any recovering policy. *)
+let arm_crash ?(count = 1) kernel = function
+  | None -> ()
+  | Some ep ->
+    let armed = ref count in
+    Kernel.set_fault_hook kernel
+      (Some
+         (fun site ->
+            if !armed > 0
+               && site.Kernel.site_ep = ep
+               && site.Kernel.site_kind = Kernel.Op_reply
+               && Kernel.window_is_open kernel ep
+            then begin
+              decr armed;
+              Some (Kernel.F_crash "injected for tracing")
+            end
+            else None))
+
+let obs_run ?profiler policy seed crash =
   let metrics = Metrics.create () in
   let collector = Obs_collector.create ~metrics () in
   let sys =
-    System.build ~seed ~event_hook:(Obs_collector.record collector)
+    System.build ~seed ~event_hook:(Obs_collector.record collector) ?profiler
       (Sysconf.uniform policy)
   in
   let kernel = System.kernel sys in
-  (match crash with
-   | None -> ()
-   | Some ep ->
-     let armed = ref true in
-     Kernel.set_fault_hook kernel
-       (Some
-          (fun site ->
-             if !armed
-                && site.Kernel.site_ep = ep
-                && site.Kernel.site_kind = Kernel.Op_reply
-                && Kernel.window_is_open kernel ep
-             then begin
-               armed := false;
-               Some (Kernel.F_crash "injected for tracing")
-             end
-             else None)));
+  arm_crash kernel crash;
   let halt = System.run sys ~root:Workgen.quickstart in
   Obs_collector.snapshot_server_stats metrics kernel;
   (sys, collector, metrics, halt)
@@ -356,11 +364,15 @@ let trace_cmd =
   in
   let run policy seed crash json =
     setup_logs ();
-    let sys, collector, _metrics, halt = obs_run policy seed crash in
+    (* Sampled profiler: per-phase cycle-rate counter tracks alongside
+       the span tracks. *)
+    let profiler = Profiler.create ~sample_every:20_000 () in
+    let sys, collector, _metrics, halt = obs_run ~profiler policy seed crash in
     let events = Obs_collector.events collector in
     let spans = Span.build events in
+    let counters = Flame.counter_samples profiler in
     let oc = open_out json in
-    output_string oc (Chrome_trace.of_spans ~events spans);
+    output_string oc (Chrome_trace.of_spans ~events ~counters spans);
     close_out oc;
     (* Show the trees that contain recovery work; the full forest
        (boot included) lives in the JSON. *)
@@ -420,6 +432,126 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Profiler / health commands                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_opt_arg =
+  Arg.(value & opt (some sysconf_conv) None
+       & info [ "spec" ] ~docv:"SPEC"
+         ~doc:"System spec (overrides $(b,--policy)): \
+               default[,server=policy[/budget]]...")
+
+let conf_of_args policy spec =
+  match spec with Some c -> c | None -> Sysconf.uniform policy
+
+let out_path ~flag ~env ~default =
+  match flag with
+  | Some p -> p
+  | None ->
+    (match Sys.getenv_opt env with
+     | Some p when p <> "" -> p
+     | _ -> default)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let profile_cmd =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_PROFILE_JSON or \
+                 osiris_profile.json).")
+  in
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"PATH"
+           ~doc:"Folded-stack flamegraph output (default from \
+                 OSIRIS_PROFILE_FOLDED or osiris_profile.folded; feed to \
+                 flamegraph.pl / inferno / speedscope).")
+  in
+  let run policy spec seed crash json folded =
+    setup_logs ();
+    let conf = conf_of_args policy spec in
+    let profiler = Profiler.create () in
+    let sys = System.build ~seed ~profiler conf in
+    let kernel = System.kernel sys in
+    arm_crash kernel crash;
+    let halt = System.run sys ~root:Workgen.quickstart in
+    print_endline (Profiler.report profiler);
+    Printf.printf "halted: %s\n" (Kernel.halt_to_string halt);
+    write_file
+      (out_path ~flag:json ~env:"OSIRIS_PROFILE_JSON"
+         ~default:"osiris_profile.json")
+      (Profiler.to_json profiler);
+    write_file
+      (out_path ~flag:folded ~env:"OSIRIS_PROFILE_FOLDED"
+         ~default:"osiris_profile.folded")
+      (Flame.folded profiler);
+    match Profiler.check_conservation profiler kernel with
+    | Ok () ->
+      Printf.printf "conservation: ok (%d cycles attributed over %d records)\n"
+        (Profiler.total_cycles profiler) (Profiler.n_records profiler);
+      0
+    | Error m ->
+      Printf.printf "conservation VIOLATED: %s\n" m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the quickstart workload under the cycle-accounting \
+             profiler: per-compartment phase matrix, JSON artifact, and \
+             folded flamegraph.")
+    Term.(const run $ policy_arg $ spec_opt_arg $ seed_arg $ crash_arg
+          $ json_arg $ folded_arg)
+
+let health_cmd =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_HEALTH_JSON or \
+                 osiris_health.json).")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 1
+         & info [ "crashes" ] ~docv:"N"
+           ~doc:"Recoverable crashes to inject into the --crash server.")
+  in
+  let run policy spec seed crash crashes json =
+    setup_logs ();
+    let conf = conf_of_args policy spec in
+    let profiler = Profiler.create () in
+    let watchdog = Health.create () in
+    let sys =
+      System.build ~seed ~event_hook:(Health.observe watchdog) ~profiler conf
+    in
+    let kernel = System.kernel sys in
+    arm_crash ~count:crashes kernel crash;
+    let halt = System.run sys ~root:Workgen.quickstart in
+    let comps =
+      Health.snapshot ~profiler ~budget_for:(Sysconf.budget_for conf)
+        watchdog kernel
+    in
+    print_endline (Health.render comps);
+    Printf.printf "halted: %s\n" (Kernel.halt_to_string halt);
+    write_file
+      (out_path ~flag:json ~env:"OSIRIS_HEALTH_JSON"
+         ~default:"osiris_health.json")
+      (Health.to_json comps);
+    if List.for_all (fun c -> c.Health.co_status = Health.Healthy) comps then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Run the quickstart workload and report per-compartment \
+             recovery health: MTTR, success ratio, crash-loop detection, \
+             overhead vs baseline.")
+    Term.(const run $ policy_arg $ spec_opt_arg $ seed_arg $ crash_arg
+          $ crashes_arg $ json_arg)
 
 let survivability_cmd =
   let model_arg =
@@ -556,6 +688,7 @@ let main =
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
-      stress_cmd; timeline_cmd; trace_cmd; report_cmd ]
+      stress_cmd; timeline_cmd; trace_cmd; report_cmd; profile_cmd;
+      health_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -26,7 +26,7 @@ let etc_data =
   Buffer.sub b 0 1024
 
 let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
-    ?(trace = false) ?event_hook ?extra_register conf =
+    ?(trace = false) ?event_hook ?profiler ?extra_register conf =
   (match Sysconf.validate conf with
    | Ok () -> ()
    | Error problems ->
@@ -80,6 +80,12 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
      attached after build (e.g. Tracer.attach) only sees the run. *)
   (match event_hook with
    | Some f -> Kernel.set_event_hook kernel (Some f)
+   | None -> ());
+  (* Likewise pre-boot: the profiler must see every cycle from the
+     first boot instruction, or conservation against the process
+     clocks cannot hold. *)
+  (match profiler with
+   | Some prof -> Profiler.attach prof kernel
    | None -> ());
   List.iter (Kernel.add_server kernel)
     [ Pm.server pm; Vfs.server vfs; Vm.server vm; Ds.server ds;

@@ -29,6 +29,7 @@ val build :
   ?max_crashes:int ->
   ?trace:bool ->
   ?event_hook:(Kernel.event -> unit) ->
+  ?profiler:Profiler.t ->
   ?extra_register:(Registry.t -> unit) ->
   Sysconf.t ->
   t
@@ -38,7 +39,9 @@ val build :
     programs are always registered; add more via [extra_register].
     [event_hook] is installed {e before} boot, so observers (e.g. an
     [Obs_collector]) capture boot traffic; attaching after [build]
-    misses it.
+    misses it. [profiler] is likewise attached pre-boot as the
+    kernel's cycle hook, which is what makes
+    [Profiler.check_conservation] hold at any later point.
     @raise Invalid_argument when {!Sysconf.validate} rejects the spec. *)
 
 val kernel : t -> Kernel.t

@@ -46,6 +46,132 @@ let all_op_kinds =
   [ Op_compute; Op_load; Op_store; Op_send; Op_call; Op_reply; Op_receive;
     Op_kcall; Op_spawn; Op_yield ]
 
+(* Cycle-attribution phases: every advance of a process' virtual clock
+   is charged to exactly one of these, so a profiler summing hook
+   emissions reconstructs each clock exactly (conservation). *)
+type phase =
+  | Ph_user        (* executing the component's own instructions *)
+  | Ph_instr       (* recovery-window instrumentation drag (c_instr_op) *)
+  | Ph_log         (* undo-log writes riding on logged stores *)
+  | Ph_checkpoint  (* window-open checkpoint / snapshot copy *)
+  | Ph_rollback    (* rolling state back after an in-window crash *)
+  | Ph_restart     (* restart machinery: clone transfer, clear, go *)
+  | Ph_wait        (* blocked on IPC: clock jumps to a peer's time *)
+
+let phase_index = function
+  | Ph_user -> 0
+  | Ph_instr -> 1
+  | Ph_log -> 2
+  | Ph_checkpoint -> 3
+  | Ph_rollback -> 4
+  | Ph_restart -> 5
+  | Ph_wait -> 6
+
+let n_phases = 7
+
+let phase_to_string = function
+  | Ph_user -> "user"
+  | Ph_instr -> "instr"
+  | Ph_log -> "undo_log"
+  | Ph_checkpoint -> "checkpoint"
+  | Ph_rollback -> "rollback"
+  | Ph_restart -> "restart"
+  | Ph_wait -> "ipc_wait"
+
+let all_phases =
+  [ Ph_user; Ph_instr; Ph_log; Ph_checkpoint; Ph_rollback; Ph_restart;
+    Ph_wait ]
+
+(* Attribution slots: every static emission point of the cycle hook is
+   registered at module init as a (phase, detail) pair and identified
+   by a dense integer id. The hook passes the id, not the pair, so a
+   profiler can count cycles in flat arrays — no hashing, no string
+   comparison on the hot path — which is what keeps the attached-
+   profiler overhead inside its gate (bench/profiler_bench.ml). *)
+type slot = int
+
+let slot_defs : (phase * string) list ref = ref []
+let n_slot_defs = ref 0
+let drag_pairs : (int * int) list ref = ref []
+
+let mk_slot phase detail : slot =
+  let id = !n_slot_defs in
+  incr n_slot_defs;
+  slot_defs := (phase, detail) :: !slot_defs;
+  id
+
+(* A slot charged through [charge] gets a [Ph_instr] twin carrying the
+   same detail, so recovery-window instrumentation drag is attributed
+   per operation. *)
+let mk_charged phase detail : slot =
+  let m = mk_slot phase detail in
+  let d = mk_slot Ph_instr detail in
+  drag_pairs := (m, d) :: !drag_pairs;
+  m
+
+(* Interpreter operations: busy work, charged with drag. *)
+let sl_compute = mk_charged Ph_user "compute"
+let sl_load = mk_charged Ph_user "load"
+let sl_store = mk_charged Ph_user "store"
+let sl_send = mk_charged Ph_user "send"
+let sl_call = mk_charged Ph_user "call"
+let sl_receive = mk_charged Ph_user "receive"
+let sl_reply = mk_charged Ph_user "reply"
+let sl_yield = mk_charged Ph_user "yield"
+let sl_spawn = mk_charged Ph_user "spawn"
+let sl_rand = mk_charged Ph_user "rand"
+let sl_now = mk_charged Ph_user "now"
+
+(* Kernel calls, one slot each: recovery-machinery kcalls are
+   attributed to the recovery phases even though the Recovery Server
+   issues them like any other operation. *)
+let sl_kc_fork = mk_charged Ph_user "fork"
+let sl_kc_exec = mk_charged Ph_user "exec"
+let sl_kc_kill = mk_charged Ph_user "kill"
+let sl_kc_crash_context = mk_charged Ph_user "crash_context"
+let sl_kc_mk_clone = mk_charged Ph_restart "mk_clone"
+let sl_kc_rollback = mk_charged Ph_rollback "rollback"
+let sl_kc_clear_state = mk_charged Ph_restart "clear_state"
+let sl_kc_go = mk_charged Ph_restart "go"
+let sl_kc_reply_error = mk_charged Ph_restart "reply_error"
+let sl_kc_shutdown = mk_charged Ph_user "shutdown"
+let sl_kc_alarm = mk_charged Ph_user "alarm"
+let sl_kc_mmu = mk_charged Ph_user "mmu"
+let sl_kc_replay = mk_charged Ph_restart "replay"
+let sl_kc_live_update = mk_charged Ph_user "live_update"
+let sl_kc_kill_requester = mk_charged Ph_restart "kill_requester"
+
+(* Dragless advances: undo-log rides, checkpoint copies, recovery
+   transfers, and IPC-wait clock jumps. The mk_clone / clear_state
+   image transfers share the kcall slots of the same name. *)
+let sl_log_store = mk_slot Ph_log "store"
+let sl_ckpt_snapshot = mk_slot Ph_checkpoint "snapshot"
+let sl_ckpt_undo = mk_slot Ph_checkpoint "undo_log"
+let sl_restart_downtime = mk_slot Ph_restart "downtime"
+let sl_restart_live_update = mk_slot Ph_restart "live_update"
+let sl_wait_resume = mk_slot Ph_wait "resume"
+let sl_wait_reply = mk_slot Ph_wait "reply"
+let sl_wait_spawn = mk_slot Ph_wait "spawn"
+let sl_wait_fork = mk_slot Ph_wait "fork"
+let sl_wait_exec = mk_slot Ph_wait "exec"
+let sl_wait_kill = mk_slot Ph_wait "kill"
+let sl_wait_inbox = mk_slot Ph_wait "inbox"
+
+let n_slots = !n_slot_defs
+
+let slot_info : (phase * string) array = Array.of_list (List.rev !slot_defs)
+
+let slot_phase (s : slot) = fst slot_info.(s)
+let slot_detail (s : slot) = snd slot_info.(s)
+
+(* Main slot -> its Ph_instr drag twin; -1 for dragless slots. *)
+let slot_drag =
+  let a = Array.make n_slots (-1) in
+  List.iter (fun (m, d) -> a.(m) <- d) !drag_pairs;
+  a
+
+let all_slots = List.init n_slots (fun s -> s)
+
 type site = {
   site_ep : Endpoint.t;
   site_handler : Message.Tag.t option;
@@ -207,6 +333,12 @@ type proc = {
   mutable ops_in_window : int;
   mutable busy_cycles : int;
   mutable restart_count : int;
+  (* Per-slot cycle/event counters, interleaved [2*slot] = cycles and
+     [2*slot+1] = events; [||] until [enable_cycle_counts]. Kept on
+     the proc so the hot path is a flat array bump with no closure
+     call and no lookup — the proc record is already in hand at every
+     emission point. *)
+  mutable prof : int array;
 }
 
 type sched_item = S_run of Endpoint.t | S_alarm of Endpoint.t | S_hangcheck of Endpoint.t
@@ -245,6 +377,8 @@ type t = {
   mutable fault_hook : (site -> fault_action option) option;
   mutable site_recorder : (site -> unit) option;
   mutable event_hook : (event -> unit) option;
+  mutable cycle_hook : (Endpoint.t -> slot -> int -> unit) option;
+  mutable profiling : bool;  (* procs carry per-slot counter rows *)
   mutable n_ops : int;
   mutable n_crashes : int;
   mutable n_restarts : int;
@@ -271,6 +405,8 @@ let create cfg =
     fault_hook = None;
     site_recorder = None;
     event_hook = None;
+    cycle_hook = None;
+    profiling = false;
     n_ops = 0;
     n_crashes = 0;
     n_restarts = 0;
@@ -291,6 +427,52 @@ let emit t ev = match t.event_hook with Some f -> f ev | None -> ()
    check this first: with no hook installed the event record is never
    allocated and the hot path pays a single branch. *)
 let[@inline] hooked t = t.event_hook <> None
+
+let set_cycle_hook t hook = t.cycle_hook <- hook
+
+(* Cycle attribution, two consumers:
+   - per-process slot counters ([enable_cycle_counts]): a flat array
+     bump with no closure call, cheap enough to stay inside the
+     attached-profiler overhead gate of bench/profiler_bench.ml;
+   - the optional closure hook, for consumers that need the event
+     stream itself (e.g. the profiler's counter-track sampler). Its
+     arguments are immediate ints, so an invocation allocates nothing.
+   With neither enabled an emission point pays two branches. *)
+let[@inline] cycles t p slot c =
+  if c > 0 then begin
+    (let a = p.prof in
+     if Array.length a <> 0 then begin
+       let i = 2 * slot in
+       Array.unsafe_set a i (Array.unsafe_get a i + c);
+       Array.unsafe_set a (i + 1) (Array.unsafe_get a (i + 1) + 1)
+     end);
+    match t.cycle_hook with
+    | Some f -> f p.ep slot c
+    | None -> ()
+  end
+
+let prof_row () = Array.make (2 * n_slots) 0
+
+let enable_cycle_counts t =
+  t.profiling <- true;
+  Hashtbl.iter
+    (fun _ p -> if Array.length p.prof = 0 then p.prof <- prof_row ())
+    t.procs
+
+(* vtime-only advance (no busy_cycles): checkpoint costs and recovery
+   image transfers model elapsed time during which the component is
+   not executing its own instructions. *)
+let[@inline] advance t p slot c =
+  p.vtime <- p.vtime + c;
+  cycles t p slot c
+
+(* Max-jump resynchronisation: the process was blocked until [target]
+   (a peer's clock, an inbox timestamp, the global clock). *)
+let[@inline] sync_to t p slot target =
+  if target > p.vtime then begin
+    cycles t p slot (target - p.vtime);
+    p.vtime <- target
+  end
 
 (* Causal request id allocation: every delivered message gets a fresh
    rid; its parent is the sender thread's current cause (the rid of the
@@ -409,12 +591,13 @@ let open_handler_window ?(rid = 0) t p =
         emit t (E_window_open { time = p.vtime; ep = p.ep; rid });
       (* Full-copy checkpointing pays for the image copy at every
          window open; the undo log pays per store instead. *)
+      let snapshot = Window.instrumentation w = Window.Snapshot in
       let cost =
-        if Window.instrumentation w = Window.Snapshot then
+        if snapshot then
           max t.cfg.costs.Costs.c_checkpoint (Memimage.size (Window.image w) / 8)
         else t.cfg.costs.Costs.c_checkpoint
       in
-      p.vtime <- p.vtime + cost;
+      advance t p (if snapshot then sl_ckpt_snapshot else sl_ckpt_undo) cost;
       if hooked t then
         emit t (E_checkpoint { time = p.vtime; ep = p.ep; rid; cycles = cost })
     | None -> ()
@@ -573,7 +756,8 @@ and k_go t p =
     emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep; rid;
                         policy = p.policy.Policy.name })
   end;
-  if p.kind = Server_proc && p.crashed_at > 0 then begin
+  let recovering = p.crashed_at > 0 in
+  if p.kind = Server_proc && recovering then begin
     t.recovery_latencies <-
       (max 0 (max t.global_now p.vtime - p.crashed_at)) :: t.recovery_latencies;
     p.crashed_at <- 0
@@ -590,7 +774,10 @@ and k_go t p =
   p.alive <- true;
   p.stalled <- false;
   p.crash_ctx <- None;
-  p.vtime <- max p.vtime t.global_now;
+  (* Jump to the global clock: crash downtime when recovering, plain
+     wait when a freshly forked/stalled process is released. *)
+  if recovering then sync_to t p sl_restart_downtime t.global_now
+  else sync_to t p sl_wait_resume t.global_now;
   wake_receiver t p;
   schedule t p
 
@@ -620,7 +807,7 @@ and k_reply_error t ~target ~err =
                            tag = Message.Tag.of_msg (Message.R_err err);
                            rid = th.out_rid });
        th.tstate <- T_ready (k (Message.R_err err));
-       rp.vtime <- max rp.vtime t.global_now;
+       sync_to t rp sl_wait_reply t.global_now;
        Queue.push th rp.runq;
        schedule t rp;
        true)
@@ -704,7 +891,8 @@ let add_server t srv =
       ops_total = 0;
       ops_in_window = 0;
       busy_cycles = 0;
-      restart_count = 0 }
+      restart_count = 0;
+      prof = (if t.profiling then prof_row () else [||]) }
   in
   let main =
     fresh_thread p (Prog.bind srv.srv_init (fun () -> srv.srv_loop))
@@ -749,12 +937,16 @@ let spawn_user t ~name ~prog ~parent:_ =
       ops_total = 0;
       ops_in_window = 0;
       busy_cycles = 0;
-      restart_count = 0 }
+      restart_count = 0;
+      prof = (if t.profiling then prof_row () else [||]) }
   in
   let th = fresh_thread p prog in
   p.threads <- [ th ];
   Queue.push th p.runq;
   Hashtbl.replace t.procs ep p;
+  (* The clock starts at the global now: attribute the pre-existence
+     span so per-process attribution still sums to the final clock. *)
+  cycles t p sl_wait_spawn t.global_now;
   schedule t p;
   ep
 
@@ -797,12 +989,13 @@ let live_update_internal t ep loop =
       let th = fresh_thread p loop in
       p.threads <- [ th ];
       Queue.push th p.runq;
-      p.vtime <- max p.vtime t.global_now;
+      sync_to t p sl_wait_resume t.global_now;
       (* A real update would also transfer the image into the new
          version's layout; versions here share the layout, so the
          state carries over as-is. Charge the state-transfer cost. *)
       (match p.image with
-       | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+       | Some img ->
+         advance t p sl_restart_live_update (Memimage.size img / 8)
        | None -> ());
       wake_receiver t p;
       schedule t p;
@@ -837,7 +1030,7 @@ let exec_kcall t p kc : Prog.kresult =
           (* The child starts running only after PM finishes the fork
              bookkeeping and issues K_go. *)
           cp.stalled <- true;
-          cp.vtime <- max cp.vtime p.vtime;
+          sync_to t cp sl_wait_fork p.vtime;
           Prog.Kr_ep cep))
   | Prog.K_exec { proc; path; arg } ->
     (match proc_of t proc with
@@ -852,7 +1045,7 @@ let exec_kcall t p kc : Prog.kresult =
           pp.active <- None;
           Queue.push th pp.runq;
           pp.pname <- Filename.basename path;
-          pp.vtime <- max pp.vtime p.vtime;
+          sync_to t pp sl_wait_exec p.vtime;
           schedule t pp;
           Prog.Kr_ok))
   | Prog.K_kill { proc; status } ->
@@ -881,7 +1074,7 @@ let exec_kcall t p kc : Prog.kresult =
           into the clone; the Recovery Server pays for the transfer
           (~8 bytes/cycle). *)
        (match cp.image with
-        | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+        | Some img -> advance t p sl_kc_mk_clone (Memimage.size img / 8)
         | None -> ());
        Prog.Kr_ok
      | _ -> Prog.Kr_err Errno.ESRCH)
@@ -895,7 +1088,8 @@ let exec_kcall t p kc : Prog.kresult =
      | Some cp ->
        k_clear_state t cp;
        (match cp.image with
-        | Some img -> p.vtime <- p.vtime + (Memimage.size img / 8)
+        | Some img ->
+          advance t p sl_kc_clear_state (Memimage.size img / 8)
         | None -> ());
        Prog.Kr_ok
      | None -> Prog.Kr_err Errno.ESRCH)
@@ -947,7 +1141,7 @@ let exec_kcall t p kc : Prog.kresult =
         | th :: _ ->
           Queue.push th rp.runq;
           rp.active <- None;
-          rp.vtime <- max rp.vtime p.vtime;
+          sync_to t rp sl_wait_kill p.vtime;
           schedule t rp
         | [] -> ());
        Prog.Kr_ok
@@ -957,17 +1151,29 @@ let exec_kcall t p kc : Prog.kresult =
 (* The interpreter                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let charge t p c =
+let charge t p slot c =
   (* Instrumentation drag: while stores are being logged, every
      operation of the component carries the undo-log cost of the
-     machine-level stores it stands for. *)
-  let c =
+     machine-level stores it stands for. The drag is attributed
+     separately (the slot's Ph_instr twin) so the profiler can isolate
+     window cost from the operation's own phase. *)
+  let drag =
     match p.window with
-    | Some w when Window.would_log w -> c + t.cfg.costs.Costs.c_instr_op
-    | _ -> c
+    | Some w when Window.would_log w -> t.cfg.costs.Costs.c_instr_op
+    | _ -> 0
   in
+  p.vtime <- p.vtime + c + drag;
+  p.busy_cycles <- p.busy_cycles + c + drag;
+  cycles t p slot c;
+  cycles t p (Array.unsafe_get slot_drag slot) drag
+
+(* Like [charge] but without instrumentation drag: the undo-log part
+   of a logged store already rides on the same operation, which paid
+   the drag once via its base [charge]. *)
+let charge_flat t p slot c =
   p.vtime <- p.vtime + c;
-  p.busy_cycles <- p.busy_cycles + c
+  p.busy_cycles <- p.busy_cycles + c;
+  cycles t p slot c
 
 let coverage t p =
   if t.booted && p.kind = Server_proc then begin
@@ -1023,6 +1229,25 @@ let kcall_name : Prog.kcall -> string = function
   | Prog.K_live_update _ -> "live_update"
   | Prog.K_kill_requester _ -> "kill_requester"
 
+(* Attribution slot of a kcall's interpretation cost (see the slot
+   registry at the top of this file). *)
+let kcall_slot : Prog.kcall -> slot = function
+  | Prog.K_fork _ -> sl_kc_fork
+  | Prog.K_exec _ -> sl_kc_exec
+  | Prog.K_kill _ -> sl_kc_kill
+  | Prog.K_crash_context _ -> sl_kc_crash_context
+  | Prog.K_mk_clone _ -> sl_kc_mk_clone
+  | Prog.K_rollback _ -> sl_kc_rollback
+  | Prog.K_clear_state _ -> sl_kc_clear_state
+  | Prog.K_go _ -> sl_kc_go
+  | Prog.K_reply_error _ -> sl_kc_reply_error
+  | Prog.K_shutdown _ -> sl_kc_shutdown
+  | Prog.K_alarm _ -> sl_kc_alarm
+  | Prog.K_mmu _ -> sl_kc_mmu
+  | Prog.K_replay _ -> sl_kc_replay
+  | Prog.K_live_update _ -> sl_kc_live_update
+  | Prog.K_kill_requester _ -> sl_kc_kill_requester
+
 let deactivate t p =
   (* The active thread stops running: in a multithreaded component the
      next thread's writes would interleave, so the window must close
@@ -1074,7 +1299,7 @@ let step t p th prog =
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
-    charge t p (max c 1);
+    charge t p sl_compute (max c 1);
     th.tstate <- T_ready (k ())
   | Prog.Load (off, k) ->
     coverage t p;
@@ -1088,7 +1313,7 @@ let step t p th prog =
           raise Thread_parked
         | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
         | _ -> ());
-       charge t p costs.Costs.c_load;
+       charge t p sl_load costs.Costs.c_load;
        th.tstate <- T_ready (k (Memimage.get_word img off)))
   | Prog.Store (off, v, k) ->
     coverage t p;
@@ -1106,7 +1331,8 @@ let step t p th prog =
        let logged =
          match p.window with Some w -> Window.would_log w | None -> false
        in
-       charge t p (costs.Costs.c_store + if logged then costs.Costs.c_log else 0);
+       charge t p sl_store costs.Costs.c_store;
+       if logged then charge_flat t p sl_log_store costs.Costs.c_log;
        if logged && hooked t then
          emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
                                   bytes = 8 });
@@ -1125,7 +1351,7 @@ let step t p th prog =
         | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
         | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
         | _ -> ());
-       charge t p (costs.Costs.c_load + (len / 8));
+       charge t p sl_load (costs.Costs.c_load + (len / 8));
        th.tstate <- T_ready (k (Memimage.get_string img ~off ~len)))
   | Prog.Store_str { off; len; v; k } ->
     coverage t p;
@@ -1140,11 +1366,11 @@ let step t p th prog =
        let logged =
          match p.window with Some w -> Window.would_log w | None -> false
        in
-       let cost =
-         costs.Costs.c_store + (len * costs.Costs.c_store_per_byte)
-         + (if logged then costs.Costs.c_log + (len * costs.Costs.c_log_per_byte) else 0)
-       in
-       charge t p cost;
+       charge t p sl_store
+         (costs.Costs.c_store + (len * costs.Costs.c_store_per_byte));
+       if logged then
+         charge_flat t p sl_log_store
+           (costs.Costs.c_log + (len * costs.Costs.c_log_per_byte));
        if logged && hooked t then
          emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
                                   bytes = len });
@@ -1173,7 +1399,7 @@ let step t p th prog =
       | Some F_corrupt_msg -> Message.corrupt t.rng msg
       | _ -> msg
     in
-    charge t p costs.Costs.c_send;
+    charge t p sl_send costs.Costs.c_send;
     if p.kind = Server_proc then
       policy_close ~tag:(Message.Tag.of_msg msg) ~rid:th.cause t p
         (Seep.classify_msg ~dst msg);
@@ -1201,7 +1427,7 @@ let step t p th prog =
       | Some F_corrupt_msg -> Message.corrupt t.rng msg
       | _ -> msg
     in
-    charge t p costs.Costs.c_call;
+    charge t p sl_call costs.Costs.c_call;
     if p.kind = Server_proc then
       policy_close ~tag:(Message.Tag.of_msg msg) ~rid:th.cause t p
         (Seep.classify_msg ~dst msg);
@@ -1237,7 +1463,7 @@ let step t p th prog =
        push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | _ -> ());
-    charge t p costs.Costs.c_receive;
+    charge t p sl_receive costs.Costs.c_receive;
     if p.kind = User_proc then begin
       panic t (p.pname ^ ": receive in user process");
       raise Thread_finished
@@ -1249,7 +1475,7 @@ let step t p th prog =
     end
     else begin
       let entry = Queue.pop p.inbox in
-      if entry.ib_time > p.vtime then p.vtime <- entry.ib_time;
+      sync_to t p sl_wait_inbox entry.ib_time;
       th.treq <-
         Some { rq_src = entry.ib_src;
                rq_src_tid = entry.ib_src_tid;
@@ -1283,7 +1509,7 @@ let step t p th prog =
       | Some F_corrupt_msg -> Message.corrupt t.rng msg
       | _ -> msg
     in
-    charge t p costs.Costs.c_reply;
+    charge t p sl_reply costs.Costs.c_reply;
     if p.kind = Server_proc then policy_close ~rid:th.cause t p Seep.Reply;
     (match proc_of t dst with
      | None -> t.n_orphans <- t.n_orphans + 1
@@ -1323,14 +1549,14 @@ let step t p th prog =
                  (E_reply { time = p.vtime; src = p.ep; dst;
                             tag = Message.Tag.of_msg msg; rid = th'.out_rid });
              th'.tstate <- T_ready (k' msg);
-             rp.vtime <- max rp.vtime p.vtime;
+             sync_to t rp sl_wait_reply p.vtime;
              Queue.push th' rp.runq;
              schedule t rp
            | _ -> assert false)));
     th.tstate <- T_ready (k ())
   | Prog.Yield k ->
     coverage t p;
-    charge t p costs.Costs.c_yield;
+    charge t p sl_yield costs.Costs.c_yield;
     th.tstate <- T_ready (k ());
     Queue.push th p.runq;
     deactivate t p;
@@ -1340,7 +1566,7 @@ let step t p th prog =
     (match op_site t p th Op_spawn with
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | _ -> ());
-    charge t p costs.Costs.c_spawn;
+    charge t p sl_spawn costs.Costs.c_spawn;
     let nth = fresh_thread p ~started:false ?req:th.treq prog in
     p.threads <- p.threads @ [ nth ];
     Queue.push nth p.runq;
@@ -1355,7 +1581,7 @@ let step t p th prog =
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
-    charge t p costs.Costs.c_kcall;
+    charge t p (kcall_slot kc) costs.Costs.c_kcall;
     if hooked t then
       emit t (E_kcall { time = p.vtime; ep = p.ep; rid = th.cause;
                         kc = kcall_name kc });
@@ -1371,11 +1597,11 @@ let step t p th prog =
     th.tstate <- T_ready (k r)
   | Prog.Rand (bound, k) ->
     coverage t p;
-    charge t p 1;
+    charge t p sl_rand 1;
     th.tstate <- T_ready (k (Osiris_util.Rng.int t.rng (max bound 1)))
   | Prog.Now k ->
     coverage t p;
-    charge t p 1;
+    charge t p sl_now 1;
     th.tstate <- T_ready (k p.vtime)
 
 (* Activate the next ready thread of [p], handling window bookkeeping
@@ -1581,6 +1807,21 @@ let proc_policy_name t ep =
 
 let proc_vtime t ep =
   match proc_of t ep with Some p -> p.vtime | None -> 0
+
+let slot_cycles t ep slot =
+  match proc_of t ep with
+  | Some p when Array.length p.prof <> 0 -> p.prof.(2 * slot)
+  | _ -> 0
+
+let slot_events t ep slot =
+  match proc_of t ep with
+  | Some p when Array.length p.prof <> 0 -> p.prof.((2 * slot) + 1)
+  | _ -> 0
+
+let profiled_procs t =
+  Hashtbl.fold
+    (fun _ p acc -> if Array.length p.prof <> 0 then acc + 1 else acc)
+    t.procs 0
 
 let window_is_open t ep =
   match proc_of t ep with

@@ -213,6 +213,78 @@ val set_event_hook : t -> (event -> unit) option -> unit
     event construction entirely — one branch per event, zero
     allocation (a bench gate in [bench/obs_bench.ml]). *)
 
+(** {1 Cycle attribution}
+
+    Every advance of a process' virtual clock is attributed to exactly
+    one phase, at one static emission point (a {!slot}). Counters
+    enabled before the first advance (i.e. before {!boot}) therefore
+    reconstruct each process clock exactly: summing a process' slot
+    cycles yields its {!proc_vtime} — the conservation invariant
+    [lib/obs/profiler] asserts. *)
+
+type phase =
+  | Ph_user        (** Executing the component's own instructions. *)
+  | Ph_instr       (** Recovery-window instrumentation drag
+                       ([c_instr_op] per op while stores are logged). *)
+  | Ph_log         (** Undo-log write cost riding on logged stores. *)
+  | Ph_checkpoint  (** Window-open checkpoint (snapshot copy or
+                       constant undo-log arming cost). *)
+  | Ph_rollback    (** Rolling state back after an in-window crash. *)
+  | Ph_restart     (** Restart machinery: clone image transfer, state
+                       clearing, crash downtime until [K_go]. *)
+  | Ph_wait        (** Blocked on IPC: the clock jumped forward to a
+                       peer's clock or an inbox timestamp. *)
+
+val phase_to_string : phase -> string
+(** Stable lowercase names: user, instr, undo_log, checkpoint,
+    rollback, restart, ipc_wait. *)
+
+val phase_index : phase -> int
+val n_phases : int
+val all_phases : phase list
+
+type slot = int
+(** An attribution slot: a static emission point of the cycle hook,
+    i.e. one (phase, detail) pair — an op kind, a kcall, a checkpoint
+    copy, a wait cause. Slots are dense ids in \[0, {!n_slots}), fixed
+    at module init, so a consumer can count cycles in flat arrays with
+    no hashing on the hot path. *)
+
+val n_slots : int
+val slot_phase : slot -> phase
+val slot_detail : slot -> string
+(** Constant lowercase names, e.g. "compute", "store", "snapshot",
+    "downtime", "resume". Several slots may share a detail across
+    different phases (a logged store charges a [Ph_user] slot and a
+    [Ph_log] slot that are both named "store"). *)
+
+val all_slots : slot list
+
+val enable_cycle_counts : t -> unit
+(** Give every process (current and future) a per-slot cycle/event
+    counter row, bumped inline at each clock advance — no closure
+    call, which is what keeps attached-profiler overhead inside its
+    bench gate. Enable before {!boot} and the counters reconstruct
+    each process clock exactly; counting cannot be disabled again. *)
+
+val slot_cycles : t -> Endpoint.t -> slot -> int
+val slot_events : t -> Endpoint.t -> slot -> int
+(** Counter-row reads; 0 for unknown processes or before
+    {!enable_cycle_counts}. *)
+
+val profiled_procs : t -> int
+(** Number of processes carrying counter rows (allocation accounting
+    in [bench/profiler_bench.ml]). *)
+
+val set_cycle_hook : t -> (Endpoint.t -> slot -> int -> unit) option -> unit
+(** [hook ep slot cycles] fires for every clock advance, with
+    [cycles > 0] — the event-stream form of the attribution, for
+    consumers that need per-advance granularity (e.g. the profiler's
+    counter-track sampler). All arguments are immediate ints: a hook
+    invocation allocates nothing, and with no hook installed each
+    emission point pays a single branch (gated in
+    [bench/profiler_bench.ml]). *)
+
 val live_update : t -> Endpoint.t -> unit Prog.t -> (unit, string) result
 (** Replace a server's request-processing loop with a new version,
     preserving its state — a live update built from the recovery

@@ -1,3 +1,8 @@
+(* Strings can carry arbitrary bytes (policy names, span names, crash
+   reasons from workload code). Emit pure ASCII: C0 controls get the
+   usual short escapes or \u00XX, and DEL plus every byte >= 0x80 is
+   escaped as its Latin-1 code point — invalid UTF-8 input can never
+   produce invalid JSON output. *)
 let escape buf s =
   String.iter
     (fun c ->
@@ -6,7 +11,8 @@ let escape buf s =
        | '\\' -> Buffer.add_string buf "\\\\"
        | '\n' -> Buffer.add_string buf "\\n"
        | '\t' -> Buffer.add_string buf "\\t"
-       | c when Char.code c < 0x20 ->
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
        | c -> Buffer.add_char buf c)
     s
@@ -15,6 +21,11 @@ let add_str buf s =
   Buffer.add_char buf '"';
   escape buf s;
   Buffer.add_char buf '"'
+
+let escaped s =
+  let buf = Buffer.create (String.length s + 2) in
+  add_str buf s;
+  Buffer.contents buf
 
 type sep = { mutable first : bool }
 
@@ -57,7 +68,29 @@ let add_instant buf sep ~tid ~ts ~name ~scope =
   add_str buf name;
   Buffer.add_string buf "}"
 
-let of_spans ?(events = []) spans =
+type counter_sample = {
+  cs_track : string;
+  cs_ts : int;
+  cs_values : (string * int) list;
+}
+
+let add_counter buf sep (c : counter_sample) =
+  next sep buf;
+  Buffer.add_string buf "{\"ph\":\"C\",\"pid\":1,\"ts\":";
+  Buffer.add_string buf (string_of_int c.cs_ts);
+  Buffer.add_string buf ",\"name\":";
+  add_str buf c.cs_track;
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char buf ',';
+       add_str buf k;
+       Buffer.add_char buf ':';
+       Buffer.add_string buf (string_of_int v))
+    c.cs_values;
+  Buffer.add_string buf "}}"
+
+let of_spans ?(events = []) ?(counters = []) spans =
   let buf = Buffer.create 4096 in
   let sep = { first = true } in
   Buffer.add_string buf "{\"traceEvents\":[\n";
@@ -92,5 +125,6 @@ let of_spans ?(events = []) spans =
           ~name:("halt: " ^ Kernel.halt_to_string halt) ~scope:"g"
       | _ -> ())
     events;
+  List.iter (add_counter buf sep) counters;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -7,11 +7,30 @@
       [tid = the endpoint], [ts]/[dur] in virtual cycles interpreted
       as microseconds, with the causal ids in [args];
     - one ["i"] (instant) event per crash / hang / halt when the raw
-      event stream is supplied.
+      event stream is supplied;
+    - one ["C"] (counter) event per {!counter_sample}, rendered by
+      Perfetto as stacked per-track area charts (per-phase cycle
+      rates from the profiler — see [Flame.counter_samples]).
 
     The JSON is hand-rolled into a [Buffer] — the repo deliberately
-    carries no JSON dependency. *)
+    carries no JSON dependency. String emission is hostile-input
+    safe: control characters, DEL and all non-ASCII bytes are escaped
+    (each byte as its Latin-1 code point), so arbitrary policy/span
+    names and crash reasons always yield valid JSON. *)
 
-val of_spans : ?events:Kernel.event list -> Span.t list -> string
+type counter_sample = {
+  cs_track : string;            (** Track name, e.g. ["vfs cycles"]. *)
+  cs_ts : int;                  (** Timestamp in virtual cycles. *)
+  cs_values : (string * int) list;  (** Series name -> value. *)
+}
+
+val of_spans :
+  ?events:Kernel.event list -> ?counters:counter_sample list ->
+  Span.t list -> string
 (** Serialize a span forest (plus optional instants from the raw
-    stream) to a Chrome trace-event JSON string. *)
+    stream and counter tracks) to a Chrome trace-event JSON string. *)
+
+val escaped : string -> string
+(** [escaped s] is [s] as a quoted JSON string literal with the
+    escaping described above. Shared by every JSON artifact writer in
+    the tree so hostile names stay parseable everywhere. *)

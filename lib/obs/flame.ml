@@ -1,0 +1,43 @@
+(* Folded-stack flamegraph export: one line per (compartment, phase,
+   detail) leaf, `comp;phase;detail cycles`, the format consumed by
+   flamegraph.pl / inferno / speedscope. Profiler.rows is already
+   sorted and zero-free, so the output is deterministic. *)
+let folded prof =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (ep, phase, detail, c) ->
+       Buffer.add_string buf (Endpoint.server_name ep);
+       Buffer.add_char buf ';';
+       Buffer.add_string buf (Kernel.phase_to_string phase);
+       Buffer.add_char buf ';';
+       Buffer.add_string buf detail;
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (string_of_int c);
+       Buffer.add_char buf '\n')
+    (Profiler.rows prof);
+  Buffer.contents buf
+
+(* Per-phase cycle deltas between successive samples of the same
+   compartment: a Perfetto counter track per compartment, stacked by
+   phase, showing where each interval of virtual time went. *)
+let counter_samples prof =
+  let last : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (s : Profiler.sample) ->
+       let prev =
+         match Hashtbl.find_opt last s.Profiler.sa_ep with
+         | Some a -> a
+         | None -> Array.make Kernel.n_phases 0
+       in
+       Hashtbl.replace last s.Profiler.sa_ep s.Profiler.sa_phase;
+       { Chrome_trace.cs_track =
+           Endpoint.server_name s.Profiler.sa_ep ^ " cycles";
+         cs_ts = s.Profiler.sa_ts;
+         cs_values =
+           List.map
+             (fun ph ->
+                let pi = Kernel.phase_index ph in
+                ( Kernel.phase_to_string ph,
+                  s.Profiler.sa_phase.(pi) - prev.(pi) ))
+             Kernel.all_phases })
+    (Profiler.samples prof)

@@ -1,0 +1,12 @@
+(** Flamegraph and counter-track export for the cycle profiler. *)
+
+val folded : Profiler.t -> string
+(** Folded-stack format: one [comp;phase;detail cycles] line per
+    non-zero leaf, sorted — feed directly to flamegraph.pl, inferno
+    or speedscope. *)
+
+val counter_samples : Profiler.t -> Chrome_trace.counter_sample list
+(** Per-phase cycle deltas between successive profiler samples of the
+    same compartment (requires [Profiler.create ~sample_every]).
+    Pass to [Chrome_trace.of_spans ?counters] for stacked per-phase
+    rate tracks in Perfetto. *)

@@ -15,19 +15,37 @@ val observe : t -> int -> unit
 (** Record one value (negative values count into the 0 bucket). *)
 
 val count : t -> int
+
 val sum : t -> int
+(** Exact sum of observed values — including negative ones, which are
+    binned into bucket 0 but summed as given, so [sum]/[mean] can be
+    below every bucket bound when negatives were recorded. *)
+
 val mean : t -> float
+(** [sum / count], 0. when empty. *)
 
 val max_value : t -> int
-(** Largest observed value, exact (0 when empty). *)
+(** Largest observed value, exact — but never negative: 0 when empty
+    {e or} when only negative values were observed. *)
 
 val min_value : t -> int
-(** Smallest observed value, exact (0 when empty). *)
+(** Smallest observed value, exact (negatives included); 0 when
+    empty. *)
 
 val percentile : t -> float -> float
 (** [percentile t p], [p] in [\[0,100\]], nearest-rank over the
     buckets: the estimate is the upper bound of the bucket containing
-    the rank, clamped to the exact observed max. 0. when empty. *)
+    the rank, clamped to the exact observed max.
+
+    Edge cases (unit-tested in [test/test_obs.ml]):
+    - empty histogram: 0. for every [p];
+    - single sample [v]: exactly [v] for every [p] (the clamp makes
+      the sole bucket's upper bound exact);
+    - all-equal samples: exactly that value for every [p];
+    - [p <= 0.] behaves like the minimum rank (first non-empty
+      bucket); [p > 100.] saturates to the exact maximum;
+    - negative samples land in bucket 0, so their percentile estimate
+      is 0 (the bucket bound), not the negative value. *)
 
 val p50 : t -> float
 val p95 : t -> float

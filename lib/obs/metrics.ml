@@ -59,8 +59,11 @@ let value_of = function
   | S_hist h -> V_hist h
 
 let dump t =
-  List.rev_map
+  (* Sorted by name, not registration order: reports and JSON
+     artifacts stay diff-stable no matter which code path registered
+     its series first. *)
+  List.map
     (fun name -> (name, value_of (Hashtbl.find t.tbl name)))
-    t.names
+    (List.sort compare t.names)
 
 let find t name = Option.map value_of (Hashtbl.find_opt t.tbl name)

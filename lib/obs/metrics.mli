@@ -43,6 +43,8 @@ val set : gauge -> int -> unit
 val gauge_value : gauge -> int
 
 val dump : t -> (string * value) list
-(** All series in registration order. *)
+(** All series, deterministically sorted by name — registration order
+    is a runtime accident (hook installation order), and sorted output
+    keeps reports and JSON artifacts diff-stable across runs. *)
 
 val find : t -> string -> value option

@@ -337,6 +337,40 @@ let test_chrome_trace_structure () =
   Alcotest.(check int) "one X event per span" (Span.count spans)
     (List.length x_events)
 
+(* Hostile names — quotes, backslashes, control characters, DEL, and
+   non-UTF-8 bytes — must round-trip through a JSON parser, both via
+   [Chrome_trace.escaped] (shared by every artifact writer) and via a
+   full trace export carrying them as track/series names. *)
+let test_chrome_trace_hostile_names () =
+  let hostile = "evil\"name\\\n\tctrl\x01del\x7fbyte\xff" in
+  (* the test parser decodes the two-character escapes and keeps
+     backslash-u escapes verbatim, so the expected decoding is exact *)
+  let expected = "evil\"name\\\n\tctrl\\u0001del\\u007fbyte\\u00ff" in
+  (match Json.parse ("{\"name\": " ^ Chrome_trace.escaped hostile ^ "}") with
+   | Json.Obj [ ("name", Json.Str s) ] ->
+     Alcotest.(check string) "escaped literal round-trips" expected s
+   | _ -> Alcotest.fail "escaped literal did not parse as an object"
+   | exception Json.Bad m ->
+     Alcotest.fail ("escaped literal is not valid JSON: " ^ m));
+  let counters =
+    [ { Chrome_trace.cs_track = hostile; cs_ts = 10;
+        cs_values = [ (hostile, 1); ("plain", 2) ] } ]
+  in
+  let json = Chrome_trace.of_spans ~counters [] in
+  match Json.parse json with
+  | root ->
+    let trace_events =
+      match Json.mem "traceEvents" root with
+      | Some (Json.List l) -> l
+      | _ -> Alcotest.fail "no traceEvents array"
+    in
+    Alcotest.(check bool) "hostile counter name survives export" true
+      (List.exists
+         (fun ev -> Json.mem "name" ev = Some (Json.Str expected))
+         trace_events)
+  | exception Json.Bad m ->
+    Alcotest.fail ("export with hostile names is not valid JSON: " ^ m)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram and metrics primitives                                    *)
 (* ------------------------------------------------------------------ *)
@@ -370,6 +404,50 @@ let test_histogram_buckets () =
   Alcotest.(check (list (pair int int))) "bucket layout"
     [ (0, 1); (1, 2); (3, 2); (7, 1) ] (Histogram.buckets h)
 
+let test_histogram_percentile_edges () =
+  (* the edge cases documented on [Histogram.percentile] *)
+  let h = Histogram.create () in
+  List.iter
+    (fun p ->
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "empty p%g" p) 0. (Histogram.percentile h p))
+    [ 0.; 50.; 100.; 150. ];
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Histogram.mean h);
+  (* single sample: exact for every p (clamp makes the sole bucket's
+     upper bound exact) *)
+  Histogram.observe h 5;
+  List.iter
+    (fun p ->
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "single-sample p%g" p) 5. (Histogram.percentile h p))
+    [ 0.; 50.; 99.; 100. ];
+  (* all-equal samples: still exact *)
+  Histogram.observe h 5;
+  Histogram.observe h 5;
+  Alcotest.(check (float 1e-9)) "all-equal p50" 5. (Histogram.p50 h);
+  Alcotest.(check (float 1e-9)) "all-equal p99" 5. (Histogram.p99 h);
+  (* p <= 0 is the minimum rank; p > 100 saturates to the exact max *)
+  let h2 = Histogram.create () in
+  Histogram.observe h2 1;
+  Histogram.observe h2 1000;
+  Alcotest.(check (float 1e-9)) "p0 = first bucket" 1.
+    (Histogram.percentile h2 0.);
+  Alcotest.(check (float 1e-9)) "p<0 = first bucket" 1.
+    (Histogram.percentile h2 (-10.));
+  Alcotest.(check (float 1e-9)) "p>100 = exact max" 1000.
+    (Histogram.percentile h2 200.);
+  (* negatives: bucket 0 for quantiles, exact for sum/mean/min *)
+  let h3 = Histogram.create () in
+  Histogram.observe h3 (-5);
+  Alcotest.(check int) "negative counted" 1 (Histogram.count h3);
+  Alcotest.(check int) "negative summed as given" (-5) (Histogram.sum h3);
+  Alcotest.(check (float 1e-9)) "negative mean exact" (-5.)
+    (Histogram.mean h3);
+  Alcotest.(check int) "min keeps the negative" (-5) (Histogram.min_value h3);
+  Alcotest.(check int) "max never negative" 0 (Histogram.max_value h3);
+  Alcotest.(check (float 1e-9)) "negative p50 is the bucket-0 bound" 0.
+    (Histogram.p50 h3)
+
 let test_metrics_registry () =
   let m = Metrics.create () in
   let c = Metrics.counter m "a.count" in
@@ -385,8 +463,11 @@ let test_metrics_registry () =
   (* get-or-create returns the same cell *)
   Metrics.incr (Metrics.counter m "a.count");
   Alcotest.(check int) "same cell by name" 43 (Metrics.counter_value c);
-  Alcotest.(check (list string)) "dump in registration order"
-    [ "a.count"; "a.gauge"; "a.hist" ]
+  (* dump sorts by name, not registration order: this series is
+     registered last but lists first *)
+  ignore (Metrics.counter m "a.a_registered_last");
+  Alcotest.(check (list string)) "dump sorted by name"
+    [ "a.a_registered_last"; "a.count"; "a.gauge"; "a.hist" ]
     (List.map fst (Metrics.dump m));
   (match Metrics.find m "a.gauge" with
    | Some (Metrics.V_gauge 9) -> ()
@@ -449,10 +530,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_span_trees_well_formed ] );
       ( "export",
         [ Alcotest.test_case "chrome trace structure" `Quick
-            test_chrome_trace_structure ] );
+            test_chrome_trace_structure;
+          Alcotest.test_case "hostile names round-trip" `Quick
+            test_chrome_trace_hostile_names ] );
       ( "metrics",
         [ Alcotest.test_case "histogram" `Quick test_histogram_basics;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram percentile edges" `Quick
+            test_histogram_percentile_edges;
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "collector series" `Quick
             test_collector_metrics_agree;
