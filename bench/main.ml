@@ -660,7 +660,8 @@ let all_experiments =
     ("table4", table4); ("table5", table5); ("table6", table6);
     ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro);
     ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run);
-    ("matrix", Matrix_bench.run); ("profiler", Profiler_bench.run) ]
+    ("matrix", Matrix_bench.run); ("profiler", Profiler_bench.run);
+    ("journal", Journal_bench.run) ]
 
 let () =
   let requested =

@@ -17,6 +17,10 @@
      survivability
                mixed-policy survivability matrix over system specs
      policies  list the named recovery policies and the spec grammar
+     record    run a workload with the flight recorder attached
+     replay    re-execute a journal, diff streams, report divergence
+     postmortem
+               causal root-cause walkback over a recorded journal
 *)
 
 open Cmdliner
@@ -324,23 +328,9 @@ let crash_arg =
                disable).")
 
 (* Deterministic crash injection: the first [count] in-window Replies
-   of [ep] fail-stop, each recoverable under any recovering policy. *)
-let arm_crash ?(count = 1) kernel = function
-  | None -> ()
-  | Some ep ->
-    let armed = ref count in
-    Kernel.set_fault_hook kernel
-      (Some
-         (fun site ->
-            if !armed > 0
-               && site.Kernel.site_ep = ep
-               && site.Kernel.site_kind = Kernel.Op_reply
-               && Kernel.window_is_open kernel ep
-            then begin
-              decr armed;
-              Some (Kernel.F_crash "injected for tracing")
-            end
-            else None))
+   of [ep] fail-stop, each recoverable under any recovering policy.
+   (Shared with the flight recorder, which re-arms it on replay.) *)
+let arm_crash = Flight.arm_crash
 
 let obs_run ?profiler policy seed crash =
   let metrics = Metrics.create () in
@@ -682,6 +672,153 @@ let policies_cmd =
        ~doc:"List the known recovery policies and their attributes.")
     Term.(const run $ const ())
 
+(* ---- Flight recorder: record / replay / postmortem ---- *)
+
+let journal_path_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"PATH"
+         ~doc:"Journal file (default from OSIRIS_JOURNAL or \
+               osiris.journal).")
+
+let record_cmd =
+  let spec_str_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"System spec recorded in the header (overrides \
+                 $(b,--policy)): default[,server=policy[/budget]]...")
+  in
+  let workload_arg =
+    Arg.(value & opt string "quickstart"
+         & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Workload to record: quickstart, suite, or workgen \
+                 (seed-derived).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1
+         & info [ "crashes" ] ~docv:"N" ~doc:"Crashes to inject.")
+  in
+  let ring_arg =
+    Arg.(value & opt (some int) None
+         & info [ "ring" ] ~docv:"N"
+           ~doc:"Bounded-memory mode: keep only the last N events in a \
+                 ring, frozen at each crash and spilled at halt (default: \
+                 full-fidelity streaming).")
+  in
+  let run policy spec seed arch workload crash count ring journal =
+    setup_logs ();
+    let spec = match spec with Some s -> s | None -> policy.Policy.name in
+    let crash_name =
+      match crash with None -> "none" | Some ep -> Endpoint.server_name ep
+    in
+    let path =
+      out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
+    in
+    match
+      Flight.make_header ~arch ~seed ~spec ~workload ~crash:crash_name
+        ~crash_count:count ()
+    with
+    | Error m -> prerr_endline ("record: " ^ m); 1
+    | Ok header ->
+      (match Flight.record ~path ?ring header with
+       | Error m -> prerr_endline ("record: " ^ m); 1
+       | Ok r ->
+         Printf.printf "recorded: %s\n" (Journal.header_to_string header);
+         Printf.printf "halted: %s\n"
+           (Kernel.halt_to_string r.Flight.rec_halt);
+         Printf.printf "%d records, %d bytes%s -> %s\n" r.Flight.rec_records
+           r.Flight.rec_bytes
+           (if r.Flight.rec_snapshots > 0 then
+              Printf.sprintf " (ring mode, %d crash snapshot(s))"
+                r.Flight.rec_snapshots
+            else "")
+           path;
+         0)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a workload with the flight recorder attached, writing a \
+             replayable event journal.")
+    Term.(const run $ policy_arg $ spec_str_arg $ seed_arg $ arch_arg
+          $ workload_arg $ crash_arg $ count_arg $ ring_arg
+          $ journal_path_arg)
+
+let replay_cmd =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_REPLAY_JSON or \
+                 osiris_replay.json).")
+  in
+  let perturb_arg =
+    Arg.(value & flag
+         & info [ "perturb-cost" ]
+           ~doc:"Replay under a cost table with one entry perturbed — the \
+                 intentional-divergence fixture (expect exit 2 with the \
+                 first divergent record named).")
+  in
+  let run journal json perturb =
+    setup_logs ();
+    let path =
+      out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
+    in
+    match Journal.read_file path with
+    | Error m -> prerr_endline m; 1
+    | Ok (header, events) ->
+      let costs =
+        if perturb then
+          let base =
+            match header.Journal.jh_arch with
+            | Kernel.Microkernel -> Costs.microkernel
+            | Kernel.Monolithic -> Costs.monolithic
+          in
+          Some { base with Costs.c_reply = base.Costs.c_reply + 1 }
+        else None
+      in
+      let outcome = Flight.replay ?costs header events in
+      print_string (Replay.render outcome);
+      write_file
+        (out_path ~flag:json ~env:"OSIRIS_REPLAY_JSON"
+           ~default:"osiris_replay.json")
+        (Replay.to_json outcome);
+      Replay.exit_code outcome
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a journaled run and diff the event streams: exit 0 \
+             when byte-identical, 2 on divergence (first divergent record \
+             and its causal rid chain reported), 1 on read errors.")
+    Term.(const run $ journal_path_arg $ json_arg $ perturb_arg)
+
+let postmortem_cmd =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_POSTMORTEM_JSON \
+                 or osiris_postmortem.json).")
+  in
+  let run journal json =
+    setup_logs ();
+    let path =
+      out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
+    in
+    match Journal.read_file path with
+    | Error m -> prerr_endline m; 1
+    | Ok (header, events) ->
+      let report = Flight.postmortem header events in
+      print_string (Postmortem.render header report);
+      write_file
+        (out_path ~flag:json ~env:"OSIRIS_POSTMORTEM_JSON"
+           ~default:"osiris_postmortem.json")
+        (Postmortem.to_json report);
+      0
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:"Walk a journal backwards from each crash through the causal \
+             rid chain to its root cause; report recovery outcome and \
+             latency without re-executing.")
+    Term.(const run $ journal_path_arg $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "osiris" ~version:"1.0.0"
@@ -689,6 +826,6 @@ let main =
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
       stress_cmd; timeline_cmd; trace_cmd; report_cmd; profile_cmd;
-      health_cmd ]
+      health_cmd; record_cmd; replay_cmd; postmortem_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

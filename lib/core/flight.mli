@@ -1,0 +1,83 @@
+(** Flight-recorder orchestration: record, replay, postmortem.
+
+    [Journal]/[Replay]/[Postmortem] (in [lib/obs]) are pure codec and
+    analysis modules with no knowledge of the assembled system — this
+    module supplies the missing half: a registry of named workloads, a
+    crash-injection armer, and the [exec] function that rebuilds a
+    system from a journal header and runs it to halt. The [osiris
+    record]/[replay]/[postmortem] subcommands are thin wrappers over
+    these entry points, so tests exercise exactly what the CLI ships.
+
+    A run is re-executable iff everything that determines it is in the
+    header: seed, arch, system spec, workload {e name} (resolved here,
+    so the name must stay stable), crash-injection spec, and the cost
+    table fingerprint. *)
+
+val workloads : (string * string) list
+(** Available workload names with one-line descriptions:
+    ["quickstart"], ["suite"], ["workgen"]. *)
+
+val workload : name:string -> seed:int -> (unit Prog.t, string) result
+(** Resolve a header's workload name (["workgen"] is seed-derived). *)
+
+val server_of_name : string -> Endpoint.t option
+(** ["pm"|"vfs"|"vm"|"ds"|"rs"] -> endpoint; anything else [None]. *)
+
+val arm_crash : ?count:int -> Kernel.t -> Endpoint.t option -> unit
+(** Install a fault hook that fail-stop crashes the given server at
+    its first [count] in-window reply sites — the deterministic crash
+    injection used by the tracing/obs commands and recorded in the
+    journal header as [jh_crash]/[jh_crash_count]. *)
+
+val make_header :
+  ?arch:Kernel.arch ->
+  ?seed:int ->
+  ?spec:string ->
+  ?workload:string ->
+  ?crash:string ->
+  ?crash_count:int ->
+  unit ->
+  (Journal.header, string) result
+(** Validate and assemble a journal header (defaults: seed 42,
+    microkernel, ["enhanced"] spec, ["quickstart"] workload, no crash).
+    The cost fingerprint is derived from [arch]'s table. [Error] names
+    the offending field (unknown workload, unparsable spec, unknown
+    crash server). *)
+
+type recording = {
+  rec_halt : Kernel.halt;
+  rec_records : int;   (** Events journaled (header excluded). *)
+  rec_bytes : int;     (** Journal size on disk, framing included. *)
+  rec_snapshots : int; (** Ring mode: crash snapshots taken. *)
+}
+
+val record :
+  path:string -> ?ring:int -> Journal.header -> (recording, string) result
+(** Execute the run the header describes, journaling to [path]. Full
+    fidelity by default: every event streams to disk as it happens.
+    [ring] bounds memory instead: the last-N events ride a tracer ring
+    whose contents are frozen at each crash ({!Tracer.set_snapshot_on})
+    and spilled to [path] at halt — newest crash wins, and with no
+    crash the final ring contents are spilled, so the tail of the run
+    is always preserved. *)
+
+val exec : Journal.header -> hook:(Kernel.event -> unit) -> Kernel.halt
+(** Rebuild the system a header describes — spec parsed, [hook]
+    installed from boot, crash injection re-armed — and run its
+    workload to halt. This is the [exec] argument {!Replay.run} wants.
+    @raise Invalid_argument on a header that fails {!make_header}'s
+    validation (CLI paths validate first). *)
+
+val replay :
+  ?costs:Costs.t ->
+  Journal.header ->
+  Kernel.event array ->
+  Replay.outcome
+(** {!Replay.run} over {!exec}, with the replay-side cost table
+    ([costs] overrides the header arch's — the perturbation fixture)
+    threaded both into the rebuilt system and into the outcome's
+    fingerprint check. *)
+
+val postmortem : Journal.header -> Kernel.event array -> Postmortem.report
+(** {!Postmortem.analyze} (re-exported so CLI and tests need only
+    [Flight]). *)

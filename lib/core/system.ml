@@ -26,7 +26,8 @@ let etc_data =
   Buffer.sub b 0 1024
 
 let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
-    ?(trace = false) ?event_hook ?profiler ?extra_register conf =
+    ?(trace = false) ?costs ?event_hook ?journal ?profiler ?extra_register
+    conf =
   (match Sysconf.validate conf with
    | Ok () -> ()
    | Error problems ->
@@ -71,13 +72,24 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
     { base with
       Kernel.log_sink = Some (fun line -> log := line :: !log);
       trace;
+      costs = (match costs with Some c -> c | None -> base.Kernel.costs);
       max_ops = (match max_ops with Some m -> m | None -> base.Kernel.max_ops);
       max_crashes =
         (match max_crashes with Some m -> m | None -> base.Kernel.max_crashes) }
   in
   let kernel = Kernel.create cfg in
   (* Installed before boot so observers see boot traffic too; a hook
-     attached after build (e.g. Tracer.attach) only sees the run. *)
+     attached after build (e.g. Tracer.attach) only sees the run. The
+     journal rides the kernel's raw capture log, not the event hook:
+     the emission sites append each event's scalar fields as a few
+     int stores and all encoding happens in batched sweeps off the
+     hot path (the <5% recording-overhead gate). The capture append
+     happens before the hook fires with identical values, so a
+     recording is byte-identical whether or not another observer
+     rides along. *)
+  (match journal with
+   | Some w -> Kernel.set_capture kernel (Some (Journal.capture w))
+   | None -> ());
   (match event_hook with
    | Some f -> Kernel.set_event_hook kernel (Some f)
    | None -> ());

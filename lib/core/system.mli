@@ -28,7 +28,9 @@ val build :
   ?max_ops:int ->
   ?max_crashes:int ->
   ?trace:bool ->
+  ?costs:Costs.t ->
   ?event_hook:(Kernel.event -> unit) ->
+  ?journal:Journal.writer ->
   ?profiler:Profiler.t ->
   ?extra_register:(Registry.t -> unit) ->
   Sysconf.t ->
@@ -39,7 +41,15 @@ val build :
     programs are always registered; add more via [extra_register].
     [event_hook] is installed {e before} boot, so observers (e.g. an
     [Obs_collector]) capture boot traffic; attaching after [build]
-    misses it. [profiler] is likewise attached pre-boot as the
+    misses it. [journal] installs a flight-recorder writer the same
+    way, as the kernel's raw capture log ([Journal.capture] via
+    [Kernel.set_capture] — independent of [event_hook], appending
+    first when both are given), so a
+    journal is a complete record from the first boot event — which is
+    what makes [Replay.run] a byte-exact diff. [costs] overrides the
+    architecture-derived cost table (the replay cost-perturbation
+    fixture uses this; the header fingerprint then flags the
+    mismatch). [profiler] is likewise attached pre-boot as the
     kernel's cycle hook, which is what makes
     [Profiler.check_conservation] hold at any later point.
     @raise Invalid_argument when {!Sysconf.validate} rejects the spec. *)

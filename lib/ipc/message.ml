@@ -190,6 +190,48 @@ module Tag = struct
     if String.length s > 2 && String.sub s 0 2 = "T_" then
       String.sub s 2 (String.length s - 2)
     else s
+
+  let all =
+    [ T_fork; T_exec; T_exit; T_waitpid; T_getpid; T_getppid; T_kill;
+      T_signal_set;
+      T_vm_fork; T_vm_exec; T_vm_exit;
+      T_vfs_fork; T_vfs_exec; T_vfs_exit;
+      T_open; T_close; T_read; T_write; T_lseek; T_pipe; T_dup;
+      T_unlink; T_mkdir; T_rmdir; T_stat; T_fstat; T_rename; T_chdir;
+      T_readdir; T_dup2;
+      T_sync;
+      T_mfs_lookup; T_mfs_create; T_mfs_read; T_mfs_write; T_mfs_trunc;
+      T_mfs_unlink; T_mfs_mkdir; T_mfs_rmdir; T_mfs_stat; T_mfs_readdir;
+      T_mfs_rename;
+      T_mfs_sync;
+      T_bdev_read; T_bdev_write;
+      T_brk; T_brk_query; T_mmap; T_munmap; T_vm_info;
+      T_ds_publish; T_ds_retrieve; T_ds_delete; T_ds_subscribe; T_ds_notify;
+      T_rs_status; T_rs_lookup; T_ping;
+      T_crash_notify; T_alarm; T_diag;
+      T_kcall;
+      T_reply ]
+
+  (* Dense codec ids, declaration order. Tags are nullary constructors,
+     so the runtime already represents them as exactly these ids; the
+     cast makes [to_index] free on the journal's encode hot path, and
+     the init-time check below fails loudly if a constructor is ever
+     added out of order or given an argument. *)
+  let by_index : t array = Array.of_list all
+
+  let n_tags = Array.length by_index
+
+  let to_index (tag : t) : int = Obj.magic tag
+
+  let () =
+    Array.iteri
+      (fun i tag ->
+         if to_index tag <> i then
+           failwith "Message.Tag: constructor representation skew")
+      by_index
+
+  let of_index i =
+    if i >= 0 && i < n_tags then Some by_index.(i) else None
 end
 
 let is_reply m = Tag.of_msg m = Tag.T_reply

@@ -146,6 +146,19 @@ module Tag : sig
 
   val to_string : t -> string
   (** Short lowercase name, e.g. ["fork"], ["mfs_read"]. *)
+
+  val all : t list
+  (** Every tag, declaration order. *)
+
+  val n_tags : int
+
+  val to_index : t -> int
+  (** Dense id in \[0, {!n_tags}), stable for a given build — the wire
+      id used by the journal codec. Allocation-free (tags are nullary
+      constructors). *)
+
+  val of_index : int -> t option
+  (** Inverse of {!to_index}; [None] outside \[0, {!n_tags}). *)
 end
 
 val is_reply : t -> bool

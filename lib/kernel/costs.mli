@@ -43,6 +43,13 @@ val monolithic : t
 (** Single address space: syscalls are traps, internal "IPC" is a
     function call. *)
 
+val fingerprint : t -> int
+(** Deterministic 62-bit hash of the cost table (FNV-1a over the
+    fields, stable across processes and machines). Recorded in journal
+    headers so replay can detect that it is about to re-execute under
+    a different cost model — the divergence sanitizer's first line of
+    defence. *)
+
 val scaled_ghz : float
 (** Simulated clock rate used to convert cycles to seconds when
     reporting benchmark scores (the paper's testbed ran at 2.3 GHz). *)

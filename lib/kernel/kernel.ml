@@ -362,6 +362,21 @@ type event =
   | E_restart of { time : int; ep : Endpoint.t; rid : int; policy : string }
   | E_halt of { time : int; halt : halt }
 
+(* Raw event capture: the flight recorder's zero-dispatch tap. The
+   emission sites append each event's scalar fields straight into the
+   owner's buffers — a handful of unboxed int stores, no closure call,
+   no event construction — and invoke [cap_drain] only when an append
+   would overflow. Entry layout is documented in the .mli; it is the
+   contract between these append sites and the journal's batched
+   encoder. *)
+type capture = {
+  mutable cap_buf : int array;
+  mutable cap_pos : int;
+  mutable cap_strs : string array;
+  mutable cap_spos : int;
+  mutable cap_drain : unit -> unit;
+}
+
 type t = {
   cfg : config;
   rng : Osiris_util.Rng.t;
@@ -377,6 +392,11 @@ type t = {
   mutable fault_hook : (site -> fault_action option) option;
   mutable site_recorder : (site -> unit) option;
   mutable event_hook : (event -> unit) option;
+  mutable capture : capture option;
+  (* event_hook <> None || capture <> None, cached: the emission
+     sites test observability once per event, and a single flag load
+     beats two polymorphic option compares on the hot path. *)
+  mutable observing : bool;
   mutable cycle_hook : (Endpoint.t -> slot -> int -> unit) option;
   mutable profiling : bool;  (* procs carry per-slot counter rows *)
   mutable n_ops : int;
@@ -405,6 +425,8 @@ let create cfg =
     fault_hook = None;
     site_recorder = None;
     event_hook = None;
+    capture = None;
+    observing = false;
     cycle_hook = None;
     profiling = false;
     n_ops = 0;
@@ -419,14 +441,234 @@ let create cfg =
 
 let set_fault_hook t hook = t.fault_hook <- hook
 
-let set_event_hook t hook = t.event_hook <- hook
+let set_event_hook t hook =
+  t.event_hook <- hook;
+  t.observing <- hook <> None || t.capture <> None
 
-let emit t ev = match t.event_hook with Some f -> f ev | None -> ()
+let set_capture t c =
+  t.capture <- c;
+  t.observing <- t.event_hook <> None || c <> None
 
-(* Events are constructed at the emission sites, so every site must
-   check this first: with no hook installed the event record is never
-   allocated and the hot path pays a single branch. *)
-let[@inline] hooked t = t.event_hook <> None
+(* Every emission site must check this first: with no observer
+   installed nothing is constructed and the hot path pays a single
+   branch. Per-constructor helpers below then append the scalar
+   fields to the capture log directly and build the event record only
+   when a closure hook is also installed — the capture path allocates
+   nothing. *)
+let[@inline] observed t = t.observing
+
+(* Reserve room for a whole entry before writing any slot, so the log
+   always sits at an entry boundary when [cap_drain] sweeps it. The
+   drain contract leaves >= 16 buffer slots and >= 2 string slots
+   free — at least one entry of any kind. *)
+let[@inline] cap_room c ni =
+  if c.cap_pos + ni > Array.length c.cap_buf then c.cap_drain ()
+
+let[@inline] cap_room_s c ni ns =
+  if c.cap_pos + ni > Array.length c.cap_buf
+     || c.cap_spos + ns > Array.length c.cap_strs
+  then c.cap_drain ()
+
+let[@inline] cap_str c s =
+  Array.unsafe_set c.cap_strs c.cap_spos s;
+  c.cap_spos <- c.cap_spos + 1
+
+let[@inline] cls_code = function
+  | Seep.Read_only -> 0
+  | Seep.State_modifying -> 1
+  | Seep.Reply -> 2
+
+let[@inline] halt_kind = function
+  | H_completed _ -> 0
+  | H_shutdown _ -> 1
+  | H_panic _ -> 2
+  | H_hang -> 3
+
+let[@inline never] emit_msg t ~time ~src ~dst ~tag ~call ~rid ~parent ~cls =
+  (match t.capture with
+   | Some c ->
+     cap_room c 9;
+     let a = c.cap_buf and p = c.cap_pos in
+     Array.unsafe_set a p 0;
+     Array.unsafe_set a (p + 1) time;
+     Array.unsafe_set a (p + 2) src;
+     Array.unsafe_set a (p + 3) dst;
+     Array.unsafe_set a (p + 4) (Message.Tag.to_index tag);
+     Array.unsafe_set a (p + 5) (if call then 1 else 0);
+     Array.unsafe_set a (p + 6) rid;
+     Array.unsafe_set a (p + 7) parent;
+     Array.unsafe_set a (p + 8) (cls_code cls);
+     c.cap_pos <- p + 9
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_msg { time; src; dst; tag; call; rid; parent; cls })
+  | None -> ()
+
+let[@inline never] emit_reply t ~time ~src ~dst ~tag ~rid =
+  (match t.capture with
+   | Some c ->
+     cap_room c 6;
+     let a = c.cap_buf and p = c.cap_pos in
+     Array.unsafe_set a p 1;
+     Array.unsafe_set a (p + 1) time;
+     Array.unsafe_set a (p + 2) src;
+     Array.unsafe_set a (p + 3) dst;
+     Array.unsafe_set a (p + 4) (Message.Tag.to_index tag);
+     Array.unsafe_set a (p + 5) rid;
+     c.cap_pos <- p + 6
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_reply { time; src; dst; tag; rid })
+  | None -> ()
+
+(* The 3/4/5-slot entry shapes below share these appenders; [kind] is
+   the entry's wire code (see the .mli layout table). *)
+let[@inline] cap3 c kind ~time ~ep =
+  cap_room c 3;
+  let a = c.cap_buf and p = c.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  c.cap_pos <- p + 3
+
+let[@inline] cap4 c kind ~time ~ep ~rid =
+  cap_room c 4;
+  let a = c.cap_buf and p = c.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  c.cap_pos <- p + 4
+
+let[@inline] cap5 c kind ~time ~ep ~rid ~x =
+  cap_room c 5;
+  let a = c.cap_buf and p = c.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  Array.unsafe_set a (p + 4) x;
+  c.cap_pos <- p + 5
+
+let[@inline] cap_str4 c kind ~time ~ep ~rid ~s =
+  cap_room_s c 4 1;
+  let a = c.cap_buf and p = c.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  c.cap_pos <- p + 4;
+  cap_str c s
+
+let[@inline never] emit_window_open t ~time ~ep ~rid =
+  (match t.capture with
+   | Some c -> cap4 c 2 ~time ~ep ~rid
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_window_open { time; ep; rid })
+  | None -> ()
+
+let[@inline never] emit_window_close t ~time ~ep ~rid ~policy =
+  (match t.capture with
+   | Some c -> cap5 c 3 ~time ~ep ~rid ~x:(if policy then 1 else 0)
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_window_close { time; ep; rid; policy })
+  | None -> ()
+
+let[@inline never] emit_checkpoint t ~time ~ep ~rid ~cycles =
+  (match t.capture with
+   | Some c -> cap5 c 4 ~time ~ep ~rid ~x:cycles
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_checkpoint { time; ep; rid; cycles })
+  | None -> ()
+
+let[@inline never] emit_store_logged t ~time ~ep ~rid ~bytes =
+  (match t.capture with
+   | Some c -> cap5 c 5 ~time ~ep ~rid ~x:bytes
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_store_logged { time; ep; rid; bytes })
+  | None -> ()
+
+let[@inline never] emit_kcall t ~time ~ep ~rid ~kc =
+  (match t.capture with
+   | Some c -> cap_str4 c 6 ~time ~ep ~rid ~s:kc
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_kcall { time; ep; rid; kc })
+  | None -> ()
+
+let[@inline never] emit_crash t ~time ~ep ~reason ~window_open ~rid ~policy =
+  (match t.capture with
+   | Some c ->
+     cap_room_s c 5 2;
+     let a = c.cap_buf and p = c.cap_pos in
+     Array.unsafe_set a p 7;
+     Array.unsafe_set a (p + 1) time;
+     Array.unsafe_set a (p + 2) ep;
+     Array.unsafe_set a (p + 3) (if window_open then 1 else 0);
+     Array.unsafe_set a (p + 4) rid;
+     c.cap_pos <- p + 5;
+     cap_str c reason;
+     cap_str c policy
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_crash { time; ep; reason; window_open; rid; policy })
+  | None -> ()
+
+let[@inline never] emit_hang_detected t ~time ~ep =
+  (match t.capture with
+   | Some c -> cap3 c 8 ~time ~ep
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_hang_detected { time; ep })
+  | None -> ()
+
+let[@inline never] emit_rollback_begin t ~time ~ep ~rid =
+  (match t.capture with
+   | Some c -> cap4 c 9 ~time ~ep ~rid
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_rollback_begin { time; ep; rid })
+  | None -> ()
+
+let[@inline never] emit_rollback_end t ~time ~ep ~rid ~bytes =
+  (match t.capture with
+   | Some c -> cap5 c 10 ~time ~ep ~rid ~x:bytes
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_rollback_end { time; ep; rid; bytes })
+  | None -> ()
+
+let[@inline never] emit_restart t ~time ~ep ~rid ~policy =
+  (match t.capture with
+   | Some c -> cap_str4 c 11 ~time ~ep ~rid ~s:policy
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_restart { time; ep; rid; policy })
+  | None -> ()
+
+let[@inline never] emit_halt t ~time ~halt =
+  (match t.capture with
+   | Some c ->
+     (match halt with
+      | H_shutdown s | H_panic s ->
+        cap_room_s c 4 1;
+        cap_str c s
+      | H_completed _ | H_hang -> cap_room c 4);
+     let a = c.cap_buf and p = c.cap_pos in
+     Array.unsafe_set a p 12;
+     Array.unsafe_set a (p + 1) time;
+     Array.unsafe_set a (p + 2) (halt_kind halt);
+     Array.unsafe_set a (p + 3)
+       (match halt with H_completed status -> status | _ -> 0);
+     c.cap_pos <- p + 4
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_halt { time; halt })
+  | None -> ()
 
 let set_cycle_hook t hook = t.cycle_hook <- hook
 
@@ -534,7 +776,7 @@ let wake_receiver t p =
 let halt t h =
   if t.halted = None then begin
     t.halted <- Some h;
-    if hooked t then emit t (E_halt { time = t.global_now; halt = h })
+    if observed t then emit_halt t ~time:t.global_now ~halt:h
   end
 
 let panic t reason =
@@ -550,8 +792,8 @@ let close_window_if_open ?(policy = false) ?(rid = 0) t p =
   | Some w when Window.is_open w ->
     if policy then Window.note_policy_close w;
     Window.close_window w;
-    if hooked t then
-      emit t (E_window_close { time = p.vtime; ep = p.ep; rid; policy })
+    if observed t then
+      emit_window_close t ~time:p.vtime ~ep:p.ep ~rid ~policy
   | _ -> ()
 
 let policy_close ?tag ?(rid = 0) t p cls =
@@ -587,8 +829,8 @@ let open_handler_window ?(rid = 0) t p =
       p.rlocal_crossed <- false;
       p.window_seeps <- 0;
       Window.open_window w;
-      if hooked t then
-        emit t (E_window_open { time = p.vtime; ep = p.ep; rid });
+      if observed t then
+        emit_window_open t ~time:p.vtime ~ep:p.ep ~rid;
       (* Full-copy checkpointing pays for the image copy at every
          window open; the undo log pays per store instead. *)
       let snapshot = Window.instrumentation w = Window.Snapshot in
@@ -598,8 +840,8 @@ let open_handler_window ?(rid = 0) t p =
         else t.cfg.costs.Costs.c_checkpoint
       in
       advance t p (if snapshot then sl_ckpt_snapshot else sl_ckpt_undo) cost;
-      if hooked t then
-        emit t (E_checkpoint { time = p.vtime; ep = p.ep; rid; cycles = cost })
+      if observed t then
+        emit_checkpoint t ~time:p.vtime ~ep:p.ep ~rid ~cycles:cost
     | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -635,9 +877,11 @@ let deliver_to_inbox t ?at ~src ~src_tid ~call ~rid ~parent dst msg =
               (Endpoint.server_name dst)
               (Message.Tag.to_string (Message.Tag.of_msg msg))
               (if call then " (call)" else ""));
-      if hooked t then
-        emit t (E_msg { time = at; src; dst; tag = Message.Tag.of_msg msg;
-                        call; rid; parent; cls = Seep.classify_msg ~dst msg });
+      if observed t then begin
+        let tag = Message.Tag.of_msg msg in
+        emit_msg t ~time:at ~src ~dst ~tag ~call ~rid ~parent
+          ~cls:(Seep.classify ~dst tag)
+      end;
       Queue.push
         { ib_src = src; ib_src_tid = src_tid; ib_msg = msg; ib_call = call;
           ib_time = at; ib_rid = rid }
@@ -686,9 +930,9 @@ let rec crash_proc t p reason =
     p.stalled <- true;
     p.hung <- false;
     p.crashed_at <- max p.vtime t.global_now;
-    if hooked t then
-      emit t (E_crash { time = p.crashed_at; ep = p.ep; reason; window_open;
-                        rid = cause; policy = p.policy.Policy.name });
+    if observed t then
+      emit_crash t ~time:p.crashed_at ~ep:p.ep ~reason ~window_open
+        ~rid:cause ~policy:p.policy.Policy.name;
     match p.policy.Policy.recovery with
     | Policy.No_recovery -> panic t (Printf.sprintf "unrecovered crash in %s: %s" p.pname reason)
     | _ ->
@@ -731,30 +975,30 @@ and k_rollback t p =
   | Some w, Some ctx when ctx.cc_window_open ->
     let rid = match ctx.cc_request with Some rq -> rq.rq_rid | None -> 0 in
     let at = max t.global_now p.vtime in
-    if hooked t then
-      emit t (E_rollback_begin { time = at; ep = p.ep; rid });
+    if observed t then
+      emit_rollback_begin t ~time:at ~ep:p.ep ~rid;
     let before = Undo_log.rollback_bytes (Window.log w) in
     Window.rollback w;
-    if hooked t then begin
+    if observed t then begin
       let bytes =
         if Window.instrumentation w = Window.Snapshot then
           Memimage.size (Window.image w)
         else Undo_log.rollback_bytes (Window.log w) - before
       in
-      emit t (E_rollback_end { time = at; ep = p.ep; rid; bytes })
+      emit_rollback_end t ~time:at ~ep:p.ep ~rid ~bytes
     end;
     true
   | _ -> false
 
 and k_go t p =
-  if p.kind = Server_proc && hooked t then begin
+  if p.kind = Server_proc && observed t then begin
     let rid =
       match p.crash_ctx with
       | Some { cc_request = Some rq; _ } -> rq.rq_rid
       | _ -> 0
     in
-    emit t (E_restart { time = max t.global_now p.vtime; ep = p.ep; rid;
-                        policy = p.policy.Policy.name })
+    emit_restart t ~time:(max t.global_now p.vtime) ~ep:p.ep ~rid
+      ~policy:p.policy.Policy.name
   end;
   let recovering = p.crashed_at > 0 in
   if p.kind = Server_proc && recovering then begin
@@ -802,10 +1046,9 @@ and k_reply_error t ~target ~err =
      | Some (th, k, callee) ->
        (* The virtualized error closes the requester's in-flight call:
           report it as a reply so its span completes. *)
-       if hooked t then
-         emit t (E_reply { time = t.global_now; src = callee; dst = target;
-                           tag = Message.Tag.of_msg (Message.R_err err);
-                           rid = th.out_rid });
+       if observed t then
+         emit_reply t ~time:t.global_now ~src:callee ~dst:target
+           ~tag:(Message.Tag.of_msg (Message.R_err err)) ~rid:th.out_rid;
        th.tstate <- T_ready (k (Message.R_err err));
        sync_to t rp sl_wait_reply t.global_now;
        Queue.push th rp.runq;
@@ -1333,9 +1576,8 @@ let step t p th prog =
        in
        charge t p sl_store costs.Costs.c_store;
        if logged then charge_flat t p sl_log_store costs.Costs.c_log;
-       if logged && hooked t then
-         emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
-                                  bytes = 8 });
+       if logged && observed t then
+         emit_store_logged t ~time:p.vtime ~ep:p.ep ~rid:th.cause ~bytes:8;
        (match action with
         | Some F_drop_store -> ()
         | Some F_corrupt_store ->
@@ -1371,9 +1613,8 @@ let step t p th prog =
        if logged then
          charge_flat t p sl_log_store
            (costs.Costs.c_log + (len * costs.Costs.c_log_per_byte));
-       if logged && hooked t then
-         emit t (E_store_logged { time = p.vtime; ep = p.ep; rid = th.cause;
-                                  bytes = len });
+       if logged && observed t then
+         emit_store_logged t ~time:p.vtime ~ep:p.ep ~rid:th.cause ~bytes:len;
        (match action with
         | Some F_drop_store -> ()
         | Some F_corrupt_store ->
@@ -1544,10 +1785,9 @@ let step t p th prog =
                    m "t=%-10d %s => %s  reply %s" p.vtime
                      (Endpoint.server_name p.ep) (Endpoint.server_name dst)
                      (Message.Tag.to_string (Message.Tag.of_msg msg)));
-             if hooked t then
-               emit t
-                 (E_reply { time = p.vtime; src = p.ep; dst;
-                            tag = Message.Tag.of_msg msg; rid = th'.out_rid });
+             if observed t then
+               emit_reply t ~time:p.vtime ~src:p.ep ~dst
+                 ~tag:(Message.Tag.of_msg msg) ~rid:th'.out_rid;
              th'.tstate <- T_ready (k' msg);
              sync_to t rp sl_wait_reply p.vtime;
              Queue.push th' rp.runq;
@@ -1582,9 +1822,8 @@ let step t p th prog =
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
     charge t p (kcall_slot kc) costs.Costs.c_kcall;
-    if hooked t then
-      emit t (E_kcall { time = p.vtime; ep = p.ep; rid = th.cause;
-                        kc = kcall_name kc });
+    if observed t then
+      emit_kcall t ~time:p.vtime ~ep:p.ep ~rid:th.cause ~kc:(kcall_name kc);
     if p.kind = Server_proc then begin
       let cls =
         match kc with
@@ -1670,8 +1909,8 @@ let dispatch t item =
     (match proc_of t ep with
      | Some p when p.hung && p.alive ->
        p.hung <- false;
-       if hooked t then
-         emit t (E_hang_detected { time = t.global_now; ep = p.ep });
+       if observed t then
+         emit_hang_detected t ~time:t.global_now ~ep:p.ep;
        crash_proc t p "hang detected by heartbeat"
      | _ -> ())
 

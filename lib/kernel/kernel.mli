@@ -213,6 +213,62 @@ val set_event_hook : t -> (event -> unit) option -> unit
     event construction entirely — one branch per event, zero
     allocation (a bench gate in [bench/obs_bench.ml]). *)
 
+(** Raw event capture: the flight recorder's zero-dispatch tap, the
+    scalar-field twin of {!set_event_hook}.
+
+    A [capture] is a consumer-owned scalar log. The emission sites
+    append each event as a few plain [int] stores into [cap_buf]
+    (string fields ride as shared pointers in [cap_strs] — the
+    kernel's strings are immutable, so no copy) and return: no closure
+    call, no event construction, no encoding. Only when an append
+    would overflow does the kernel invoke [cap_drain], which must make
+    room again — grow the arrays, or consume the log and reset
+    [cap_pos]/[cap_spos] — leaving at least 16 free [cap_buf] slots
+    and 2 free [cap_strs] slots (one entry of any kind). The journal
+    writer's drain batch-encodes the log into its wire format
+    ([Journal.capture]); deferring every codec byte off the emission
+    path is what holds the <5% attached-recording overhead gate in
+    [bench/journal_bench.ml].
+
+    Entry layout — the contract between the kernel's append sites and
+    any drain. The first slot is the event's wire code (constructor
+    declaration order); booleans are 0/1, [tag] is
+    [Message.Tag.to_index], [cls] is 0 = read-only, 1 =
+    state-modifying, 2 = reply; trailing strings ride in [cap_strs]
+    in append order:
+
+    {v
+     0  E_msg            time src dst tag call rid parent cls (9 slots)
+     1  E_reply          time src dst tag rid                 (6)
+     2  E_window_open    time ep rid                          (4)
+     3  E_window_close   time ep rid policy                   (5)
+     4  E_checkpoint     time ep rid cycles                   (5)
+     5  E_store_logged   time ep rid bytes                    (5)
+     6  E_kcall          time ep rid             + 1 string   (4)
+     7  E_crash          time ep window_open rid + 2 strings  (5)
+     8  E_hang_detected  time ep                              (3)
+     9  E_rollback_begin time ep rid                          (4)
+    10  E_rollback_end   time ep rid bytes                    (5)
+    11  E_restart        time ep rid             + 1 string   (4)
+    12  E_halt           time kind status        + 1 string   (4)
+          (kind 0 completed / 1 shutdown / 2 panic / 3 hang;
+           the string only for kinds 1 and 2)
+    v}
+
+    A capture and an event hook can be installed together; per event
+    the capture append happens first, then the hook fires, with
+    identical field values — so a journal recorded through the capture
+    is byte-equivalent to encoding the hook's event stream. *)
+type capture = {
+  mutable cap_buf : int array;
+  mutable cap_pos : int;
+  mutable cap_strs : string array;
+  mutable cap_spos : int;
+  mutable cap_drain : unit -> unit;
+}
+
+val set_capture : t -> capture option -> unit
+
 (** {1 Cycle attribution}
 
     Every advance of a process' virtual clock is attributed to exactly

@@ -1,0 +1,1175 @@
+(* Binary journal codec: varint payloads, per-record CRC framing.
+   See the .mli for the wire layout. *)
+
+type header = {
+  jh_version : int;
+  jh_seed : int;
+  jh_arch : Kernel.arch;
+  jh_spec : string;
+  jh_workload : string;
+  jh_crash : string;
+  jh_crash_count : int;
+  jh_cost_fingerprint : int;
+}
+
+let version = 1
+
+let magic = "OSIRJNL1"
+
+let header_to_string h =
+  Printf.sprintf
+    "v%d seed=%d arch=%s spec=%s workload=%s crash=%s/%d costs=%x"
+    h.jh_version h.jh_seed
+    (match h.jh_arch with Kernel.Microkernel -> "microkernel" | Kernel.Monolithic -> "monolithic")
+    h.jh_spec h.jh_workload h.jh_crash h.jh_crash_count h.jh_cost_fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+(* Slicing-by-4 companion tables: t.(k).(i) advances the CRC of byte
+   [i] through [k] further zero bytes, letting 4 input bytes fold in
+   with 4 independent table loads instead of a 4-long serial chain. *)
+let crc_tables =
+  let t = Array.make_matrix 4 256 0 in
+  t.(0) <- crc_table;
+  for k = 1 to 3 do
+    for i = 0 to 255 do
+      let p = t.(k - 1).(i) in
+      t.(k).(i) <- crc_table.(p land 0xff) lxor (p lsr 8)
+    done
+  done;
+  t
+
+let crc32 b ~off ~len =
+  let t0 = crc_tables.(0) and t1 = crc_tables.(1)
+  and t2 = crc_tables.(2) and t3 = crc_tables.(3) in
+  let c = ref 0xFFFFFFFF in
+  let i = ref off in
+  let stop4 = off + (len land lnot 3) in
+  while !i < stop4 do
+    let w =
+      Char.code (Bytes.unsafe_get b !i)
+      lor (Char.code (Bytes.unsafe_get b (!i + 1)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get b (!i + 2)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (!i + 3)) lsl 24)
+    in
+    let x = !c lxor w in
+    c :=
+      Array.unsafe_get t3 (x land 0xff)
+      lxor Array.unsafe_get t2 ((x lsr 8) land 0xff)
+      lxor Array.unsafe_get t1 ((x lsr 16) land 0xff)
+      lxor Array.unsafe_get t0 ((x lsr 24) land 0xff);
+    i := !i + 4
+  done;
+  for j = !i to off + len - 1 do
+    c :=
+      Array.unsafe_get crc_table
+        ((!c lxor Char.code (Bytes.unsafe_get b j)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32_string s ~off ~len = crc32 (Bytes.unsafe_of_string s) ~off ~len
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sink = S_mem of Buffer.t | S_file of out_channel
+
+type writer = {
+  w_header : header;
+  sink : sink;
+  mutable scratch : Bytes.t;  (* current record's payload *)
+  mutable pos : int;
+  out : Bytes.t;              (* staging buffer for framed records *)
+  mutable opos : int;
+  frame : Bytes.t;            (* varint(len) spill for oversized records *)
+  mutable n_records : int;
+  mutable n_bytes : int;
+  mutable closed : bool;
+  (* Delta-coding state: [time] is monotone and [rid] highly repetitive
+     across consecutive events, so both are encoded as zigzag deltas
+     against the previous record — usually one byte each. The reader
+     mirrors this state while iterating. *)
+  mutable last_time : int;
+  mutable last_rid : int;
+  (* Raw capture log ([Kernel.capture]): the per-event hot path — the
+     kernel's emission sites, or [write] below — appends plain scalars
+     here (and string pointers to [cap_strs] — no copy, the kernel's
+     strings are immutable) and returns. Varint encoding, framing and
+     CRCs all happen in [transcode], which sweeps the log in one batch
+     at a drain boundary: when the log reaches its cap (amortized, for
+     long runs), at [close], or when an accessor needs exact counts.
+     Deferring the codec off the emission path is what holds the
+     attached-recording overhead gate: per event the run pays a
+     handful of int stores, not a wire encoder. *)
+  w_cap : Kernel.capture;
+}
+
+(* Deferred per-record CRCs: the direct encode path leaves each
+   record's 4 CRC bytes unfilled and this pass patches them just
+   before the staging buffer is emitted. Touching ~4600 staged records
+   in one sequential sweep keeps the 8 KiB slicing tables L1-hot for
+   the whole batch. The sweep re-parses the staging buffer, which only
+   ever holds whole records: every drain happens at a record boundary.
+   Recomputing a CRC a slow path already stored (header, oversized
+   records) is idempotent. Tail-recursive on int arguments — the
+   encode path must stay allocation-free. *)
+let[@inline] patch_crc w p len =
+  let crc = crc32 w.out ~off:p ~len in
+  let q = p + len in
+  Bytes.unsafe_set w.out q (Char.unsafe_chr (crc land 0xff));
+  Bytes.unsafe_set w.out (q + 1) (Char.unsafe_chr ((crc lsr 8) land 0xff));
+  Bytes.unsafe_set w.out (q + 2) (Char.unsafe_chr ((crc lsr 16) land 0xff));
+  Bytes.unsafe_set w.out (q + 3) (Char.unsafe_chr ((crc lsr 24) land 0xff));
+  q + 4
+
+let rec fill_crcs w p =
+  if p < w.opos then begin
+    (* Staged frame lengths fit 3 varint bytes (records are smaller
+       than the staging buffer, < 2^21). *)
+    let b0 = Char.code (Bytes.unsafe_get w.out p) in
+    if b0 < 0x80 then fill_crcs w (patch_crc w (p + 1) b0)
+    else begin
+      let b1 = Char.code (Bytes.unsafe_get w.out (p + 1)) in
+      let acc = (b0 land 0x7f) lor ((b1 land 0x7f) lsl 7) in
+      if b1 < 0x80 then fill_crcs w (patch_crc w (p + 2) acc)
+      else
+        let b2 = Char.code (Bytes.unsafe_get w.out (p + 2)) in
+        fill_crcs w (patch_crc w (p + 3) (acc lor ((b2 land 0x7f) lsl 14)))
+    end
+  end
+
+(* Emit the staged framed records in one channel/buffer operation.
+   Channel writes take a per-channel lock in OCaml 5; pay it once per
+   ~64 KiB instead of several times per record. *)
+let drain w =
+  if w.opos > 0 then begin
+    fill_crcs w 0;
+    (match w.sink with
+     | S_mem buf -> Buffer.add_subbytes buf w.out 0 w.opos
+     | S_file oc -> output oc w.out 0 w.opos);
+    w.opos <- 0
+  end
+
+let ensure w need =
+  let cap = Bytes.length w.scratch in
+  if w.pos + need > cap then begin
+    let cap' = max (2 * cap) (w.pos + need) in
+    let b = Bytes.create cap' in
+    Bytes.blit w.scratch 0 b 0 w.pos;
+    w.scratch <- b
+  end
+
+(* Zigzag varint: small magnitudes of either sign stay short; fields
+   are almost always non-negative, where zigzag costs one bit. *)
+let[@inline] zigzag v = (v lsl 1) lxor (v asr 62)
+
+let[@inline] unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+let put_int w v =
+  ensure w 10;
+  let z = zigzag v in
+  (* Single-byte fast path: endpoints, tags, booleans, SEEP classes
+     and most rids fit in 7 bits — the overwhelming majority of fields
+     on the hot path. *)
+  if z land (lnot 0x7f) = 0 then begin
+    Bytes.unsafe_set w.scratch w.pos (Char.unsafe_chr z);
+    w.pos <- w.pos + 1
+  end
+  else begin
+    let v = ref z in
+    let continue = ref true in
+    while !continue do
+      let b = !v land 0x7f in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        Bytes.unsafe_set w.scratch w.pos (Char.unsafe_chr b);
+        w.pos <- w.pos + 1;
+        continue := false
+      end
+      else begin
+        Bytes.unsafe_set w.scratch w.pos (Char.unsafe_chr (b lor 0x80));
+        w.pos <- w.pos + 1
+      end
+    done
+  end
+
+let put_str w s =
+  let len = String.length s in
+  put_int w len;
+  ensure w len;
+  Bytes.blit_string s 0 w.scratch w.pos len;
+  w.pos <- w.pos + len
+
+(* Stage varint(len) + payload + CRC32(payload, 4 bytes LE) into the
+   output buffer and reset the scratch. Everything happens in reused
+   fixed buffers, so a flush allocates nothing. *)
+let flush_record w =
+  let len = w.pos in
+  let need = len + 14 (* worst-case frame varint (10) + CRC (4) *) in
+  if w.opos + need > Bytes.length w.out then drain w;
+  let crc = crc32 w.scratch ~off:0 ~len in
+  if need <= Bytes.length w.out then begin
+    let p = ref w.opos in
+    (* frame head: raw varint of the payload length *)
+    let v = ref len in
+    let continue = ref true in
+    while !continue do
+      let b = !v land 0x7f in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        Bytes.unsafe_set w.out !p (Char.unsafe_chr b);
+        incr p;
+        continue := false
+      end
+      else begin
+        Bytes.unsafe_set w.out !p (Char.unsafe_chr (b lor 0x80));
+        incr p
+      end
+    done;
+    (* Manual copy for typical (tiny) records: Bytes.blit is a C call
+       whose fixed cost dwarfs moving a dozen bytes. *)
+    if len <= 32 then
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set w.out (!p + i) (Bytes.unsafe_get w.scratch i)
+      done
+    else Bytes.blit w.scratch 0 w.out !p len;
+    p := !p + len;
+    Bytes.unsafe_set w.out !p (Char.unsafe_chr (crc land 0xff));
+    Bytes.unsafe_set w.out (!p + 1) (Char.unsafe_chr ((crc lsr 8) land 0xff));
+    Bytes.unsafe_set w.out (!p + 2) (Char.unsafe_chr ((crc lsr 16) land 0xff));
+    Bytes.unsafe_set w.out (!p + 3) (Char.unsafe_chr ((crc lsr 24) land 0xff));
+    w.n_bytes <- w.n_bytes + (!p + 4 - w.opos);
+    w.opos <- !p + 4
+  end
+  else begin
+    (* Record bigger than the staging buffer (giant string payload):
+       emit it directly — rare enough that per-call channel cost is
+       irrelevant. [drain] above already emptied the staging buffer,
+       so ordering is preserved. *)
+    let fp = ref 0 in
+    let v = ref len in
+    let continue = ref true in
+    while !continue do
+      let b = !v land 0x7f in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        Bytes.unsafe_set w.frame !fp (Char.unsafe_chr b);
+        incr fp;
+        continue := false
+      end
+      else begin
+        Bytes.unsafe_set w.frame !fp (Char.unsafe_chr (b lor 0x80));
+        incr fp
+      end
+    done;
+    Bytes.set w.frame (!fp) (Char.unsafe_chr (crc land 0xff));
+    Bytes.set w.frame (!fp + 1) (Char.unsafe_chr ((crc lsr 8) land 0xff));
+    Bytes.set w.frame (!fp + 2) (Char.unsafe_chr ((crc lsr 16) land 0xff));
+    Bytes.set w.frame (!fp + 3) (Char.unsafe_chr ((crc lsr 24) land 0xff));
+    (match w.sink with
+     | S_mem buf ->
+       Buffer.add_subbytes buf w.frame 0 !fp;
+       Buffer.add_subbytes buf w.scratch 0 len;
+       Buffer.add_subbytes buf w.frame !fp 4
+     | S_file oc ->
+       output oc w.frame 0 !fp;
+       output oc w.scratch 0 len;
+       output oc w.frame !fp 4);
+    w.n_bytes <- w.n_bytes + !fp + len + 4
+  end;
+  w.n_records <- w.n_records + 1;
+  w.pos <- 0
+
+let put_header w h =
+  put_int w h.jh_version;
+  put_int w h.jh_seed;
+  put_int w (match h.jh_arch with Kernel.Microkernel -> 0 | Kernel.Monolithic -> 1);
+  put_int w h.jh_crash_count;
+  put_int w h.jh_cost_fingerprint;
+  put_str w h.jh_spec;
+  put_str w h.jh_workload;
+  put_str w h.jh_crash;
+  flush_record w;
+  (* The header frame is not an event record. *)
+  w.n_records <- w.n_records - 1
+
+(* Wire tags: event-constructor declaration order. *)
+
+(* Direct-encode fast path: the payload is framed straight into the
+   staging buffer, so each byte is written exactly once and the CRC
+   runs over cache-hot memory with no scratch->staging copy. Two bytes
+   are reserved up front for the record length and patched afterwards
+   as a *padded* LEB128 varint (a redundant continuation byte is still
+   a valid varint; decoders do not require canonical form). *)
+
+let dput_slow w z =
+  let v = ref z in
+  let continue = ref true in
+  while !continue do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Bytes.unsafe_set w.out w.opos (Char.unsafe_chr b);
+      w.opos <- w.opos + 1;
+      continue := false
+    end
+    else begin
+      Bytes.unsafe_set w.out w.opos (Char.unsafe_chr (b lor 0x80));
+      w.opos <- w.opos + 1
+    end
+  done
+
+let[@inline] dput w v =
+  let z = zigzag v in
+  if z land (lnot 0x7f) = 0 then begin
+    Bytes.unsafe_set w.out w.opos (Char.unsafe_chr z);
+    w.opos <- w.opos + 1
+  end
+  else dput_slow w z
+
+(* Packed lead byte: wire tag in the low 4 bits, constructor-specific
+   flag bits above, always < 0x80 so it doubles as a 1-byte varint. *)
+let[@inline] dbyte w b =
+  Bytes.unsafe_set w.out w.opos (Char.unsafe_chr b);
+  w.opos <- w.opos + 1
+
+let put_byte w b =
+  ensure w 1;
+  Bytes.unsafe_set w.scratch w.pos (Char.unsafe_chr b);
+  w.pos <- w.pos + 1
+
+let dstr w s =
+  let len = String.length s in
+  dput w len;
+  Bytes.blit_string s 0 w.out w.opos len;
+  w.opos <- w.opos + len
+
+(* Payload headroom the fixed fields of any event can need (13 varints
+   at 10 bytes each, rounded up), beyond its strings' bytes. *)
+let direct_slack = 140
+
+let[@inline] begin_direct w extra =
+  (* payloads stay under 2^14, so two length bytes always suffice *)
+  if w.opos + extra + direct_slack > Bytes.length w.out then drain w;
+  let start = w.opos in
+  w.opos <- start + 2;
+  start
+
+let[@inline] finish_direct w start =
+  let len = w.opos - start - 2 in
+  Bytes.unsafe_set w.out start (Char.unsafe_chr (0x80 lor (len land 0x7f)));
+  Bytes.unsafe_set w.out (start + 1) (Char.unsafe_chr (len lsr 7));
+  (* the 4 CRC bytes stay unfilled until [drain]'s batched sweep *)
+  w.opos <- w.opos + 4;
+  w.n_bytes <- w.n_bytes + len + 6;
+  w.n_records <- w.n_records + 1
+
+let[@inline] dtime w time =
+  dput w (time - w.last_time);
+  w.last_time <- time
+
+let[@inline] drid w rid =
+  dput w (rid - w.last_rid);
+  w.last_rid <- rid
+
+let[@inline] cls_code = function
+  | Seep.Read_only -> 0
+  | Seep.State_modifying -> 1
+  | Seep.Reply -> 2
+
+(* One encoder per constructor, the targets of [transcode]'s batched
+   sweep over the raw capture log. Tags and SEEP classes arrive as the
+   integer codes the log stores ([Message.Tag.to_index], [cls_code]).
+   Only [transcode] (and [put_header]'s scratch path) reaches these. *)
+
+let enc_msg w ~time ~src ~dst ~tagi ~call ~rid ~parent ~clsc =
+  let start = begin_direct w 0 in
+  dbyte w (0 lor (if call then 0x10 else 0) lor (clsc lsl 5));
+  dtime w time;
+  dput w src;
+  dput w dst;
+  dput w tagi;
+  drid w rid;
+  (* parents are causally near their rid (0 only at roots) *)
+  dput w (rid - parent);
+  finish_direct w start
+
+let enc_reply w ~time ~src ~dst ~tagi ~rid =
+  let start = begin_direct w 0 in
+  dbyte w 1;
+  dtime w time;
+  dput w src;
+  dput w dst;
+  dput w tagi;
+  drid w rid;
+  finish_direct w start
+
+let enc_window_open w ~time ~ep ~rid =
+  let start = begin_direct w 0 in
+  dbyte w 2; dtime w time; dput w ep; drid w rid;
+  finish_direct w start
+
+let enc_window_close w ~time ~ep ~rid ~policy =
+  let start = begin_direct w 0 in
+  dbyte w (3 lor (if policy then 0x10 else 0));
+  dtime w time; dput w ep; drid w rid;
+  finish_direct w start
+
+let enc_checkpoint w ~time ~ep ~rid ~cycles =
+  let start = begin_direct w 0 in
+  dbyte w 4; dtime w time; dput w ep; drid w rid; dput w cycles;
+  finish_direct w start
+
+let enc_store_logged w ~time ~ep ~rid ~bytes =
+  let start = begin_direct w 0 in
+  dbyte w 5; dtime w time; dput w ep; drid w rid; dput w bytes;
+  finish_direct w start
+
+let enc_kcall w ~time ~ep ~rid ~kc =
+  let extra = String.length kc in
+  if extra <= 16_000 then begin
+    let start = begin_direct w extra in
+    dbyte w 6; dtime w time; dput w ep; drid w rid; dstr w kc;
+    finish_direct w start
+  end
+  else begin
+    (* Giant string payload: take the scratch-buffered slow path,
+       whose oversized-record branch can bypass the staging buffer
+       entirely. Same for the other string-bearing encoders below. *)
+    put_byte w 6;
+    put_int w (time - w.last_time); w.last_time <- time;
+    put_int w ep;
+    put_int w (rid - w.last_rid); w.last_rid <- rid;
+    put_str w kc;
+    flush_record w
+  end
+
+let enc_crash w ~time ~ep ~reason ~window_open ~rid ~policy =
+  let extra = String.length reason + String.length policy in
+  if extra <= 16_000 then begin
+    let start = begin_direct w extra in
+    dbyte w (7 lor (if window_open then 0x10 else 0));
+    dtime w time; dput w ep; drid w rid;
+    dstr w reason; dstr w policy;
+    finish_direct w start
+  end
+  else begin
+    put_byte w (7 lor (if window_open then 0x10 else 0));
+    put_int w (time - w.last_time); w.last_time <- time;
+    put_int w ep;
+    put_int w (rid - w.last_rid); w.last_rid <- rid;
+    put_str w reason; put_str w policy;
+    flush_record w
+  end
+
+let enc_hang_detected w ~time ~ep =
+  let start = begin_direct w 0 in
+  dbyte w 8; dtime w time; dput w ep;
+  finish_direct w start
+
+let enc_rollback_begin w ~time ~ep ~rid =
+  let start = begin_direct w 0 in
+  dbyte w 9; dtime w time; dput w ep; drid w rid;
+  finish_direct w start
+
+let enc_rollback_end w ~time ~ep ~rid ~bytes =
+  let start = begin_direct w 0 in
+  dbyte w 10; dtime w time; dput w ep; drid w rid; dput w bytes;
+  finish_direct w start
+
+let enc_restart w ~time ~ep ~rid ~policy =
+  let extra = String.length policy in
+  if extra <= 16_000 then begin
+    let start = begin_direct w extra in
+    dbyte w 11; dtime w time; dput w ep; drid w rid; dstr w policy;
+    finish_direct w start
+  end
+  else begin
+    put_byte w 11;
+    put_int w (time - w.last_time); w.last_time <- time;
+    put_int w ep;
+    put_int w (rid - w.last_rid); w.last_rid <- rid;
+    put_str w policy;
+    flush_record w
+  end
+
+let[@inline] halt_kind = function
+  | Kernel.H_completed _ -> 0
+  | Kernel.H_shutdown _ -> 1
+  | Kernel.H_panic _ -> 2
+  | Kernel.H_hang -> 3
+
+(* Halt arrives pre-decomposed (kind code, exit status, reason) so the
+   transcode loop never reconstructs a [Kernel.halt] value — the
+   encode sweep must allocate nothing. [reason] is "" except for
+   shutdown/panic (kinds 1 and 2), the only kinds that encode it. *)
+let enc_halt w ~time ~hkind ~status ~reason =
+  let extra = String.length reason in
+  if extra <= 16_000 then begin
+    let start = begin_direct w extra in
+    dbyte w (12 lor (hkind lsl 4));
+    dtime w time;
+    (match hkind with
+     | 0 -> dput w status
+     | 1 | 2 -> dstr w reason
+     | _ -> ());
+    finish_direct w start
+  end
+  else begin
+    put_byte w (12 lor (hkind lsl 4));
+    put_int w (time - w.last_time); w.last_time <- time;
+    (match hkind with
+     | 0 -> put_int w status
+     | 1 | 2 -> put_str w reason
+     | _ -> ());
+    flush_record w
+  end
+
+(* ---- raw capture log -> wire format --------------------------------
+
+   The entry layout lives in [w.w_cap], a [Kernel.capture]: the
+   kernel's own emission sites append entries with no closure call
+   (see the layout table in kernel.mli), and [write] below appends
+   the identical entries from event values — so a journal recorded
+   through the kernel capture is byte-identical to one written from
+   the equivalent event stream. *)
+
+(* Sweep the raw log through the encoders in one batch. Strings are
+   cleared afterwards so the log never pins kernel strings past their
+   encode. Everything here runs over warm fixed buffers and allocates
+   nothing — it is safe (and cheap) to call at any entry boundary. *)
+let transcode w =
+  let c = w.w_cap in
+  if not w.closed && c.Kernel.cap_pos > 0 then begin
+    let a = c.Kernel.cap_buf and n = c.Kernel.cap_pos in
+    let strs = c.Kernel.cap_strs in
+    let i = ref 0 and si = ref 0 in
+    while !i < n do
+      let p = !i in
+      (match Array.unsafe_get a p with
+       | 0 ->
+         enc_msg w ~time:(Array.unsafe_get a (p + 1))
+           ~src:(Array.unsafe_get a (p + 2))
+           ~dst:(Array.unsafe_get a (p + 3))
+           ~tagi:(Array.unsafe_get a (p + 4))
+           ~call:(Array.unsafe_get a (p + 5) <> 0)
+           ~rid:(Array.unsafe_get a (p + 6))
+           ~parent:(Array.unsafe_get a (p + 7))
+           ~clsc:(Array.unsafe_get a (p + 8));
+         i := p + 9
+       | 1 ->
+         enc_reply w ~time:(Array.unsafe_get a (p + 1))
+           ~src:(Array.unsafe_get a (p + 2))
+           ~dst:(Array.unsafe_get a (p + 3))
+           ~tagi:(Array.unsafe_get a (p + 4))
+           ~rid:(Array.unsafe_get a (p + 5));
+         i := p + 6
+       | 2 ->
+         enc_window_open w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3));
+         i := p + 4
+       | 3 ->
+         enc_window_close w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~policy:(Array.unsafe_get a (p + 4) <> 0);
+         i := p + 5
+       | 4 ->
+         enc_checkpoint w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~cycles:(Array.unsafe_get a (p + 4));
+         i := p + 5
+       | 5 ->
+         enc_store_logged w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~bytes:(Array.unsafe_get a (p + 4));
+         i := p + 5
+       | 6 ->
+         let kc = Array.unsafe_get strs !si in
+         incr si;
+         enc_kcall w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~kc;
+         i := p + 4
+       | 7 ->
+         let reason = Array.unsafe_get strs !si in
+         let policy = Array.unsafe_get strs (!si + 1) in
+         si := !si + 2;
+         enc_crash w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2))
+           ~window_open:(Array.unsafe_get a (p + 3) <> 0)
+           ~rid:(Array.unsafe_get a (p + 4)) ~reason ~policy;
+         i := p + 5
+       | 8 ->
+         enc_hang_detected w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2));
+         i := p + 3
+       | 9 ->
+         enc_rollback_begin w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3));
+         i := p + 4
+       | 10 ->
+         enc_rollback_end w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~bytes:(Array.unsafe_get a (p + 4));
+         i := p + 5
+       | 11 ->
+         let policy = Array.unsafe_get strs !si in
+         incr si;
+         enc_restart w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2)) ~rid:(Array.unsafe_get a (p + 3))
+           ~policy;
+         i := p + 4
+       | 12 ->
+         let hkind = Array.unsafe_get a (p + 2) in
+         let reason =
+           if hkind = 1 || hkind = 2 then begin
+             let s = Array.unsafe_get strs !si in
+             incr si;
+             s
+           end
+           else ""
+         in
+         enc_halt w ~time:(Array.unsafe_get a (p + 1)) ~hkind
+           ~status:(Array.unsafe_get a (p + 3)) ~reason;
+         i := p + 4
+       | k -> invalid_arg (Printf.sprintf "Journal: corrupt raw log kind %d" k))
+    done;
+    for k = 0 to c.Kernel.cap_spos - 1 do
+      Array.unsafe_set strs k ""
+    done;
+    c.Kernel.cap_pos <- 0;
+    c.Kernel.cap_spos <- 0
+  end
+
+(* Growth policy: double up to a cap, then transcode in place — the
+   raw log is a fixed memory budget, not an unbounded spool. A run
+   longer than the cap pays the encode sweep incrementally (amortized
+   over ~58k events per sweep); shorter runs defer every encode byte
+   to [close]. *)
+let raw_cap_ints = 1 lsl 19 (* 4 MiB *)
+
+(* Pointer stash, not a copy: entries are the kernel's interned kcall /
+   policy / reason constants, so a deep stash costs one word each. It
+   is sized to run out no earlier than the int log (strings appear at
+   most once per ~4-slot entry). *)
+let str_cap = 1 lsl 17
+
+(* The capture's drain: restore the room contract (>= 16 buffer slots,
+   >= 2 string slots free) by growing up to the caps, then by encoding
+   the log away. The kernel invokes this from its append sites; the
+   [write] path below funnels through it too. *)
+let cap_ensure w =
+  let c = w.w_cap in
+  if c.Kernel.cap_pos + 16 > Array.length c.Kernel.cap_buf then begin
+    if Array.length c.Kernel.cap_buf >= raw_cap_ints then transcode w
+    else begin
+      let a = Array.make (2 * Array.length c.Kernel.cap_buf) 0 in
+      Array.blit c.Kernel.cap_buf 0 a 0 c.Kernel.cap_pos;
+      c.Kernel.cap_buf <- a
+    end
+  end;
+  if c.Kernel.cap_spos + 2 > Array.length c.Kernel.cap_strs then begin
+    if Array.length c.Kernel.cap_strs >= str_cap then transcode w
+    else begin
+      let a = Array.make (2 * Array.length c.Kernel.cap_strs) "" in
+      Array.blit c.Kernel.cap_strs 0 a 0 c.Kernel.cap_spos;
+      c.Kernel.cap_strs <- a
+    end
+  end
+
+let make_writer sink header =
+  let w =
+    { w_header = header;
+      sink;
+      scratch = Bytes.create 256;
+      pos = 0;
+      out = Bytes.create 65536;
+      opos = 0;
+      frame = Bytes.create 14;
+      n_records = 0;
+      n_bytes = 0;
+      closed = false;
+      last_time = 0;
+      last_rid = 0;
+      w_cap =
+        { Kernel.cap_buf = Array.make 8192 0;
+          cap_pos = 0;
+          cap_strs = Array.make 64 "";
+          cap_spos = 0;
+          cap_drain = (fun () -> ()) } }
+  in
+  w.w_cap.Kernel.cap_drain <- (fun () -> cap_ensure w);
+  (match sink with
+   | S_mem buf -> Buffer.add_string buf magic
+   | S_file oc -> output_string oc magic);
+  w.n_bytes <- String.length magic;
+  put_header w header;
+  w
+
+let to_file ~path header = make_writer (S_file (open_out_bin path)) header
+
+let to_memory header = make_writer (S_mem (Buffer.create 4096)) header
+
+(* Per-event appends for the event-value path ([write]): the same
+   entries the kernel's capture sites lay down, so both paths produce
+   byte-identical journals for the same logical event stream. *)
+
+let[@inline] room w ni ns =
+  let c = w.w_cap in
+  if c.Kernel.cap_pos + ni > Array.length c.Kernel.cap_buf
+     || (ns > 0 && c.Kernel.cap_spos + ns > Array.length c.Kernel.cap_strs)
+  then cap_ensure w
+
+let[@inline] push_str w s =
+  let c = w.w_cap in
+  Array.unsafe_set c.Kernel.cap_strs c.Kernel.cap_spos s;
+  c.Kernel.cap_spos <- c.Kernel.cap_spos + 1
+
+let[@inline] app_msg w ~time ~src ~dst ~tagi ~call ~rid ~parent ~clsc =
+  room w 9 0;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p 0;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) src;
+  Array.unsafe_set a (p + 3) dst;
+  Array.unsafe_set a (p + 4) tagi;
+  Array.unsafe_set a (p + 5) (if call then 1 else 0);
+  Array.unsafe_set a (p + 6) rid;
+  Array.unsafe_set a (p + 7) parent;
+  Array.unsafe_set a (p + 8) clsc;
+  c.Kernel.cap_pos <- p + 9
+
+let[@inline] app_reply w ~time ~src ~dst ~tagi ~rid =
+  room w 6 0;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p 1;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) src;
+  Array.unsafe_set a (p + 3) dst;
+  Array.unsafe_set a (p + 4) tagi;
+  Array.unsafe_set a (p + 5) rid;
+  c.Kernel.cap_pos <- p + 6
+
+let[@inline] app3 w kind ~time ~ep =
+  room w 3 0;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  c.Kernel.cap_pos <- p + 3
+
+let[@inline] app4 w kind ~time ~ep ~rid =
+  room w 4 0;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  c.Kernel.cap_pos <- p + 4
+
+let[@inline] app5 w kind ~time ~ep ~rid ~x =
+  room w 5 0;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  Array.unsafe_set a (p + 4) x;
+  c.Kernel.cap_pos <- p + 5
+
+let[@inline] app_str4 w kind ~time ~ep ~rid ~s =
+  room w 4 1;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p kind;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) rid;
+  c.Kernel.cap_pos <- p + 4;
+  push_str w s
+
+let[@inline] app_crash w ~time ~ep ~reason ~window_open ~rid ~policy =
+  room w 5 2;
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p 7;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) ep;
+  Array.unsafe_set a (p + 3) (if window_open then 1 else 0);
+  Array.unsafe_set a (p + 4) rid;
+  c.Kernel.cap_pos <- p + 5;
+  push_str w reason;
+  push_str w policy
+
+let[@inline] app_halt w ~time ~halt =
+  let hkind = halt_kind halt in
+  (match halt with
+   | Kernel.H_shutdown s | Kernel.H_panic s ->
+     room w 4 1;
+     push_str w s
+   | Kernel.H_completed _ | Kernel.H_hang -> room w 4 0);
+  let c = w.w_cap in
+  let a = c.Kernel.cap_buf and p = c.Kernel.cap_pos in
+  Array.unsafe_set a p 12;
+  Array.unsafe_set a (p + 1) time;
+  Array.unsafe_set a (p + 2) hkind;
+  Array.unsafe_set a (p + 3)
+    (match halt with Kernel.H_completed status -> status | _ -> 0);
+  c.Kernel.cap_pos <- p + 4
+
+let write w ev =
+  if not w.closed then
+    match ev with
+    | Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls } ->
+      app_msg w ~time ~src ~dst ~tagi:(Message.Tag.to_index tag) ~call ~rid
+        ~parent ~clsc:(cls_code cls)
+    | Kernel.E_reply { time; src; dst; tag; rid } ->
+      app_reply w ~time ~src ~dst ~tagi:(Message.Tag.to_index tag) ~rid
+    | Kernel.E_window_open { time; ep; rid } -> app4 w 2 ~time ~ep ~rid
+    | Kernel.E_window_close { time; ep; rid; policy } ->
+      app5 w 3 ~time ~ep ~rid ~x:(if policy then 1 else 0)
+    | Kernel.E_checkpoint { time; ep; rid; cycles } ->
+      app5 w 4 ~time ~ep ~rid ~x:cycles
+    | Kernel.E_store_logged { time; ep; rid; bytes } ->
+      app5 w 5 ~time ~ep ~rid ~x:bytes
+    | Kernel.E_kcall { time; ep; rid; kc } -> app_str4 w 6 ~time ~ep ~rid ~s:kc
+    | Kernel.E_crash { time; ep; reason; window_open; rid; policy } ->
+      app_crash w ~time ~ep ~reason ~window_open ~rid ~policy
+    | Kernel.E_hang_detected { time; ep } -> app3 w 8 ~time ~ep
+    | Kernel.E_rollback_begin { time; ep; rid } -> app4 w 9 ~time ~ep ~rid
+    | Kernel.E_rollback_end { time; ep; rid; bytes } ->
+      app5 w 10 ~time ~ep ~rid ~x:bytes
+    | Kernel.E_restart { time; ep; rid; policy } ->
+      app_str4 w 11 ~time ~ep ~rid ~s:policy
+    | Kernel.E_halt { time; halt } -> app_halt w ~time ~halt
+
+(* The kernel-side tap: hand the run's [Kernel.capture] to
+   [Kernel.set_capture] and the emission sites append the same entries
+   [write] lays down, with no closure call per event — [write w ev]
+   and the capture path produce byte-identical journals for the same
+   logical event stream. *)
+let capture w = w.w_cap
+
+let close w =
+  if not w.closed then begin
+    transcode w;
+    drain w;
+    w.closed <- true;
+    (* A capture left installed on a live kernel after close appends
+       into a log nothing will ever encode; keep it from growing
+       unboundedly by draining it to the floor. *)
+    let c = w.w_cap in
+    c.Kernel.cap_drain <-
+      (fun () ->
+         c.Kernel.cap_pos <- 0;
+         c.Kernel.cap_spos <- 0);
+    match w.sink with S_file oc -> close_out oc | S_mem _ -> ()
+  end
+
+let contents w =
+  transcode w;
+  drain w;
+  match w.sink with
+  | S_mem buf -> Buffer.contents buf
+  | S_file _ -> invalid_arg "Journal.contents: file writer"
+
+(* Both counters force the pending encode sweep so they are exact at
+   any point, not just after [close]. *)
+let records_written w = transcode w; w.n_records
+let bytes_written w = transcode w; w.n_bytes
+
+let of_events header events =
+  let w = to_memory header in
+  List.iter (write w) events;
+  close w;
+  contents w
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type cursor = { src : string; mutable rpos : int; limit : int }
+
+let get_byte c =
+  if c.rpos >= c.limit then bad "truncated varint";
+  let b = Char.code c.src.[c.rpos] in
+  c.rpos <- c.rpos + 1;
+  b
+
+let get_int c =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 63 then bad "varint too long";
+    let b = get_byte c in
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  unzigzag !v
+
+(* Record lengths are framed as raw (non-zigzag) varints — they are
+   never negative, and the frame writer in [flush_record] emits them
+   raw. *)
+let get_uint c =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 63 then bad "varint too long";
+    let b = get_byte c in
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let get_str c =
+  let len = get_int c in
+  if len < 0 || c.rpos + len > c.limit then bad "truncated string";
+  let s = String.sub c.src c.rpos len in
+  c.rpos <- c.rpos + len;
+  s
+
+let get_tag c =
+  let i = get_int c in
+  match Message.Tag.of_index i with
+  | Some tag -> tag
+  | None -> bad "unknown message tag %d" i
+
+let cls_of_code = function
+  | 0 -> Seep.Read_only
+  | 1 -> Seep.State_modifying
+  | 2 -> Seep.Reply
+  | n -> bad "unknown SEEP class %d" n
+
+(* Mirror of the writer's delta-coding state: [time] and [rid] are
+   stored as zigzag deltas against the previous record, [parent] as an
+   offset below the record's own rid. *)
+type delta = { mutable d_time : int; mutable d_rid : int }
+
+let[@inline] get_time st c =
+  let time = st.d_time + get_int c in
+  st.d_time <- time;
+  time
+
+let[@inline] get_rid st c =
+  let rid = st.d_rid + get_int c in
+  st.d_rid <- rid;
+  rid
+
+let get_ev st c : Kernel.event =
+  let b0 = get_byte c in
+  if b0 land 0x80 <> 0 then bad "bad lead byte %#x" b0;
+  match b0 land 0xf with
+  | 0 ->
+    let call = b0 land 0x10 <> 0 in
+    let cls = cls_of_code (b0 lsr 5) in
+    let time = get_time st c in
+    let src = get_int c in
+    let dst = get_int c in
+    let tag = get_tag c in
+    let rid = get_rid st c in
+    let parent = rid - get_int c in
+    Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls }
+  | 1 ->
+    let time = get_time st c in
+    let src = get_int c in
+    let dst = get_int c in
+    let tag = get_tag c in
+    let rid = get_rid st c in
+    Kernel.E_reply { time; src; dst; tag; rid }
+  | 2 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    Kernel.E_window_open { time; ep; rid }
+  | 3 ->
+    let policy = b0 land 0x10 <> 0 in
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    Kernel.E_window_close { time; ep; rid; policy }
+  | 4 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let cycles = get_int c in
+    Kernel.E_checkpoint { time; ep; rid; cycles }
+  | 5 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let bytes = get_int c in
+    Kernel.E_store_logged { time; ep; rid; bytes }
+  | 6 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let kc = get_str c in
+    Kernel.E_kcall { time; ep; rid; kc }
+  | 7 ->
+    let window_open = b0 land 0x10 <> 0 in
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let reason = get_str c in
+    let policy = get_str c in
+    Kernel.E_crash { time; ep; reason; window_open; rid; policy }
+  | 8 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    Kernel.E_hang_detected { time; ep }
+  | 9 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    Kernel.E_rollback_begin { time; ep; rid }
+  | 10 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let bytes = get_int c in
+    Kernel.E_rollback_end { time; ep; rid; bytes }
+  | 11 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let rid = get_rid st c in
+    let policy = get_str c in
+    Kernel.E_restart { time; ep; rid; policy }
+  | 12 ->
+    let time = get_time st c in
+    let halt =
+      match b0 lsr 4 with
+      | 0 -> Kernel.H_completed (get_int c)
+      | 1 -> Kernel.H_shutdown (get_str c)
+      | 2 -> Kernel.H_panic (get_str c)
+      | 3 -> Kernel.H_hang
+      | n -> bad "unknown halt kind %d" n
+    in
+    Kernel.E_halt { time; halt }
+  | n -> bad "unknown event tag %d" n
+
+(* Unframe one record: varint(len) + payload + CRC. Returns a cursor
+   scoped to the payload; [which] names the record in errors. *)
+let next_record src pos ~which =
+  let c = { src; rpos = pos; limit = String.length src } in
+  let len =
+    try get_uint c with Bad _ -> bad "%s: truncated length" which
+  in
+  let payload_off = c.rpos in
+  if payload_off + len + 4 > String.length src then
+    bad "%s: truncated record (need %d bytes past offset %d)" which len
+      payload_off;
+  let stored_crc =
+    Char.code src.[payload_off + len]
+    lor (Char.code src.[payload_off + len + 1] lsl 8)
+    lor (Char.code src.[payload_off + len + 2] lsl 16)
+    lor (Char.code src.[payload_off + len + 3] lsl 24)
+  in
+  let actual = crc32_string src ~off:payload_off ~len in
+  if actual <> stored_crc then
+    bad "%s: CRC mismatch (stored %08x, computed %08x)" which stored_crc
+      actual;
+  ({ src; rpos = payload_off; limit = payload_off + len },
+   payload_off + len + 4)
+
+let get_header c =
+  let jh_version = get_int c in
+  if jh_version <> version then
+    bad "unsupported journal version %d (expected %d)" jh_version version;
+  let jh_seed = get_int c in
+  let jh_arch =
+    match get_int c with
+    | 0 -> Kernel.Microkernel
+    | 1 -> Kernel.Monolithic
+    | n -> bad "unknown arch %d" n
+  in
+  let jh_crash_count = get_int c in
+  let jh_cost_fingerprint = get_int c in
+  let jh_spec = get_str c in
+  let jh_workload = get_str c in
+  let jh_crash = get_str c in
+  { jh_version; jh_seed; jh_arch; jh_spec; jh_workload; jh_crash;
+    jh_crash_count; jh_cost_fingerprint }
+
+let read_string s =
+  try
+    if String.length s < String.length magic
+       || String.sub s 0 (String.length magic) <> magic
+    then bad "bad magic (not an OSIRIS journal)";
+    let hc, pos = next_record s (String.length magic) ~which:"header" in
+    let header = get_header hc in
+    if hc.rpos <> hc.limit then bad "header: trailing bytes";
+    let events = ref [] in
+    let n = ref 0 in
+    let pos = ref pos in
+    let st = { d_time = 0; d_rid = 0 } in
+    while !pos < String.length s do
+      let which = Printf.sprintf "record %d" !n in
+      let rc, pos' = next_record s !pos ~which in
+      let ev = try get_ev st rc with Bad m -> bad "%s: %s" which m in
+      if rc.rpos <> rc.limit then bad "%s: trailing bytes in record" which;
+      events := ev :: !events;
+      incr n;
+      pos := pos'
+    done;
+    Ok (header, Array.of_list (List.rev !events))
+  with Bad m -> Error ("journal: " ^ m)
+
+let read_file path =
+  match
+    In_channel.with_open_bin path In_channel.input_all
+  with
+  | s -> read_string s
+  | exception Sys_error m -> Error ("journal: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let event_rid = function
+  | Kernel.E_msg { rid; _ } | Kernel.E_reply { rid; _ }
+  | Kernel.E_window_open { rid; _ } | Kernel.E_window_close { rid; _ }
+  | Kernel.E_checkpoint { rid; _ } | Kernel.E_store_logged { rid; _ }
+  | Kernel.E_kcall { rid; _ } | Kernel.E_crash { rid; _ }
+  | Kernel.E_rollback_begin { rid; _ } | Kernel.E_rollback_end { rid; _ }
+  | Kernel.E_restart { rid; _ } -> rid
+  | Kernel.E_hang_detected _ | Kernel.E_halt _ -> 0
+
+let event_time = function
+  | Kernel.E_msg { time; _ } | Kernel.E_reply { time; _ }
+  | Kernel.E_window_open { time; _ } | Kernel.E_window_close { time; _ }
+  | Kernel.E_checkpoint { time; _ } | Kernel.E_store_logged { time; _ }
+  | Kernel.E_kcall { time; _ } | Kernel.E_crash { time; _ }
+  | Kernel.E_hang_detected { time; _ } | Kernel.E_rollback_begin { time; _ }
+  | Kernel.E_rollback_end { time; _ } | Kernel.E_restart { time; _ }
+  | Kernel.E_halt { time; _ } -> time
+
+let event_ep = function
+  | Kernel.E_msg { dst; _ } -> Some dst
+  | Kernel.E_reply { src; _ } -> Some src
+  | Kernel.E_window_open { ep; _ } | Kernel.E_window_close { ep; _ }
+  | Kernel.E_checkpoint { ep; _ } | Kernel.E_store_logged { ep; _ }
+  | Kernel.E_kcall { ep; _ } | Kernel.E_crash { ep; _ }
+  | Kernel.E_hang_detected { ep; _ } | Kernel.E_rollback_begin { ep; _ }
+  | Kernel.E_rollback_end { ep; _ } | Kernel.E_restart { ep; _ } -> Some ep
+  | Kernel.E_halt _ -> None

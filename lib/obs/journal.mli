@@ -1,0 +1,137 @@
+(** The flight recorder's persistent event journal.
+
+    A journal is the full-fidelity, byte-exact record of one run's
+    {!Kernel.event} stream plus the header needed to re-execute it:
+    seed, system spec, workload name, crash-injection spec, and a
+    fingerprint of the cost table. Because the whole simulation is
+    deterministic for a fixed header, a journal is a complete causal
+    history — [lib/obs/replay] re-runs it and diffs record by record,
+    and [lib/obs/postmortem] walks it backwards from a crash without
+    re-running anything.
+
+    Wire format (version 1):
+    - 8-byte magic ["OSIRJNL1"];
+    - one framed {e header record}, then one framed record per event;
+    - each record is [varint payload_len ∥ payload ∥ crc32(payload)]
+      (CRC-32/IEEE, little-endian), so truncation and bit flips are
+      detected per record with the index of the damaged record;
+    - payload fields are zigzag varints; strings are length-prefixed
+      raw bytes; each event payload opens with a packed lead byte:
+      the constructor's wire tag (declaration order, 0–12) in the low
+      4 bits, constructor flags above — [call] and the SEEP class for
+      [E_msg], [policy] for [E_window_close], [window_open] for
+      [E_crash], the halt kind for [E_halt];
+    - [time] and [rid] are delta-coded against the previous record
+      (time is monotone, rids repeat across consecutive events — both
+      usually land in one byte), and [E_msg.parent] is stored as
+      [rid - parent]; the reader mirrors the two-counter state.
+
+    Recording is two-stage. While the run is live, each event costs a
+    few plain int stores: the writer owns a {!Kernel.capture} raw log
+    and the kernel's emission sites append scalar entries to it with
+    no closure call and no encoding (install it with
+    [Kernel.set_capture]; [System.build ?journal] does). The codec —
+    zigzag varints, framing, batched CRC sweeps, channel writes — runs
+    in {!close} (or amortized, when a long run fills the log's fixed
+    memory budget) over warm buffers, allocation-free. That split is
+    what holds [bench/journal_bench.ml]'s <5% attached-recording
+    overhead gate, alongside its encode zero-allocation and
+    bytes-per-event gates. {!records_written} and {!bytes_written}
+    force the pending encode sweep, so they are exact at any point.
+
+    Two writer modes cover the recording spectrum:
+    - {!to_file} streams every record (full fidelity, unbounded);
+    - bounded-memory ring recording reuses {!Tracer}'s last-N ring
+      with {!Tracer.set_snapshot_on} and serializes the snapshot via
+      {!of_events} — the mid-run crash-history spill. *)
+
+type header = {
+  jh_version : int;           (** {!version} at write time. *)
+  jh_seed : int;
+  jh_arch : Kernel.arch;
+  jh_spec : string;           (** [Sysconf.parse]-able system spec. *)
+  jh_workload : string;       (** Workload name ([Flight.workloads]). *)
+  jh_crash : string;          (** Crash-injection target server, or ["none"]. *)
+  jh_crash_count : int;       (** Injected crashes armed at [jh_crash]. *)
+  jh_cost_fingerprint : int;  (** {!Costs.fingerprint} of the run's table. *)
+}
+
+val version : int
+
+val header_to_string : header -> string
+(** One human-readable line (for reports and logs). *)
+
+(** {1 Writing} *)
+
+type writer
+
+val to_file : path:string -> header -> writer
+(** Stream records to [path] (buffered; {!close} flushes). *)
+
+val to_memory : header -> writer
+(** Accumulate the encoded journal in memory; read it back with
+    {!contents}. Used by tests and the replay property. *)
+
+val write : writer -> Kernel.event -> unit
+(** Append one framed event record from a constructed event — the
+    event-hook form of the encoder, used by {!of_events} and anywhere
+    an event value already exists. No-op after {!close}. *)
+
+val capture : writer -> Kernel.capture
+(** The writer's raw capture log, for [Kernel.set_capture] (this is
+    what [System.build ?journal] installs): the kernel appends each
+    event's scalar fields directly, and the writer's drain encodes
+    them in batches off the hot path. For the same logical event
+    stream, the capture path and {!write} produce byte-identical
+    journals. Events captured after {!close} are discarded. *)
+
+val close : writer -> unit
+(** Flush and (for file writers) close the channel. Idempotent. *)
+
+val contents : writer -> string
+(** The encoded journal of a {!to_memory} writer.
+    @raise Invalid_argument on a file writer. *)
+
+val records_written : writer -> int
+val bytes_written : writer -> int
+(** Framing included; [bytes_written / records_written] is the
+    bytes-per-event figure the bench gates. *)
+
+val of_events : header -> Kernel.event list -> string
+(** Encode a complete journal from an in-memory event list — the ring
+    spill: feed it {!Tracer.last_snapshot} to persist the last-N
+    history captured at a crash. *)
+
+(** {1 Reading}
+
+    Reading is total: damaged input — truncation, bit flips, unknown
+    tags, trailing bytes — comes back as [Error] naming the damaged
+    record, never as an escaped exception.
+
+    One deliberate exception, WAL-style: truncation {e exactly at a
+    record boundary} reads as a valid shorter journal. That is what a
+    crash-interrupted recorder leaves after its last completed flush —
+    precisely the journal one most needs to read — and ring-mode
+    journals legitimately end before the halt ([Postmortem] reports
+    [pm_halt = None]). Truncation anywhere inside a record is an
+    [Error]. *)
+
+val read_string : string -> (header * Kernel.event array, string) result
+
+val read_file : string -> (header * Kernel.event array, string) result
+(** [read_string] over the file's bytes; I/O errors become [Error]. *)
+
+(** {1 Event accessors}
+
+    Uniform projections over the 13 constructors, shared by replay and
+    postmortem. *)
+
+val event_rid : Kernel.event -> int
+(** The causal request id the event is tagged with (0 for [E_halt],
+    [E_hang_detected], and root-context events). *)
+
+val event_time : Kernel.event -> int
+
+val event_ep : Kernel.event -> Endpoint.t option
+(** The component the event belongs to: [dst] for deliveries, [src]
+    for replies, the component itself elsewhere, [None] for halts. *)

@@ -1,0 +1,229 @@
+type crash_report = {
+  cr_index : int;
+  cr_time : int;
+  cr_ep : Endpoint.t;
+  cr_server : string;
+  cr_reason : string;
+  cr_policy : string;
+  cr_window_open : bool;
+  cr_rid : int;
+  cr_chain : int list;
+  cr_chain_msgs : Kernel.event list;
+  cr_undo_bytes : int;
+  cr_rollback_bytes : int option;
+  cr_restart : (int * string) option;
+  cr_recovery_latency : int option;
+}
+
+type report = {
+  pm_header : Journal.header;
+  pm_records : int;
+  pm_halt : Kernel.halt option;
+  pm_crashes : crash_report list;
+}
+
+(* Undo-log bytes live in the crashed compartment's *current* window:
+   sum E_store_logged since its last E_window_open, zeroed by
+   E_window_close, scanning backwards from the crash. *)
+let undo_bytes_at events ep crash_idx =
+  let rec scan i acc =
+    if i < 0 then acc
+    else
+      match events.(i) with
+      | Kernel.E_window_open { ep = e; _ } when e = ep -> acc
+      | Kernel.E_window_close { ep = e; _ } when e = ep -> 0
+      | Kernel.E_store_logged { ep = e; bytes; _ } when e = ep ->
+        scan (i - 1) (acc + bytes)
+      | _ -> scan (i - 1) acc
+  in
+  scan (crash_idx - 1) 0
+
+(* Recovery resolution: first rollback/restart of this compartment
+   after the crash, stopping at its next crash (each crash owns its own
+   recovery episode). *)
+let recovery_after events ep crash_idx =
+  let n = Array.length events in
+  let rollback = ref None and restart = ref None in
+  let rec scan i =
+    if i >= n then ()
+    else
+      match events.(i) with
+      | Kernel.E_crash { ep = e; _ } when e = ep -> ()
+      | Kernel.E_rollback_end { ep = e; bytes; time; _ }
+        when e = ep && !rollback = None ->
+        rollback := Some (time, bytes);
+        scan (i + 1)
+      | Kernel.E_restart { ep = e; time; policy; _ }
+        when e = ep && !restart = None ->
+        restart := Some (time, policy)
+      | _ -> scan (i + 1)
+  in
+  scan (crash_idx + 1);
+  (!rollback, !restart)
+
+let chain_msgs events chain =
+  let find rid =
+    Array.fold_left
+      (fun acc ev ->
+        match acc, ev with
+        | None, Kernel.E_msg { rid = r; _ } when r = rid -> Some ev
+        | _ -> acc)
+      None events
+  in
+  List.filter_map find chain
+
+let crash_report events idx =
+  match events.(idx) with
+  | Kernel.E_crash { time; ep; reason; window_open; rid; policy } ->
+    let chain = Replay.rid_chain events rid in
+    let rollback, restart = recovery_after events ep idx in
+    let latency =
+      match restart, rollback with
+      | Some (t, _), _ -> Some (t - time)
+      | None, Some (t, _) -> Some (t - time)
+      | None, None -> None
+    in
+    Some
+      { cr_index = idx;
+        cr_time = time;
+        cr_ep = ep;
+        cr_server = Endpoint.server_name ep;
+        cr_reason = reason;
+        cr_policy = policy;
+        cr_window_open = window_open;
+        cr_rid = rid;
+        cr_chain = chain;
+        cr_chain_msgs = chain_msgs events chain;
+        cr_undo_bytes = undo_bytes_at events ep idx;
+        cr_rollback_bytes = Option.map snd rollback;
+        cr_restart = restart;
+        cr_recovery_latency = latency }
+  | _ -> None
+
+let analyze header events =
+  let crashes = ref [] in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Kernel.E_crash _ ->
+        (match crash_report events i with
+         | Some c -> crashes := c :: !crashes
+         | None -> ())
+      | _ -> ())
+    events;
+  let halt =
+    let n = Array.length events in
+    if n > 0 then
+      match events.(n - 1) with
+      | Kernel.E_halt { halt; _ } -> Some halt
+      | _ -> None
+    else None
+  in
+  { pm_header = header;
+    pm_records = Array.length events;
+    pm_halt = halt;
+    pm_crashes = List.rev !crashes }
+
+let attribution header c =
+  let root =
+    match List.rev c.cr_chain with r :: _ -> r | [] -> c.cr_rid
+  in
+  if header.Journal.jh_crash <> "none"
+     && header.Journal.jh_crash = c.cr_server then
+    Printf.sprintf
+      "crash of %s attributed to the armed fault injection at %s \
+       (count=%d), reached while handling rid %d (root request rid %d)"
+      c.cr_server header.Journal.jh_crash header.Journal.jh_crash_count
+      c.cr_rid root
+  else if c.cr_rid = 0 then
+    Printf.sprintf "crash of %s in loop/init code (%s), no request context"
+      c.cr_server c.cr_reason
+  else
+    Printf.sprintf
+      "crash of %s (%s) while handling rid %d, rooted at request rid %d"
+      c.cr_server c.cr_reason c.cr_rid root
+
+let render header r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "postmortem: %s\n" (Journal.header_to_string header);
+  Printf.bprintf b "records: %d, crashes: %d, halt: %s\n" r.pm_records
+    (List.length r.pm_crashes)
+    (match r.pm_halt with
+     | Some h -> Kernel.halt_to_string h
+     | None -> "<journal ends before halt>");
+  List.iter
+    (fun c ->
+      Printf.bprintf b "\ncrash #%d at t=%d (record %d)\n" c.cr_index
+        c.cr_time c.cr_index;
+      Printf.bprintf b "  compartment: %s  policy: %s\n" c.cr_server
+        c.cr_policy;
+      Printf.bprintf b "  reason: %s\n" c.cr_reason;
+      Printf.bprintf b "  window: %s, undo log at crash: %d bytes\n"
+        (if c.cr_window_open then "open" else "closed")
+        c.cr_undo_bytes;
+      Printf.bprintf b "  causal chain: %s\n"
+        (if c.cr_chain = [] then "(root context)"
+         else String.concat " < " (List.map string_of_int c.cr_chain));
+      List.iter
+        (fun ev -> Printf.bprintf b "    %s\n" (Replay.pp_event ev))
+        c.cr_chain_msgs;
+      (match c.cr_rollback_bytes with
+       | Some bytes -> Printf.bprintf b "  rollback: %d bytes restored\n" bytes
+       | None -> Buffer.add_string b "  rollback: none recorded\n");
+      (match c.cr_restart with
+       | Some (t, policy) ->
+         Printf.bprintf b "  restart: t=%d under policy %s\n" t policy
+       | None -> Buffer.add_string b "  restart: none recorded\n");
+      (match c.cr_recovery_latency with
+       | Some l -> Printf.bprintf b "  recovery latency: %d cycles\n" l
+       | None -> Buffer.add_string b "  recovery latency: unresolved\n");
+      Printf.bprintf b "  root cause: %s\n" (attribution header c))
+    r.pm_crashes;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n  \"journal\": %s,\n"
+    (Chrome_trace.escaped (Journal.header_to_string r.pm_header));
+  Printf.bprintf b "  \"seed\": %d,\n" r.pm_header.Journal.jh_seed;
+  Printf.bprintf b "  \"records\": %d,\n" r.pm_records;
+  Printf.bprintf b "  \"halt\": %s,\n"
+    (match r.pm_halt with
+     | Some h -> Chrome_trace.escaped (Kernel.halt_to_string h)
+     | None -> "null");
+  Printf.bprintf b "  \"crashes\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n    {\n      \"index\": %d,\n      \"time\": %d,\n\
+        \      \"compartment\": %s,\n      \"policy\": %s,\n\
+        \      \"reason\": %s,\n      \"window_open\": %b,\n\
+        \      \"rid\": %d,\n      \"chain\": [%s],\n\
+        \      \"undo_bytes\": %d,\n      \"rollback_bytes\": %s,\n\
+        \      \"restart_time\": %s,\n      \"restart_policy\": %s,\n\
+        \      \"recovery_latency\": %s,\n      \"root_cause\": %s\n    }"
+        c.cr_index c.cr_time
+        (Chrome_trace.escaped c.cr_server)
+        (Chrome_trace.escaped c.cr_policy)
+        (Chrome_trace.escaped c.cr_reason)
+        c.cr_window_open c.cr_rid
+        (String.concat ", " (List.map string_of_int c.cr_chain))
+        c.cr_undo_bytes
+        (match c.cr_rollback_bytes with
+         | Some n -> string_of_int n
+         | None -> "null")
+        (match c.cr_restart with
+         | Some (t, _) -> string_of_int t
+         | None -> "null")
+        (match c.cr_restart with
+         | Some (_, p) -> Chrome_trace.escaped p
+         | None -> "null")
+        (match c.cr_recovery_latency with
+         | Some l -> string_of_int l
+         | None -> "null")
+        (Chrome_trace.escaped (attribution r.pm_header c)))
+    r.pm_crashes;
+  Buffer.add_string b (if r.pm_crashes = [] then "],\n" else "\n  ],\n");
+  Printf.bprintf b "  \"crash_count\": %d\n}\n" (List.length r.pm_crashes);
+  Buffer.contents b

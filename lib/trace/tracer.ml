@@ -3,20 +3,19 @@ type t = {
   ring : Kernel.event option array;
   mutable next : int;
   mutable total : int;
+  mutable snapshot_on : (Kernel.event -> bool) option;
+  mutable snapshot : Kernel.event list;  (* oldest first; [] = never taken *)
+  mutable snapshots : int;
 }
 
 let create ?(capacity = 512) () =
   { capacity = max 1 capacity;
     ring = Array.make (max 1 capacity) None;
     next = 0;
-    total = 0 }
-
-let record t ev =
-  t.ring.(t.next) <- Some ev;
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
-
-let attach t kernel = Kernel.set_event_hook kernel (Some (record t))
+    total = 0;
+    snapshot_on = None;
+    snapshot = [];
+    snapshots = 0 }
 
 let events t =
   (* Only [min total capacity] slots hold events; before the ring wraps
@@ -32,12 +31,37 @@ let events t =
   done;
   !out
 
+let record t ev =
+  t.ring.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  (* Snapshot-on-event: freeze the last-N window the moment the
+     predicate fires (the trigger is the snapshot's newest event), not
+     at end-of-run when the interesting history may already have been
+     evicted. With no predicate installed the record path pays one
+     branch and allocates nothing. *)
+  match t.snapshot_on with
+  | Some p when p ev ->
+    t.snapshot <- events t;
+    t.snapshots <- t.snapshots + 1
+  | _ -> ()
+
+let attach t kernel = Kernel.set_event_hook kernel (Some (record t))
+
+let set_snapshot_on t p = t.snapshot_on <- p
+
+let last_snapshot t = t.snapshot
+
+let snapshots_taken t = t.snapshots
+
 let recorded t = t.total
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.total <- 0
+  t.total <- 0;
+  t.snapshot <- [];
+  t.snapshots <- 0
 
 (* Endpoint columns are 8 wide: long server names ("user100" is 7
    chars, bdev/mfs are shorter) keep the arrows aligned. *)

@@ -36,6 +36,25 @@ val events : t -> Kernel.event list
 val recorded : t -> int
 (** Total events seen, including ones evicted from the ring. *)
 
+val set_snapshot_on : t -> (Kernel.event -> bool) option -> unit
+(** Install a snapshot predicate: when {!record} sees an event for
+    which it returns true, the ring's current contents (trigger
+    included, as the newest event) are frozen as {!last_snapshot}.
+    This is how the last-N history {e leading up to} a crash survives
+    to end-of-run even though later recovery traffic keeps evicting
+    ring slots — the journal's bounded-memory ring mode and
+    [osiris record --ring] both arm it with
+    [function Kernel.E_crash _ -> true | _ -> false]. A later trigger
+    replaces the snapshot (newest crash wins); recording stays
+    allocation-free while the predicate does not fire. *)
+
+val last_snapshot : t -> Kernel.event list
+(** The ring contents at the most recent snapshot trigger, oldest
+    first ([[]] when the predicate never fired or none is installed). *)
+
+val snapshots_taken : t -> int
+(** How many times the snapshot predicate has fired. *)
+
 val clear : t -> unit
 
 val timeline : ?only:Endpoint.t -> t -> string list
