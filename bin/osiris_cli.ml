@@ -44,6 +44,22 @@ let policy_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the campaign fan-out (0 = auto: \
+               $(b,OSIRIS_JOBS) or cores - 1; 1 = sequential). Results \
+               are byte-identical whatever the worker count.")
+
+(* Coarse progress on stderr for long sweeps (~10 updates), leaving
+   stdout byte-stable across worker counts. *)
+let sweep_progress ~completed ~total =
+  if total >= 200 then begin
+    let step = max 1 (total / 10) in
+    if completed mod step = 0 || completed = total then
+      Printf.eprintf "  %d/%d runs\n%!" completed total
+  end
+
 let arch_arg =
   let arch_c =
     Arg.enum [ ("microkernel", Kernel.Microkernel); ("monolithic", Kernel.Monolithic) ]
@@ -157,13 +173,20 @@ let survive_cmd =
          & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model.")
   in
   let sample_arg =
-    Arg.(value & opt int 60
-         & info [ "sample" ] ~docv:"N" ~doc:"Fault sites per policy (0 = all).")
+    Arg.(value & opt int 0
+         & info [ "sample" ] ~docv:"N"
+           ~doc:"Fault sites per policy (0 = all, the default — the full \
+                 757-site-style sweep).")
   in
-  let run model sample seed =
+  let run model sample seed jobs =
     setup_logs ();
     ignore seed;
-    let rows = Campaign.survivability ~sample model Policy.all_evaluated in
+    let pool_stats = ref None in
+    let rows =
+      Campaign.survivability ~sample ~jobs
+        ~stats:(fun s -> pool_stats := Some s)
+        ~progress:sweep_progress model Policy.all_evaluated
+    in
     Printf.printf "%-14s %6s %6s %9s %6s (%d runs each)
 " "policy" "pass%"
       "fail%" "shutdown%" "crash%" (match rows with r :: _ -> r.Campaign.runs | [] -> 0);
@@ -175,17 +198,20 @@ let survive_cmd =
            (f Campaign.Pass) (f Campaign.Fail) (f Campaign.Shutdown)
            (f Campaign.Crash))
       rows;
+    (match !pool_stats with
+     | Some s -> prerr_endline (Parfan.speedup_line s)
+     | None -> ());
     0
   in
   Cmd.v (Cmd.info "survive" ~doc:"Survivability campaign (Tables II/III).")
-    Term.(const run $ model_arg $ sample_arg $ seed_arg)
+    Term.(const run $ model_arg $ sample_arg $ seed_arg $ jobs_arg)
 
 let disrupt_cmd =
   let bench_arg =
     Arg.(value & pos 0 string "spawn"
          & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
   in
-  let run name seed =
+  let run name seed jobs =
     setup_logs ();
     ignore seed;
     match Unixbench.find name with
@@ -201,14 +227,14 @@ let disrupt_cmd =
              r.Disruption.dis_interval r.Disruption.dis_score
              r.Disruption.dis_restarts
              (if r.Disruption.dis_completed then "ok" else "DEGRADED"))
-        (Disruption.sweep bench);
+        (Disruption.sweep ~jobs bench);
       0
   in
   Cmd.v (Cmd.info "disrupt" ~doc:"Service-disruption sweep (Figure 3).")
-    Term.(const run $ bench_arg $ seed_arg)
+    Term.(const run $ bench_arg $ seed_arg $ jobs_arg)
 
 let sites_cmd =
-  let run policy seed =
+  let run policy seed select =
     setup_logs ();
     let sites = Campaign.profile_sites ~seed policy in
     Printf.printf "%d distinct post-boot fault sites in the core servers
@@ -224,10 +250,23 @@ let sites_cmd =
     Hashtbl.iter (fun name n -> Printf.printf "  %-5s %5d sites
 " name n)
       by_server;
+    if select > 0 then begin
+      Printf.printf "seed-%d sample of %d (rank order):\n" seed select;
+      List.iter
+        (fun s -> Printf.printf "  %s\n" (Kernel.site_to_string s))
+        (Campaign.select_sites ~seed ~sample:select sites)
+    end;
     0
   in
+  let select_arg =
+    let doc =
+      "Also print the campaign's $(docv)-site sample for this seed, in \
+       selection (rank) order."
+    in
+    Arg.(value & opt int 0 & info [ "select" ] ~docv:"N" ~doc)
+  in
   Cmd.v (Cmd.info "sites" ~doc:"Profile and summarize fault sites.")
-    Term.(const run $ policy_arg $ seed_arg)
+    Term.(const run $ policy_arg $ seed_arg $ select_arg)
 
 let stress_cmd =
   let count_arg =
@@ -552,8 +591,11 @@ let survivability_cmd =
          & info [ "model" ] ~docv:"MODEL" ~doc:"Fault model.")
   in
   let sample_arg =
-    Arg.(value & opt int 60
-         & info [ "sample" ] ~docv:"N" ~doc:"Fault sites per spec (0 = all).")
+    Arg.(value & opt int 0
+         & info [ "sample" ] ~docv:"N"
+           ~doc:"Fault sites per spec (0 = all, the default — the full \
+                 757-site-style sweep; the domain pool makes it the \
+                 normal path).")
   in
   let spec_arg =
     Arg.(value & opt_all sysconf_conv []
@@ -569,7 +611,7 @@ let survivability_cmd =
            ~doc:"JSON artifact path (default from OSIRIS_SURVIVABILITY_JSON \
                  or survivability.json).")
   in
-  let run model sample seed specs json =
+  let run model sample seed jobs specs json =
     setup_logs ();
     let specs =
       match specs with
@@ -579,7 +621,12 @@ let survivability_cmd =
     let model_name =
       match model with Edfi.Fail_stop -> "fail-stop" | Edfi.Full_edfi -> "full-edfi"
     in
-    let rows = Campaign.survivability_matrix ~seed ~sample model specs in
+    let pool_stats = ref None in
+    let rows =
+      Campaign.survivability_matrix ~seed ~sample ~jobs
+        ~stats:(fun s -> pool_stats := Some s)
+        ~progress:sweep_progress model specs
+    in
     Printf.printf "%-40s %6s %6s %9s %6s (%d runs each)\n" "spec" "pass%"
       "fail%" "shutdown%" "crash%"
       (match rows with r :: _ -> r.Campaign.runs | [] -> 0);
@@ -618,13 +665,21 @@ let survivability_cmd =
     Buffer.output_buffer oc buf;
     close_out oc;
     Printf.printf "wrote %s\n" path;
+    (* Stderr, not stdout or the artifact: wall-clock pool statistics
+       are the only output allowed to vary with --jobs. *)
+    (match !pool_stats with
+     | Some s -> prerr_endline (Parfan.speedup_line s)
+     | None -> ());
     0
   in
   Cmd.v
     (Cmd.info "survivability"
        ~doc:"Mixed-policy survivability matrix: one row per system spec \
-             (uniform specs re-derive Tables II/III).")
-    Term.(const run $ model_arg $ sample_arg $ seed_arg $ spec_arg $ json_arg)
+             (uniform specs re-derive Tables II/III). The sweep fans out \
+             across an OCaml 5 domain pool; artifacts are byte-identical \
+             for any $(b,--jobs).")
+    Term.(const run $ model_arg $ sample_arg $ seed_arg $ jobs_arg $ spec_arg
+          $ json_arg)
 
 let policies_cmd =
   let run () =

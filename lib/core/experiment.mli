@@ -38,8 +38,13 @@ val run_bench :
   ?arch:Kernel.arch -> ?seed:int -> Policy.t -> Unixbench.bench -> bench_result
 
 val bench_suite :
-  ?arch:Kernel.arch -> ?seed:int -> Policy.t -> bench_result list
-(** One freshly booted system per benchmark. *)
+  ?arch:Kernel.arch -> ?seed:int -> ?jobs:int ->
+  ?stats:(Parfan.stats -> unit) -> Policy.t -> bench_result list
+(** One freshly booted system per benchmark, fanned out across the
+    {!Parfan} domain pool ([jobs] defaults to {!Parfan.default_jobs};
+    [jobs:1] runs sequentially in the calling domain). Scores are
+    simulated-cycle ratios, so the result rows do not depend on the
+    worker count. *)
 
 val slowdown : baseline:bench_result -> bench_result -> float
 (** baseline_score / score: > 1 means slower than baseline. *)

@@ -25,13 +25,39 @@ let profile_sites_conf ?(seed = 42) conf =
 
 let profile_sites ?seed policy = profile_sites_conf ?seed (Sysconf.uniform policy)
 
+(* Identity-derived sampling: a site's rank is a hash of its *name*
+   (mixed with the selection seed), not its position in the profiled
+   list. A position-based shuffle reshuffles the whole selection the
+   moment the site list grows (a new handler, a deeper suite run
+   renumbering everything after it); ranking by identity keeps the
+   selection stable up to the marginal displacement the new sites
+   themselves cause. Selection = the [sample] smallest ranks, ties
+   broken by name; the chosen sites are returned in rank order
+   (deterministic, independent of input order). *)
+let site_rank seed name =
+  (* FNV-1a over the site name, seed folded into the offset basis;
+     self-contained so the fixture test pins bytes, not stdlib
+     internals. Masked to 62 bits to stay a nonnegative OCaml int. *)
+  let mask = (1 lsl 62) - 1 in
+  let h = ref ((0x811c9dc5 lxor (seed * 0x01000193)) land mask) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land mask)
+    name;
+  !h
+
 let select_sites ?(seed = 7) ~sample sites =
   if sample <= 0 || sample >= List.length sites then sites
-  else begin
-    let arr = Array.of_list sites in
-    Osiris_util.Rng.shuffle (Osiris_util.Rng.create seed) arr;
-    Array.to_list (Array.sub arr 0 sample)
-  end
+  else
+    List.map snd
+      (List.filteri
+         (fun i _ -> i < sample)
+         (List.sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.map
+               (fun s ->
+                  let name = Kernel.site_to_string s in
+                  ((site_rank seed name, name), s))
+               sites)))
 
 let classify halt (results : Testsuite.results) =
   match halt with
@@ -90,7 +116,40 @@ let run_multi ?(seed = 42) policy faults =
   let halt = System.run sys ~root:Testsuite.driver in
   classify halt (Testsuite.parse_results (System.log_lines sys))
 
-let survivability_multi ?(seed = 42) ?(sample = 60) ~k model policies =
+(* ---- parallel fan-out ----
+
+   Every injection run is an independent deterministic simulation
+   (fresh [System.build], no shared mutable state — the kernel's slot
+   tables are frozen at module init), so campaigns fan the runs out
+   across a {!Parfan} domain pool. The task list is built in row-major
+   (spec-major) order and [Parfan.map] merges results in submission
+   order, so the counted rows — and every artifact derived from them —
+   are byte-identical to the sequential path ([jobs = 1], the oracle
+   in test/test_parfan.ml and bench/parfan_bench.ml). *)
+
+let count_rows ~label ~runs_per_row rows outcomes =
+  let arr = Array.of_list outcomes in
+  List.mapi
+    (fun ri row ->
+       let counts = Hashtbl.create 4 in
+       let bump o =
+         Hashtbl.replace counts o
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+       in
+       for i = 0 to runs_per_row - 1 do
+         bump arr.((ri * runs_per_row) + i)
+       done;
+       let get o = Option.value ~default:0 (Hashtbl.find_opt counts o) in
+       { row_policy = label row;
+         runs = runs_per_row;
+         pass = get Pass;
+         fail = get Fail;
+         shutdown = get Shutdown;
+         crash = get Crash })
+    rows
+
+let survivability_multi ?(seed = 42) ?(sample = 60) ?jobs ?stats ?progress ~k
+    model policies =
   let sites = Array.of_list (profile_sites ~seed Policy.enhanced) in
   let rng = Osiris_util.Rng.create (seed + 2) in
   let groups =
@@ -110,22 +169,18 @@ let survivability_multi ?(seed = 42) ?(sample = 60) ~k model policies =
         in
         pick [] (min k (Array.length sites)))
   in
-  List.map
-    (fun policy ->
-       let counts = Hashtbl.create 4 in
-       let bump o =
-         Hashtbl.replace counts o
-           (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
-       in
-       List.iter (fun faults -> bump (run_multi ~seed policy faults)) groups;
-       let get o = Option.value ~default:0 (Hashtbl.find_opt counts o) in
-       { row_policy = policy.Policy.name;
-         runs = List.length groups;
-         pass = get Pass;
-         fail = get Fail;
-         shutdown = get Shutdown;
-         crash = get Crash })
-    policies
+  let tasks =
+    List.concat_map
+      (fun policy -> List.map (fun faults -> (policy, faults)) groups)
+      policies
+  in
+  let outcomes =
+    Parfan.map ?jobs ?stats ?progress
+      (fun (policy, faults) -> run_multi ~seed policy faults)
+      tasks
+  in
+  count_rows ~label:(fun (p : Policy.t) -> p.Policy.name)
+    ~runs_per_row:(List.length groups) policies outcomes
 
 
 let fraction row outcome =
@@ -140,31 +195,33 @@ let fraction row outcome =
 (* Profiling runs under uniform enhanced: the site stream is produced
    by a fault-free suite run, and the enhanced stream is a superset of
    every evaluation policy's (asserted by test_compartment's profile-
-   superset test, replacing the old "in practice" hand-wave). *)
-let survivability_matrix ?(seed = 42) ?(sample = 120) model confs =
+   superset test, replacing the old "in practice" hand-wave).
+
+   [sample] defaults to 0 — the full profiled site set, as in the
+   paper's 757-site campaigns. The domain pool makes that the normal
+   path; pass a positive [sample] for a quick sampled estimate. *)
+let survivability_matrix ?(seed = 42) ?(sample = 0) ?jobs ?stats ?progress
+    model confs =
   let sites = profile_sites ~seed Policy.enhanced in
   let sites = select_sites ~seed:(seed + 1) ~sample sites in
   let faults = List.map (fun s -> (s, Edfi.action_for model s)) sites in
-  List.map
-    (fun conf ->
-       let counts = Hashtbl.create 4 in
-       let bump o =
-         Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
-       in
-       List.iter
-         (fun (site, action) -> bump (run_one_conf ~seed conf site action))
-         faults;
-       let get o = Option.value ~default:0 (Hashtbl.find_opt counts o) in
-       { row_policy = Sysconf.name conf;
-         runs = List.length faults;
-         pass = get Pass;
-         fail = get Fail;
-         shutdown = get Shutdown;
-         crash = get Crash })
-    confs
+  let tasks =
+    List.concat_map
+      (fun conf ->
+         List.map (fun (site, action) -> (conf, site, action)) faults)
+      confs
+  in
+  let outcomes =
+    Parfan.map ?jobs ?stats ?progress
+      (fun (conf, site, action) -> run_one_conf ~seed conf site action)
+      tasks
+  in
+  count_rows ~label:Sysconf.name ~runs_per_row:(List.length faults) confs
+    outcomes
 
 (* Tables II/III are the uniform diagonal of the matrix: a uniform spec
    of each evaluation policy (row labels coincide — [Sysconf.uniform p]
    is named [p.name]). *)
-let survivability ?seed ?sample model policies =
-  survivability_matrix ?seed ?sample model (List.map Sysconf.uniform policies)
+let survivability ?seed ?sample ?jobs ?stats ?progress model policies =
+  survivability_matrix ?seed ?sample ?jobs ?stats ?progress model
+    (List.map Sysconf.uniform policies)

@@ -27,8 +27,12 @@ val profile_sites_conf : ?seed:int -> Sysconf.t -> Kernel.site list
 (** Same, under an arbitrary (possibly mixed-policy) spec. *)
 
 val select_sites : ?seed:int -> sample:int -> Kernel.site list -> Kernel.site list
-(** Deterministic sample (shuffle + prefix); pass [sample <= 0] for all
-    sites. *)
+(** Deterministic sample of [sample] sites; pass [sample <= 0] for all
+    sites. The selection is derived from site {e identity} (a seeded
+    hash of each site's name), not list position, so it is stable
+    under site-list growth: profiling more sites only marginally
+    displaces an existing selection instead of reshuffling it.
+    Selected sites are returned in rank order. *)
 
 val run_one : ?seed:int -> Policy.t -> Kernel.site -> Kernel.fault_action -> outcome
 (** One injection run under a uniform spec of the policy. *)
@@ -49,23 +53,32 @@ type row = {
 val fraction : row -> outcome -> float
 
 val survivability :
-  ?seed:int -> ?sample:int -> Edfi.model -> Policy.t list -> row list
+  ?seed:int -> ?sample:int -> ?jobs:int -> ?stats:(Parfan.stats -> unit) ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  Edfi.model -> Policy.t list -> row list
 (** The full experiment: profile once (under the enhanced policy, whose
     site stream is a superset of each evaluation policy's — asserted by
     the profile-superset test in [test/test_compartment.ml]), select
-    the fault set for the model, and run it under each policy. [sample]
-    defaults to 120 sites; the paper used every triggered site (757
-    fail-stop, 992 full-EDFI) — pass [sample:0] to do the same at
-    higher cost. Equivalent to {!survivability_matrix} over uniform
-    specs — Tables II/III are the matrix's uniform diagonal. *)
+    the fault set for the model, and run it under each policy.
+    [sample] defaults to 0 — {e every} triggered site, as in the
+    paper's campaigns (757 fail-stop, 992 full-EDFI faults) — which is
+    affordable because the runs fan out across a {!Parfan} domain pool
+    ([jobs] defaults to {!Parfan.default_jobs}; [jobs:1] is the
+    sequential oracle and produces byte-identical rows). Pass a
+    positive [sample] for a quick sampled estimate. Equivalent to
+    {!survivability_matrix} over uniform specs — Tables II/III are the
+    matrix's uniform diagonal. *)
 
 val survivability_matrix :
-  ?seed:int -> ?sample:int -> Edfi.model -> Sysconf.t list -> row list
+  ?seed:int -> ?sample:int -> ?jobs:int -> ?stats:(Parfan.stats -> unit) ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  Edfi.model -> Sysconf.t list -> row list
 (** The mixed-policy generalization (FlexOS-style configuration sweep):
     each spec may assign a different policy or restart budget per
     compartment ("enhanced everywhere except a stateless DS"). The same
     profiled fault set is applied under every spec; rows are labeled
-    with {!Sysconf.name}. *)
+    with {!Sysconf.name}. Runs fan out over the domain pool exactly as
+    in {!survivability}; row counts are independent of [jobs]. *)
 
 val run_multi :
   ?seed:int -> Policy.t -> (Kernel.site * Kernel.fault_action) list -> outcome
@@ -74,5 +87,9 @@ val run_multi :
     assumption (Section II-E). *)
 
 val survivability_multi :
-  ?seed:int -> ?sample:int -> k:int -> Edfi.model -> Policy.t list -> row list
-(** Like {!survivability} but arming [k] distinct faults per run. *)
+  ?seed:int -> ?sample:int -> ?jobs:int -> ?stats:(Parfan.stats -> unit) ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  k:int -> Edfi.model -> Policy.t list -> row list
+(** Like {!survivability} but arming [k] distinct faults per run.
+    [sample] here is the number of fault {e groups} per policy
+    (default 60), not a site count. *)

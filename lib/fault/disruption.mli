@@ -25,6 +25,11 @@ val run : ?seed:int -> bench:Unixbench.bench -> interval:int -> unit -> result
     interval. [interval <= 0] disables injection (the reference
     score). *)
 
-val sweep : ?seed:int -> ?intervals:int list -> Unixbench.bench -> result list
+val sweep :
+  ?seed:int -> ?intervals:int list -> ?jobs:int ->
+  ?stats:(Parfan.stats -> unit) -> Unixbench.bench -> result list
 (** The figure's x-axis sweep, default intervals from effectively-none
-    down to one fault every 100k cycles, halving each step. *)
+    down to one fault every 100k cycles, halving each step. Intervals
+    run in parallel on the {!Parfan} pool ([jobs:1] for sequential);
+    results are merged in interval order, so the sweep is identical
+    whatever the worker count. *)

@@ -90,11 +90,21 @@ let all_phases =
    profiler overhead inside its gate (bench/profiler_bench.ml). *)
 type slot = int
 
+(* The slot table is built by the [mk_slot] calls below, which run
+   exactly once, at module initialization — before any domain can be
+   spawned. [freeze_slots] (called right after the last registration)
+   locks the builder and drops the accumulators, so the only state a
+   concurrently running kernel can observe is the immutable arrays
+   ([slot_info], [slot_drag]) derived from them. Registering a slot
+   after the freeze is a programming error and raises. *)
 let slot_defs : (phase * string) list ref = ref []
 let n_slot_defs = ref 0
 let drag_pairs : (int * int) list ref = ref []
+let slots_frozen = ref false
 
 let mk_slot phase detail : slot =
+  if !slots_frozen then
+    invalid_arg "Kernel.mk_slot: slot table is frozen (module init is over)";
   let id = !n_slot_defs in
   incr n_slot_defs;
   slot_defs := (phase, detail) :: !slot_defs;
@@ -169,6 +179,15 @@ let slot_drag =
   let a = Array.make n_slots (-1) in
   List.iter (fun (m, d) -> a.(m) <- d) !drag_pairs;
   a
+
+(* Freeze: from here on the slot tables are the immutable arrays
+   above; the builder refs are emptied so no mutable module state
+   survives into the (possibly multi-domain) run. *)
+let () =
+  slots_frozen := true;
+  slot_defs := [];
+  n_slot_defs := n_slots;
+  drag_pairs := []
 
 let all_slots = List.init n_slots (fun s -> s)
 
@@ -1861,6 +1880,28 @@ let activate_next t p =
       true
     end
 
+(* A simulated program tripped a host-level exception: a corrupted
+   table row driving an out-of-bounds [Layout] access, offset
+   arithmetic walking off an image, division by corrupted data. On
+   real hardware this is an MMU fault or machine check delivered to
+   the kernel — the offending process dies and the recovery policy
+   decides what happens next; it must never take down the simulation
+   harness (injected corruption is the only way here on a healthy
+   tree). Only the exception constructors corrupted data can provoke
+   are absorbed; anything else (Assert_failure, Out_of_memory, ...)
+   still propagates as a harness bug. *)
+let machine_check t p th exn =
+  let reason =
+    Printf.sprintf "machine check: %s" (Printexc.to_string exn)
+  in
+  match p.kind with
+  | Server_proc -> crash_proc t p reason
+  | User_proc ->
+    Log.debug (fun m -> m "user %s %s" p.pname reason);
+    th.tstate <-
+      T_ready (Prog.Call (Endpoint.pm, Message.Exit { status = 255 },
+                          fun _ -> Prog.Done ()))
+
 let exec_proc t p =
   let continue = ref true in
   while !continue && t.halted = None do
@@ -1874,7 +1915,10 @@ let exec_proc t p =
          | T_ready prog ->
            (try step t p th prog with
             | Thread_parked -> ()
-            | Thread_finished -> ())
+            | Thread_finished -> ()
+            | (Invalid_argument _ | Failure _ | Not_found
+              | Division_by_zero) as exn ->
+              machine_check t p th exn)
          | T_call_wait _ | T_recv_wait _ ->
            (* Parked while marked active: clear and pick next. *)
            p.active <- None);

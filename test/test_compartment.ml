@@ -66,14 +66,14 @@ let test_uniform_suite_fixtures () =
          expected)
     Policy.all_evaluated
 
-(* Survivability rows at seed 42, sample 6, fail-stop — recorded before
-   the refactor. The uniform diagonal of the matrix must still produce
-   them (Tables II/III in miniature). *)
+(* Survivability rows at seed 42, sample 6, fail-stop — recorded from
+   the identity-hash site sampler. The uniform diagonal of the matrix
+   must still produce them (Tables II/III in miniature). *)
 let row_fixtures =
-  [ ("stateless", 0, 0, 0, 6);
-    ("naive", 0, 0, 0, 6);
-    ("pessimistic", 5, 0, 1, 0);
-    ("enhanced", 6, 0, 0, 0) ]
+  [ ("stateless", 5, 0, 0, 1);
+    ("naive", 5, 0, 0, 1);
+    ("pessimistic", 0, 0, 6, 0);
+    ("enhanced", 0, 0, 6, 0) ]
 
 let check_rows label (rows : Campaign.row list) =
   List.iter2

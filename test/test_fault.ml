@@ -61,6 +61,42 @@ let test_select_deterministic () =
   let b = Campaign.select_sites ~seed:3 ~sample:10 sites in
   Alcotest.(check (list site_t)) "same selection" a b
 
+(* Sampling is a pure function of site *identity* (a hash of the site
+   name folded with the seed), not of list position. Pin the seed-42
+   head of the ranking, and check that permuting or thinning the input
+   cannot move the sample. *)
+let test_select_seed42_fixture () =
+  let sites = Campaign.profile_sites ~seed:42 Policy.enhanced in
+  let sel = Campaign.select_sites ~seed:42 ~sample:5 sites in
+  Alcotest.(check (list string)) "seed-42 top-5 ranking"
+    [ "vfs/rename/call/0"; "pm/fork/call/1"; "pm/fork/call/0";
+      "vfs/vfs_exec/reply/0"; "pm/getpid/reply/0" ]
+    (List.map Kernel.site_to_string sel)
+
+let test_select_position_independent () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let a = Campaign.select_sites ~seed:42 ~sample:10 sites in
+  let b = Campaign.select_sites ~seed:42 ~sample:10 (List.rev sites) in
+  Alcotest.(check (list site_t)) "reversing the input moves nothing" a b
+
+let test_select_survives_thinning () =
+  let sites = Campaign.profile_sites Policy.enhanced in
+  let sel = Campaign.select_sites ~seed:42 ~sample:10 sites in
+  let chosen = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace chosen (Kernel.site_to_string s) ()) sel;
+  (* Drop every other unselected site; under positional sampling this
+     would reshuffle the whole selection. *)
+  let keep = ref true in
+  let thinned =
+    List.filter
+      (fun s ->
+         Hashtbl.mem chosen (Kernel.site_to_string s)
+         || (keep := not !keep; !keep))
+      sites
+  in
+  let sel' = Campaign.select_sites ~seed:42 ~sample:10 thinned in
+  Alcotest.(check (list site_t)) "selection unchanged by thinning" sel sel'
+
 (* ---------------- fault models ------------------------------------ *)
 
 let test_fail_stop_always_crashes () =
@@ -141,6 +177,63 @@ let test_survivability_small () =
   Alcotest.(check int) "enhanced never crashes under fail-stop" 0
     enhanced.Campaign.crash
 
+(* ---------------- machine checks ---------------------------------- *)
+
+(* vfs/pipe/store/8 is the site where full-EDFI store corruption
+   scribbles over a pipe-table row index: the next table access walks
+   out of [0,16) and Layout raises Invalid_argument at host level. The
+   kernel must absorb that as a machine-check crash of the offending
+   server (recoverable like any crash), not let it escape and kill the
+   whole campaign — full sweeps hit this site on every run. *)
+let mc_site () =
+  match
+    List.find_opt
+      (fun s -> Kernel.site_to_string s = "vfs/pipe/store/8")
+      (Campaign.profile_sites ~seed:42 Policy.enhanced)
+  with
+  | Some s -> s
+  | None -> Alcotest.fail "profiled sites no longer include vfs/pipe/store/8"
+
+let test_machine_check_absorbed_and_recovered () =
+  let site = mc_site () in
+  let sys = System.build ~seed:42 (Sysconf.uniform Policy.enhanced) in
+  let k = System.kernel sys in
+  let fired = ref false in
+  Kernel.set_fault_hook k
+    (Some
+       (fun s ->
+          if (not !fired) && Kernel.compare_site s site = 0 then begin
+            fired := true;
+            Some Kernel.F_corrupt_store
+          end
+          else None));
+  let mc_reasons = ref [] in
+  Kernel.set_event_hook k
+    (Some
+       (function
+         | Kernel.E_crash { reason; _ } ->
+           if String.length reason >= 14
+              && String.sub reason 0 14 = "machine check:"
+           then mc_reasons := reason :: !mc_reasons
+         | _ -> ()));
+  let halt = System.run sys ~root:Testsuite.driver in
+  Alcotest.(check bool) "fault fired" true !fired;
+  Alcotest.(check bool) "machine-check crash observed" true
+    (!mc_reasons <> []);
+  Alcotest.(check string) "enhanced recovers and the suite completes"
+    "completed(0)" (Kernel.halt_to_string halt)
+
+let test_machine_check_campaign_classifies () =
+  let site = mc_site () in
+  (* Before the machine-check boundary this raised Invalid_argument
+     out of the campaign; now it must classify like any other run.
+     Enhanced recovery restores VFS and the suite runs to completion,
+     but the scribbled pipe row already lost data in flight — one
+     suite test fails, so the run classifies as a detected failure. *)
+  let outcome = Campaign.run_one Policy.enhanced site Kernel.F_corrupt_store in
+  Alcotest.(check string) "wild store under enhanced" "fail"
+    (Campaign.outcome_name outcome)
+
 (* ---------------- disruption -------------------------------------- *)
 
 let test_disruption_no_faults_reference () =
@@ -189,7 +282,12 @@ let () =
       ( "selection",
         [ Alcotest.test_case "sample size" `Quick test_select_sample_size;
           Alcotest.test_case "zero takes all" `Quick test_select_zero_takes_all;
-          Alcotest.test_case "deterministic" `Quick test_select_deterministic ] );
+          Alcotest.test_case "deterministic" `Quick test_select_deterministic;
+          Alcotest.test_case "seed-42 fixture" `Quick test_select_seed42_fixture;
+          Alcotest.test_case "position independent" `Quick
+            test_select_position_independent;
+          Alcotest.test_case "survives thinning" `Quick
+            test_select_survives_thinning ] );
       ( "models",
         [ Alcotest.test_case "fail-stop crashes" `Quick test_fail_stop_always_crashes;
           QCheck_alcotest.to_alcotest prop_edfi_applicable;
@@ -198,6 +296,11 @@ let () =
         [ Alcotest.test_case "outcome names" `Quick test_outcome_names;
           Alcotest.test_case "benign passes" `Quick test_run_one_benign_site_passes;
           Alcotest.test_case "small survivability" `Slow test_survivability_small ] );
+      ( "machine-check",
+        [ Alcotest.test_case "absorbed and recovered" `Quick
+            test_machine_check_absorbed_and_recovered;
+          Alcotest.test_case "campaign classifies" `Quick
+            test_machine_check_campaign_classifies ] );
       ( "disruption",
         [ Alcotest.test_case "reference run" `Quick test_disruption_no_faults_reference;
           Alcotest.test_case "survives injection" `Quick

@@ -9,7 +9,17 @@
    are booleans: a gate that was true in OLD and false in NEW is a
    REGRESSION and the exit status is 1. Drift alone exits 0 — wall
    times vary across machines, so the CI step that runs this is
-   advisory; the gates themselves are enforced by the benches. *)
+   advisory; the gates themselves are enforced by the benches.
+
+   A bench artifact may carry a top-level "tolerances" object mapping
+   dotted paths to a relative tolerance in percent, e.g.
+
+     "tolerances": {"wall.speedup": 75, "pool.runs_per_sec": 100}
+
+   Paths listed there compare against their own tolerance instead of
+   the global threshold (the baseline's entry wins; the new artifact
+   is consulted for paths the baseline does not mention). The
+   "tolerances" subtree itself is never diffed. *)
 
 type json =
   | Null
@@ -162,36 +172,61 @@ let () =
       exit 2
   in
   let old_kv = load old_path and new_kv = load new_path in
+  (* Per-path tolerances declared by the artifacts themselves; the
+     baseline wins where both declare one. Entries live under the
+     "tolerances." prefix in the flattened view. *)
+  let tolerance_of kv =
+    List.filter_map
+      (function
+        | path, Num pct
+          when String.length path > 11 && String.sub path 0 11 = "tolerances." ->
+          Some (String.sub path 11 (String.length path - 11), pct)
+        | _ -> None)
+      kv
+  in
+  let tolerances = tolerance_of old_kv @ tolerance_of new_kv in
+  let threshold_for path =
+    match List.assoc_opt path tolerances with
+    | Some pct -> pct
+    | None -> !threshold
+  in
+  let is_tolerance_entry path =
+    String.length path > 11 && String.sub path 0 11 = "tolerances."
+  in
   let regressions = ref 0 and drifts = ref 0 in
-  Printf.printf "bench_diff: %s -> %s (threshold %.1f%%)\n" old_path new_path
-    !threshold;
+  Printf.printf "bench_diff: %s -> %s (threshold %.1f%%, %d per-path)\n"
+    old_path new_path !threshold (List.length tolerances);
   List.iter
     (fun (path, nv) ->
-       match List.assoc_opt path old_kv, nv with
-       | None, _ -> Printf.printf "  NEW       %-42s (only in new)\n" path
-       | Some (Bool ov), Bool n ->
-         if ov && not n then begin
-           incr regressions;
-           Printf.printf "  REGRESSED %-42s true -> false\n" path
-         end
-         else if n && not ov then
-           Printf.printf "  fixed     %-42s false -> true\n" path
-       | Some (Num ov), Num n when ov <> n ->
-         let rel =
-           if ov = 0. then infinity else 100. *. (n -. ov) /. Float.abs ov
-         in
-         if Float.abs rel > !threshold then begin
-           incr drifts;
-           Printf.printf "  DRIFT     %-42s %g -> %g (%+.1f%%)\n" path ov n rel
-         end
-       | Some (Str ov), Str n when ov <> n ->
-         Printf.printf "  changed   %-42s %S -> %S\n" path ov n
-       | Some _, _ -> ())
+       if is_tolerance_entry path then ()
+       else
+         match List.assoc_opt path old_kv, nv with
+         | None, _ -> Printf.printf "  NEW       %-42s (only in new)\n" path
+         | Some (Bool ov), Bool n ->
+           if ov && not n then begin
+             incr regressions;
+             Printf.printf "  REGRESSED %-42s true -> false\n" path
+           end
+           else if n && not ov then
+             Printf.printf "  fixed     %-42s false -> true\n" path
+         | Some (Num ov), Num n when ov <> n ->
+           let rel =
+             if ov = 0. then infinity else 100. *. (n -. ov) /. Float.abs ov
+           in
+           let allowed = threshold_for path in
+           if Float.abs rel > allowed then begin
+             incr drifts;
+             Printf.printf "  DRIFT     %-42s %g -> %g (%+.1f%%, tol %.1f%%)\n"
+               path ov n rel allowed
+           end
+         | Some (Str ov), Str n when ov <> n ->
+           Printf.printf "  changed   %-42s %S -> %S\n" path ov n
+         | Some _, _ -> ())
     new_kv;
   List.iter
     (fun (path, _) ->
-       if not (List.mem_assoc path new_kv) then
-         Printf.printf "  GONE      %-42s (only in old)\n" path)
+       if (not (is_tolerance_entry path)) && not (List.mem_assoc path new_kv)
+       then Printf.printf "  GONE      %-42s (only in old)\n" path)
     old_kv;
   if !regressions > 0 then begin
     Printf.printf "%d gate regression(s)\n" !regressions;
