@@ -667,7 +667,8 @@ let all_experiments =
     ("fig3", fig3); ("rcb", rcb); ("ablation", ablation); ("micro", micro);
     ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run);
     ("matrix", Matrix_bench.run); ("profiler", Profiler_bench.run);
-    ("journal", Journal_bench.run); ("parfan", Parfan_bench.run) ]
+    ("journal", Journal_bench.run); ("parfan", Parfan_bench.run);
+    ("timeseries", Timeseries_bench.run) ]
 
 let () =
   let requested =

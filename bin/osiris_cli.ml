@@ -317,7 +317,7 @@ let fsck_cmd =
        ~doc:"Run the suite, then verify filesystem block conservation.")
     Term.(const run $ policy_arg $ seed_arg)
 
-let timeline_cmd =
+let events_cmd =
   let last_arg =
     Arg.(value & opt int 40
          & info [ "last" ] ~docv:"N" ~doc:"Events to show (from the end).")
@@ -334,8 +334,9 @@ let timeline_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "timeline"
-       ~doc:"Run a generated workload and print the tail of its IPC timeline.")
+    (Cmd.info "events"
+       ~doc:"Run a generated workload and print the tail of its IPC event \
+             log.")
     Term.(const run $ policy_arg $ seed_arg $ last_arg)
 
 (* Shared by trace/report: run the quickstart workload with a collector
@@ -489,6 +490,87 @@ let write_file path contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+let timeline_cmd =
+  let interval_arg =
+    Arg.(value & opt int 2048
+         & info [ "interval" ] ~docv:"N"
+           ~doc:"Sampling period in virtual cycles.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8
+         & info [ "window" ] ~docv:"W"
+           ~doc:"Sliding latency window, in samples.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_TIMELINE_JSON or \
+                 osiris_timeline.json).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the series as CSV.")
+  in
+  let perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"PATH"
+           ~doc:"Also write Perfetto counter tracks (plus the span trace) \
+                 for ui.perfetto.dev.")
+  in
+  let no_color_arg =
+    Arg.(value & flag
+         & info [ "no-color" ] ~doc:"Plain dashboard (no ANSI codes).")
+  in
+  let run policy seed crash interval window json csv perfetto no_color =
+    setup_logs ();
+    let metrics = Metrics.create () in
+    let collector = Obs_collector.create ~metrics () in
+    let ts = Timeseries.create ~interval () in
+    let sys =
+      System.build ~seed ~event_hook:(Obs_collector.record collector)
+        ~telemetry:ts (Sysconf.uniform policy)
+    in
+    let kernel = System.kernel sys in
+    arm_crash kernel crash;
+    let halt = System.run sys ~root:Workgen.quickstart in
+    Timeseries.publish ts metrics;
+    let spans = Span.build (Obs_collector.events collector) in
+    (* Request latency = completed top-level request roots, stamped at
+       completion — what the sliding percentile windows consume. *)
+    let latencies =
+      List.filter_map
+        (fun (s : Span.t) ->
+           if s.Span.sp_kind = Span.Request && s.Span.sp_complete then
+             Some (s.Span.sp_end, s.Span.sp_end - s.Span.sp_start)
+           else None)
+        spans
+    in
+    let tl = Timeline.of_kernel ~latencies ~window ts kernel in
+    print_string (Timeline.dashboard ~color:(not no_color) tl);
+    Printf.printf "halted: %s\n" (Kernel.halt_to_string halt);
+    write_file
+      (out_path ~flag:json ~env:"OSIRIS_TIMELINE_JSON"
+         ~default:"osiris_timeline.json")
+      (Timeline.to_json tl);
+    (match csv with
+     | Some p -> write_file p (Timeline.to_csv tl)
+     | None -> ());
+    (match perfetto with
+     | Some p ->
+       write_file p
+         (Chrome_trace.of_spans ~counters:(Timeline.counter_samples tl) spans)
+     | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run the quickstart workload with the vtime telemetry engine \
+             attached and render the sampled series as an ANSI dashboard, \
+             plus deterministic JSON/CSV artifacts and Perfetto counter \
+             tracks.")
+    Term.(const run $ policy_arg $ seed_arg $ crash_arg $ interval_arg
+          $ window_arg $ json_arg $ csv_arg $ perfetto_arg $ no_color_arg)
+
 let profile_cmd =
   let json_arg =
     Arg.(value & opt (some string) None
@@ -611,7 +693,14 @@ let survivability_cmd =
            ~doc:"JSON artifact path (default from OSIRIS_SURVIVABILITY_JSON \
                  or survivability.json).")
   in
-  let run model sample seed jobs specs json =
+  let timeline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"PATH"
+           ~doc:"Also write the campaign telemetry rollup (merged MTTR \
+                 histograms, per-server recovery latency, crash-storm \
+                 timeline; plus wall-clock pool utilization) as JSON.")
+  in
+  let run model sample seed jobs specs json timeline =
     setup_logs ();
     let specs =
       match specs with
@@ -622,8 +711,8 @@ let survivability_cmd =
       match model with Edfi.Fail_stop -> "fail-stop" | Edfi.Full_edfi -> "full-edfi"
     in
     let pool_stats = ref None in
-    let rows =
-      Campaign.survivability_matrix ~seed ~sample ~jobs
+    let rows, rollup =
+      Campaign.survivability_matrix_rollup ~seed ~sample ~jobs
         ~stats:(fun s -> pool_stats := Some s)
         ~progress:sweep_progress model specs
     in
@@ -665,6 +754,13 @@ let survivability_cmd =
     Buffer.output_buffer oc buf;
     close_out oc;
     Printf.printf "wrote %s\n" path;
+    (* The rollup's deterministic sections are byte-identical at any
+       --jobs; the "pool" section (wall-clock worker utilization) is
+       the one exception and rides only in this artifact. *)
+    (match timeline with
+     | Some p ->
+       write_file p (Campaign.rollup_to_json ?pool:!pool_stats rollup)
+     | None -> ());
     (* Stderr, not stdout or the artifact: wall-clock pool statistics
        are the only output allowed to vary with --jobs. *)
     (match !pool_stats with
@@ -679,7 +775,7 @@ let survivability_cmd =
              across an OCaml 5 domain pool; artifacts are byte-identical \
              for any $(b,--jobs).")
     Term.(const run $ model_arg $ sample_arg $ seed_arg $ jobs_arg $ spec_arg
-          $ json_arg)
+          $ json_arg $ timeline_arg)
 
 let policies_cmd =
   let run () =
@@ -880,7 +976,7 @@ let main =
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
-      stress_cmd; timeline_cmd; trace_cmd; report_cmd; profile_cmd;
-      health_cmd; record_cmd; replay_cmd; postmortem_cmd ]
+      stress_cmd; events_cmd; timeline_cmd; trace_cmd; report_cmd;
+      profile_cmd; health_cmd; record_cmd; replay_cmd; postmortem_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

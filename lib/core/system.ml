@@ -26,8 +26,8 @@ let etc_data =
   Buffer.sub b 0 1024
 
 let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
-    ?(trace = false) ?costs ?event_hook ?journal ?profiler ?extra_register
-    conf =
+    ?(trace = false) ?costs ?event_hook ?journal ?profiler ?telemetry
+    ?extra_register conf =
   (match Sysconf.validate conf with
    | Ok () -> ()
    | Error problems ->
@@ -102,6 +102,16 @@ let build ?(arch = Kernel.Microkernel) ?(seed = 42) ?max_ops ?max_crashes
   List.iter (Kernel.add_server kernel)
     [ Pm.server pm; Vfs.server vfs; Vm.server vm; Ds.server ds;
       Rs.server rs; Mfs.server mfs; Bdev.server bdev ];
+  (* Telemetry hooks in after the servers exist (its standard source
+     set enumerates them) and before boot, so the sample grid covers
+     the whole run. Cycle counts are enabled so the per-phase series
+     carry data; callers may add custom sources before build. *)
+  (match telemetry with
+   | Some ts ->
+     Kernel.enable_cycle_counts kernel;
+     Timeseries.add_kernel_sources ts kernel;
+     Timeseries.attach ts kernel
+   | None -> ());
   Kernel.boot kernel;
   { sys_kernel = kernel;
     sys_registry = registry;

@@ -32,6 +32,7 @@ val build :
   ?event_hook:(Kernel.event -> unit) ->
   ?journal:Journal.writer ->
   ?profiler:Profiler.t ->
+  ?telemetry:Timeseries.t ->
   ?extra_register:(Registry.t -> unit) ->
   Sysconf.t ->
   t
@@ -52,6 +53,11 @@ val build :
     mismatch). [profiler] is likewise attached pre-boot as the
     kernel's cycle hook, which is what makes
     [Profiler.check_conservation] hold at any later point.
+    [telemetry] attaches a vtime-sampled series set pre-boot: the
+    standard kernel sources ([Timeseries.add_kernel_sources]) are
+    registered after any caller-added custom sources, cycle counts
+    are enabled so the per-phase series carry data, and the sampler
+    fires on the kernel's fixed [interval] grid for the whole run.
     @raise Invalid_argument when {!Sysconf.validate} rejects the spec. *)
 
 val kernel : t -> Kernel.t

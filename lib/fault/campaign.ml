@@ -86,6 +86,63 @@ let run_one_conf ?(seed = 42) conf site action =
 let run_one ?seed policy site action =
   run_one_conf ?seed (Sysconf.uniform policy) site action
 
+(* ---- per-run telemetry summaries ----
+
+   A campaign-grade run must not pay observability overhead: attaching
+   an event hook flips the kernel's [observing] flag and every event
+   record gets constructed. The summary therefore reads only kernel
+   introspection counters after the run — crash instants, recovery
+   episodes, lifetime counters — which cost nothing while the
+   simulation executes. *)
+
+type run_summary = {
+  sm_outcome : outcome;
+  sm_spec : string;
+  sm_site : string;
+  sm_final_vtime : int;
+  sm_crashes : int;
+  sm_restarts : int;
+  sm_crash_times : int list;                (* oldest first *)
+  sm_episodes : (string * int * int) list;  (* (server, crashed_at,
+                                               recovered_at), oldest first *)
+  sm_mttr : Histogram.t;                    (* per-run recovery latencies *)
+}
+
+let summarize ~spec ~site sys outcome =
+  let k = System.kernel sys in
+  let episodes =
+    List.rev_map
+      (fun (ep, c, r) -> (Endpoint.server_name ep, c, r))
+      (Kernel.recovery_episodes k)
+  in
+  let h = Histogram.create () in
+  List.iter (fun (_, c, r) -> Histogram.observe h (r - c)) episodes;
+  { sm_outcome = outcome;
+    sm_spec = spec;
+    sm_site = site;
+    sm_final_vtime = Kernel.now k;
+    sm_crashes = Kernel.crashes k;
+    sm_restarts = Kernel.restarts k;
+    sm_crash_times = List.rev (Kernel.crash_times k);
+    sm_episodes = episodes;
+    sm_mttr = h }
+
+let run_one_summary ?(seed = 42) conf site action =
+  let sys = System.build ~seed conf in
+  let fired = ref false in
+  Kernel.set_fault_hook (System.kernel sys)
+    (Some
+       (fun s ->
+          if (not !fired) && Kernel.compare_site s site = 0 then begin
+            fired := true;
+            Some action
+          end
+          else None));
+  let halt = System.run sys ~root:Testsuite.driver in
+  let results = Testsuite.parse_results (System.log_lines sys) in
+  summarize ~spec:(Sysconf.name conf) ~site:(Kernel.site_to_string site) sys
+    (classify halt results)
+
 type row = {
   row_policy : string;
   runs : int;
@@ -225,3 +282,182 @@ let survivability_matrix ?(seed = 42) ?(sample = 0) ?jobs ?stats ?progress
 let survivability ?seed ?sample ?jobs ?stats ?progress model policies =
   survivability_matrix ?seed ?sample ?jobs ?stats ?progress model
     (List.map Sysconf.uniform policies)
+
+(* ---- campaign rollup ----
+
+   Per-run summaries merged in submission order into one campaign-level
+   telemetry artifact. Every section below is a pure fold over the
+   ordered summary list (and the histogram merge is commutative
+   anyway), so the rollup is byte-identical at any [--jobs] — the same
+   contract as the counted rows, extended to telemetry, and gated by
+   bench/timeseries_bench.ml. Pool statistics are the one quantity
+   that physically varies with the worker count; they ride in the
+   artifact's optional "pool" section, which the identity contract
+   explicitly excludes. *)
+
+let crash_bins = 64
+
+type rollup = {
+  ro_runs : int;
+  ro_pass : int;
+  ro_fail : int;
+  ro_shutdown : int;
+  ro_crash : int;
+  ro_crashes_total : int;
+  ro_restarts_total : int;
+  ro_mttr : Histogram.t;
+  ro_mttr_by_server : (string * Histogram.t) list;  (* sorted by name *)
+  ro_crash_storm : int array;   (* [crash_bins] counts over vtime *)
+  ro_bin_width : int;
+  ro_max_vtime : int;
+}
+
+let rollup_of_summaries summaries =
+  let runs = List.length summaries in
+  let count o =
+    List.length (List.filter (fun s -> s.sm_outcome = o) summaries)
+  in
+  let mttr = Histogram.create () in
+  (* The campaign histogram is the per-run histograms merged — the
+     production use of [Histogram.merge_into]; QCheck asserts merged
+     percentiles equal observing the union stream. *)
+  List.iter (fun s -> Histogram.merge_into ~into:mttr s.sm_mttr) summaries;
+  let by_server = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+       List.iter
+         (fun (srv, c, r) ->
+            let h =
+              match Hashtbl.find_opt by_server srv with
+              | Some h -> h
+              | None ->
+                let h = Histogram.create () in
+                Hashtbl.replace by_server srv h;
+                h
+            in
+            Histogram.observe h (r - c))
+         s.sm_episodes)
+    summaries;
+  let mttr_by_server =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_server [])
+  in
+  let max_vtime =
+    List.fold_left (fun acc s -> max acc s.sm_final_vtime) 0 summaries
+  in
+  let bin_width = max 1 ((max_vtime + crash_bins - 1) / crash_bins) in
+  let storm = Array.make crash_bins 0 in
+  List.iter
+    (fun s ->
+       List.iter
+         (fun at ->
+            let b = min (crash_bins - 1) (max 0 (at / bin_width)) in
+            storm.(b) <- storm.(b) + 1)
+         s.sm_crash_times)
+    summaries;
+  { ro_runs = runs;
+    ro_pass = count Pass;
+    ro_fail = count Fail;
+    ro_shutdown = count Shutdown;
+    ro_crash = count Crash;
+    ro_crashes_total =
+      List.fold_left (fun acc s -> acc + s.sm_crashes) 0 summaries;
+    ro_restarts_total =
+      List.fold_left (fun acc s -> acc + s.sm_restarts) 0 summaries;
+    ro_mttr = mttr;
+    ro_mttr_by_server = mttr_by_server;
+    ro_crash_storm = storm;
+    ro_bin_width = bin_width;
+    ro_max_vtime = max_vtime }
+
+let survivability_matrix_rollup ?(seed = 42) ?(sample = 0) ?jobs ?stats
+    ?progress model confs =
+  let sites = profile_sites ~seed Policy.enhanced in
+  let sites = select_sites ~seed:(seed + 1) ~sample sites in
+  let faults = List.map (fun s -> (s, Edfi.action_for model s)) sites in
+  let tasks =
+    List.concat_map
+      (fun conf ->
+         List.map (fun (site, action) -> (conf, site, action)) faults)
+      confs
+  in
+  let summaries =
+    Parfan.map ?jobs ?stats ?progress
+      (fun (conf, site, action) -> run_one_summary ~seed conf site action)
+      tasks
+  in
+  let rows =
+    count_rows ~label:Sysconf.name ~runs_per_row:(List.length faults) confs
+      (List.map (fun s -> s.sm_outcome) summaries)
+  in
+  (rows, rollup_of_summaries summaries)
+
+let add_int_array b vals =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (string_of_int v))
+    vals;
+  Buffer.add_char b ']'
+
+let add_hist b h =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"buckets\":["
+       (Histogram.count h) (Histogram.sum h) (Histogram.min_value h)
+       (Histogram.max_value h)
+       (int_of_float (Histogram.p50 h))
+       (int_of_float (Histogram.p95 h))
+       (int_of_float (Histogram.p99 h)));
+  List.iteri
+    (fun i (ub, c) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (Printf.sprintf "[%d,%d]" ub c))
+    (Histogram.buckets h);
+  Buffer.add_string b "]}"
+
+let rollup_to_json ?pool ro =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"runs\":%d,\"pass\":%d,\"fail\":%d,\"shutdown\":%d,\"crash\":%d,\"crashes_total\":%d,\"restarts_total\":%d,\"mttr\":"
+       ro.ro_runs ro.ro_pass ro.ro_fail ro.ro_shutdown ro.ro_crash
+       ro.ro_crashes_total ro.ro_restarts_total);
+  add_hist b ro.ro_mttr;
+  Buffer.add_string b ",\"mttr_by_server\":[";
+  List.iteri
+    (fun i (srv, h) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b "{\"server\":";
+       Buffer.add_string b (Chrome_trace.escaped srv);
+       Buffer.add_string b ",\"mttr\":";
+       add_hist b h;
+       Buffer.add_char b '}')
+    ro.ro_mttr_by_server;
+  Buffer.add_string b
+    (Printf.sprintf "],\"crash_storm\":{\"bin_width\":%d,\"max_vtime\":%d,\"bins\":"
+       ro.ro_bin_width ro.ro_max_vtime);
+  add_int_array b ro.ro_crash_storm;
+  Buffer.add_string b "}";
+  (match pool with
+   | None -> ()
+   | Some (st : Parfan.stats) ->
+     (* Wall-clock worker utilization: real time, so this section is
+        excluded from the byte-identity contract (it is the only part
+        of the artifact allowed to vary with --jobs or across runs). *)
+     Buffer.add_string b
+       (Printf.sprintf ",\"pool\":{\"jobs\":%d,\"tasks\":%d,\"wall_ms\":%.1f,\"workers\":["
+          st.Parfan.pf_jobs st.Parfan.pf_tasks
+          (st.Parfan.pf_wall_ns /. 1e6));
+     Array.iteri
+       (fun i (w : Parfan.worker_stat) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"worker\":%d,\"tasks\":%d,\"busy_ms\":%.1f}" i
+               w.Parfan.w_tasks (w.Parfan.w_busy_ns /. 1e6)))
+       st.Parfan.pf_workers;
+     Buffer.add_string b "]}");
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -80,6 +80,72 @@ val survivability_matrix :
     with {!Sysconf.name}. Runs fan out over the domain pool exactly as
     in {!survivability}; row counts are independent of [jobs]. *)
 
+(** {1 Telemetry summaries and campaign rollup}
+
+    Each injection run can carry a compact telemetry summary — read
+    from kernel introspection counters {e after} the run, so the
+    simulation itself pays no observability overhead (no event hook,
+    no per-event allocation). Summaries merge in submission order into
+    a campaign-level rollup whose artifact is byte-identical at any
+    [--jobs] (gated in [bench/timeseries_bench.ml]); only the optional
+    "pool" section of {!rollup_to_json}, which reports wall-clock
+    worker utilization, is allowed to vary. *)
+
+type run_summary = {
+  sm_outcome : outcome;
+  sm_spec : string;                         (** [Sysconf.name]. *)
+  sm_site : string;                         (** Injected site name. *)
+  sm_final_vtime : int;
+  sm_crashes : int;
+  sm_restarts : int;
+  sm_crash_times : int list;                (** Oldest first. *)
+  sm_episodes : (string * int * int) list;
+      (** [(server, crashed_at, recovered_at)], oldest first. *)
+  sm_mttr : Histogram.t;                    (** This run's recovery
+                                                latencies. *)
+}
+
+val run_one_summary :
+  ?seed:int -> Sysconf.t -> Kernel.site -> Kernel.fault_action -> run_summary
+(** {!run_one_conf} returning the run's telemetry summary (the outcome
+    rides in [sm_outcome]). *)
+
+type rollup = {
+  ro_runs : int;
+  ro_pass : int;
+  ro_fail : int;
+  ro_shutdown : int;
+  ro_crash : int;
+  ro_crashes_total : int;
+  ro_restarts_total : int;
+  ro_mttr : Histogram.t;
+      (** Per-run histograms merged via [Histogram.merge_into] —
+          percentiles match observing the union stream. *)
+  ro_mttr_by_server : (string * Histogram.t) list;
+      (** Recovery latency by crashed compartment, sorted by name. *)
+  ro_crash_storm : int array;
+      (** Crash counts over virtual time, 64 fixed bins spanning
+          [0, ro_max_vtime]. *)
+  ro_bin_width : int;
+  ro_max_vtime : int;
+}
+
+val rollup_of_summaries : run_summary list -> rollup
+(** Fold summaries (in submission order) into the campaign rollup. *)
+
+val survivability_matrix_rollup :
+  ?seed:int -> ?sample:int -> ?jobs:int -> ?stats:(Parfan.stats -> unit) ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  Edfi.model -> Sysconf.t list -> row list * rollup
+(** {!survivability_matrix} with the telemetry rollup: the same runs,
+    each additionally summarized; the rows are byte-identical to what
+    {!survivability_matrix} returns for the same arguments. *)
+
+val rollup_to_json : ?pool:Parfan.stats -> rollup -> string
+(** Deterministic JSON artifact (fixed field order, sorted servers).
+    [pool] appends the wall-clock worker-utilization section — the
+    only part that may vary with [--jobs]. *)
+
 val run_multi :
   ?seed:int -> Policy.t -> (Kernel.site * Kernel.fault_action) list -> outcome
 (** Arm several faults in one run (each fires once, at its site's first

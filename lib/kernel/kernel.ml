@@ -191,6 +191,12 @@ let () =
 
 let all_slots = List.init n_slots (fun s -> s)
 
+(* slot -> phase index, precomputed so the attribution hot path can
+   maintain the kernel-global per-phase cycle totals with two unsafe
+   array ops instead of consumers re-scanning every slot row (the
+   vtime sampler reads [total_phase_cycles] once per tick). *)
+let slot_phase_idx = Array.init n_slots (fun s -> phase_index (slot_phase s))
+
 type site = {
   site_ep : Endpoint.t;
   site_handler : Message.Tag.t option;
@@ -418,6 +424,10 @@ type t = {
   mutable observing : bool;
   mutable cycle_hook : (Endpoint.t -> slot -> int -> unit) option;
   mutable profiling : bool;  (* procs carry per-slot counter rows *)
+  (* Kernel-global cycles per phase, maintained on the attribution
+     path while [profiling]; indexed by [phase_index]. Survives proc
+     replacement across restarts, unlike summing per-proc rows. *)
+  phase_prof : int array;
   mutable n_ops : int;
   mutable n_crashes : int;
   mutable n_restarts : int;
@@ -426,6 +436,18 @@ type t = {
   mutable n_users : int;
   mutable global_now : int;
   mutable recovery_latencies : int list;
+  (* Crash instants and (ep, crashed_at, recovered_at) recovery spans,
+     newest first. Consing here is off the hot path: crashes are rare
+     and bounded by [max_crashes]. *)
+  mutable crash_log : int list;
+  mutable episode_log : (Endpoint.t * int * int) list;
+  (* Virtual-time sampler: fires at every multiple of
+     [sample_interval] the global clock crosses. [next_sample] is
+     [max_int] when no sampler is installed, so the untelemetered
+     clock-advance path pays exactly one compare. *)
+  mutable sample_interval : int;
+  mutable next_sample : int;
+  mutable sample_hook : (int -> unit) option;
   mutable next_rid : int;
 }
 
@@ -448,6 +470,7 @@ let create cfg =
     observing = false;
     cycle_hook = None;
     profiling = false;
+    phase_prof = Array.make n_phases 0;
     n_ops = 0;
     n_crashes = 0;
     n_restarts = 0;
@@ -456,6 +479,11 @@ let create cfg =
     n_users = 0;
     global_now = 0;
     recovery_latencies = [];
+    crash_log = [];
+    episode_log = [];
+    sample_interval = 0;
+    next_sample = max_int;
+    sample_hook = None;
     next_rid = 0 }
 
 let set_fault_hook t hook = t.fault_hook <- hook
@@ -467,6 +495,42 @@ let set_event_hook t hook =
 let set_capture t c =
   t.capture <- c;
   t.observing <- t.event_hook <> None || c <> None
+
+let set_vtime_sampler t ~interval hook =
+  match hook with
+  | None ->
+    t.sample_hook <- None;
+    t.sample_interval <- 0;
+    t.next_sample <- max_int
+  | Some _ ->
+    if interval <= 0 then
+      invalid_arg "Kernel.set_vtime_sampler: interval must be positive";
+    t.sample_hook <- hook;
+    t.sample_interval <- interval;
+    (* First boundary strictly ahead of the current clock, so sample
+       timestamps are the fixed grid k*interval regardless of when the
+       sampler was installed. *)
+    t.next_sample <- ((t.global_now / interval) + 1) * interval
+
+(* All global-clock advances funnel through here. The clock only moves
+   forward; when it crosses one or more sample boundaries the hook
+   fires once per boundary, with the boundary time — so a run's sample
+   timestamps are a deterministic grid independent of scheduling
+   detail. With no sampler installed [next_sample] is [max_int] and
+   the cost is one compare. *)
+let[@inline] bump_now t v =
+  if v > t.global_now then begin
+    t.global_now <- v;
+    if v >= t.next_sample then
+      match t.sample_hook with
+      | None -> t.next_sample <- max_int
+      | Some hook ->
+        while t.global_now >= t.next_sample do
+          let at = t.next_sample in
+          t.next_sample <- t.next_sample + t.sample_interval;
+          hook at
+        done
+  end
 
 (* Every emission site must check this first: with no observer
    installed nothing is constructed and the hot path pays a single
@@ -705,7 +769,10 @@ let[@inline] cycles t p slot c =
      if Array.length a <> 0 then begin
        let i = 2 * slot in
        Array.unsafe_set a i (Array.unsafe_get a i + c);
-       Array.unsafe_set a (i + 1) (Array.unsafe_get a (i + 1) + 1)
+       Array.unsafe_set a (i + 1) (Array.unsafe_get a (i + 1) + 1);
+       let ph = Array.unsafe_get slot_phase_idx slot in
+       let g = t.phase_prof in
+       Array.unsafe_set g ph (Array.unsafe_get g ph + c)
      end);
     match t.cycle_hook with
     | Some f -> f p.ep slot c
@@ -949,6 +1016,7 @@ let rec crash_proc t p reason =
     p.stalled <- true;
     p.hung <- false;
     p.crashed_at <- max p.vtime t.global_now;
+    t.crash_log <- p.crashed_at :: t.crash_log;
     if observed t then
       emit_crash t ~time:p.crashed_at ~ep:p.ep ~reason ~window_open
         ~rid:cause ~policy:p.policy.Policy.name;
@@ -1021,8 +1089,10 @@ and k_go t p =
   end;
   let recovering = p.crashed_at > 0 in
   if p.kind = Server_proc && recovering then begin
+    let recovered_at = max (max t.global_now p.vtime) p.crashed_at in
     t.recovery_latencies <-
-      (max 0 (max t.global_now p.vtime - p.crashed_at)) :: t.recovery_latencies;
+      (recovered_at - p.crashed_at) :: t.recovery_latencies;
+    t.episode_log <- (p.ep, p.crashed_at, recovered_at) :: t.episode_log;
     p.crashed_at <- 0
   end;
   (match p.kind with
@@ -1931,7 +2001,7 @@ let exec_proc t p =
          | _ -> ())
     end
   done;
-  if p.vtime > t.global_now then t.global_now <- p.vtime
+  bump_now t p.vtime
 
 (* ------------------------------------------------------------------ *)
 (* Main loops                                                          *)
@@ -1966,7 +2036,7 @@ let pump t ~until_quiescent =
       match Osiris_util.Vheap.pop t.heap with
       | None -> continue := false
       | Some (key, _, item) ->
-        if key > t.global_now then t.global_now <- key;
+        bump_now t key;
         (* Virtual-time cutoff: a system that is past the deadline is
            hung (deadlocked processes, spinning readers, or an idle
            timer chain with no forward progress). *)
@@ -2076,30 +2146,79 @@ let handler_counts t ep =
   | Some p -> Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) p.handler_tally []
 
 let recovery_latencies t = t.recovery_latencies
+let crash_times t = t.crash_log
+let recovery_episodes t = t.episode_log
 
 let crashes t = t.n_crashes
 let restarts t = t.n_restarts
 let orphaned_replies t = t.n_orphans
 let messages_delivered t = t.n_delivered
 
+let run_queue_depth t = t.run_items
+
+(* The per-proc readers below use [Hashtbl.find] + exception instead
+   of [proc_of]: [Hashtbl.find_opt] allocates the [Some], and the
+   vtime sampler reads dozens of these per tick under a zero-alloc
+   gate (bench/timeseries_bench.ml). *)
+
 let proc_alive t ep =
-  match proc_of t ep with Some p -> p.alive | None -> false
+  match Hashtbl.find t.procs ep with
+  | p -> p.alive
+  | exception Not_found -> false
 
 let proc_policy_name t ep =
   match proc_of t ep with Some p -> Some p.policy.Policy.name | None -> None
 
 let proc_vtime t ep =
-  match proc_of t ep with Some p -> p.vtime | None -> 0
+  match Hashtbl.find t.procs ep with
+  | p -> p.vtime
+  | exception Not_found -> 0
+
+let inbox_depth t ep =
+  match Hashtbl.find t.procs ep with
+  | p -> Queue.length p.inbox
+  | exception Not_found -> 0
+
+(* Server proc handles: server records are installed once by
+   [add_server] and mutated in place across crash/recovery (only
+   [spawn_user] ever replaces a procs entry), so a handle captured at
+   telemetry registration stays valid for the kernel's lifetime and
+   turns the per-tick inbox/alive reads into direct field loads. *)
+type proc_handle = proc
+
+let server_handle t ep =
+  match Hashtbl.find t.procs ep with
+  | p -> Some p
+  | exception Not_found -> None
+
+let handle_alive (p : proc_handle) = p.alive
+let handle_inbox_depth (p : proc_handle) = Queue.length p.inbox
 
 let slot_cycles t ep slot =
-  match proc_of t ep with
-  | Some p when Array.length p.prof <> 0 -> p.prof.(2 * slot)
-  | _ -> 0
+  match Hashtbl.find t.procs ep with
+  | p -> if Array.length p.prof <> 0 then p.prof.(2 * slot) else 0
+  | exception Not_found -> 0
 
 let slot_events t ep slot =
-  match proc_of t ep with
-  | Some p when Array.length p.prof <> 0 -> p.prof.((2 * slot) + 1)
-  | _ -> 0
+  match Hashtbl.find t.procs ep with
+  | p -> if Array.length p.prof <> 0 then p.prof.((2 * slot) + 1) else 0
+  | exception Not_found -> 0
+
+(* Top-level tail recursion over immediates (like [Histogram.bits]):
+   a local [ref] or closure would allocate, and this runs inside the
+   zero-alloc vtime sampler. *)
+let rec sum_phase_slots prof ph s acc =
+  if s >= n_slots then acc
+  else
+    sum_phase_slots prof ph (s + 1)
+      (if slot_phase s = ph then acc + prof.(2 * s) else acc)
+
+let phase_cycles t ep ph =
+  match Hashtbl.find t.procs ep with
+  | p -> if Array.length p.prof = 0 then 0 else sum_phase_slots p.prof ph 0 0
+  | exception Not_found -> 0
+
+let total_phase_cycles t ph = t.phase_prof.(phase_index ph)
 
 let profiled_procs t =
   Hashtbl.fold
@@ -2107,9 +2226,10 @@ let profiled_procs t =
     t.procs 0
 
 let window_is_open t ep =
-  match proc_of t ep with
-  | Some { window = Some w; _ } -> Window.is_open w
+  match Hashtbl.find t.procs ep with
+  | { window = Some w; _ } -> Window.is_open w
   | _ -> false
+  | exception Not_found -> false
 
 let user_count t = t.n_users
 

@@ -269,6 +269,19 @@ type capture = {
 
 val set_capture : t -> capture option -> unit
 
+val set_vtime_sampler : t -> interval:int -> (int -> unit) option -> unit
+(** Virtual-time sampling hook, the telemetry engine's tap
+    ([lib/obs/timeseries.ml]). The hook fires whenever the global
+    clock crosses a multiple of [interval] virtual cycles, once per
+    boundary crossed, receiving the boundary time — so a run's sample
+    timestamps are the fixed grid [interval, 2*interval, ...],
+    independent of scheduling detail, and two runs of the same seed
+    sample at identical instants. The hook runs on the clock-advance
+    path and must be cheap and allocation-free (gated by
+    [bench/timeseries_bench.ml]); with no sampler installed the
+    clock-advance path pays a single compare. [interval] must be
+    positive when installing; it is ignored when [hook] is [None]. *)
+
 (** {1 Cycle attribution}
 
     Every advance of a process' virtual clock is attributed to exactly
@@ -326,7 +339,23 @@ val enable_cycle_counts : t -> unit
 val slot_cycles : t -> Endpoint.t -> slot -> int
 val slot_events : t -> Endpoint.t -> slot -> int
 (** Counter-row reads; 0 for unknown processes or before
-    {!enable_cycle_counts}. *)
+    {!enable_cycle_counts}. Allocation-free (safe to call from a
+    vtime-sampler hook). *)
+
+val phase_cycles : t -> Endpoint.t -> phase -> int
+(** Cycles the process has spent in the phase so far — the sum of its
+    counter rows over the phase's slots. 0 for unknown processes or
+    before {!enable_cycle_counts}. Allocation-free but O(slots): fine
+    for end-of-run reports, not for per-tick sampling. *)
+
+val total_phase_cycles : t -> phase -> int
+(** Kernel-global cycles attributed to the phase so far, over {e all}
+    processes. Maintained incrementally on the attribution path (two
+    array ops per emission while profiling), so a read is O(1) and
+    allocation-free — this is what the telemetry engine samples per
+    phase every tick. 0 before {!enable_cycle_counts}; unlike summing
+    {!phase_cycles}, the total survives process replacement across
+    restarts. *)
 
 val profiled_procs : t -> int
 (** Number of processes carrying counter rows (allocation accounting
@@ -401,6 +430,17 @@ val recovery_latencies : t -> int list
 (** Virtual-cycle durations of completed recoveries (crash to restart),
     newest first. *)
 
+val crash_times : t -> int list
+(** Virtual instants of every crash observed (including hangs detected
+    and crashes that never recovered), newest first — the raw material
+    of a crash-storm timeline. *)
+
+val recovery_episodes : t -> (Endpoint.t * int * int) list
+(** Completed recovery spans [(ep, crashed_at, recovered_at)], newest
+    first; [recovered_at - crashed_at] is the episode's MTTR and the
+    list zips with {!recovery_latencies}. Crashes that ended in a
+    panic or shutdown never appear here (compare {!crash_times}). *)
+
 val server_endpoints : t -> Endpoint.t list
 (** Registered servers in registration order. *)
 
@@ -412,6 +452,33 @@ val restarts : t -> int
 val orphaned_replies : t -> int
 
 val messages_delivered : t -> int
+
+val run_queue_depth : t -> int
+(** Ready-to-run scheduler items currently in the heap — a load gauge
+    the telemetry engine samples. Allocation-free. *)
+
+val inbox_depth : t -> Endpoint.t -> int
+(** Pending inbox messages for the endpoint (0 for unknown endpoints).
+    Allocation-free. *)
+
+type proc_handle
+(** A stable reference to a {e server} process record. Server records
+    are installed once and mutated in place across crash/recovery, so
+    a handle captured at registration stays valid for the kernel's
+    lifetime. User processes are replaced on respawn — do not hold
+    handles to them. *)
+
+val server_handle : t -> Endpoint.t -> proc_handle option
+(** [None] for unknown endpoints. Capture once (e.g. when registering
+    telemetry sources), then read through the handle. *)
+
+val handle_alive : proc_handle -> bool
+(** Direct field load — the O(1) form of {!proc_alive} the vtime
+    sampler uses per tick. Allocation-free. *)
+
+val handle_inbox_depth : proc_handle -> int
+(** Direct field load — the O(1) form of {!inbox_depth} the vtime
+    sampler uses per tick. Allocation-free. *)
 
 val proc_alive : t -> Endpoint.t -> bool
 

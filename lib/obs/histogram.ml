@@ -68,6 +68,50 @@ let buckets t =
   done;
   !out
 
+let merge_into ~into src =
+  for b = 0 to n_buckets - 1 do
+    into.counts.(b) <- into.counts.(b) + src.counts.(b)
+  done;
+  into.n <- into.n + src.n;
+  into.total <- into.total + src.total;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  if src.min_v < into.min_v then into.min_v <- src.min_v
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let of_buckets ?sum:total_opt ?min_value:min_opt ?max_value:max_opt bs =
+  let t = create () in
+  List.iter
+    (fun (ub, c) ->
+       if c < 0 then invalid_arg "Histogram.of_buckets: negative count";
+       if c > 0 then begin
+         let b = bucket_of ub in
+         t.counts.(b) <- t.counts.(b) + c;
+         t.n <- t.n + c;
+         t.total <- t.total + (c * upper_bound b)
+       end)
+    bs;
+  if t.n > 0 then begin
+    (match total_opt with Some s -> t.total <- s | None -> ());
+    let lo = ref 0 and hi = ref 0 in
+    for b = n_buckets - 1 downto 0 do
+      if t.counts.(b) > 0 then lo := b
+    done;
+    for b = 0 to n_buckets - 1 do
+      if t.counts.(b) > 0 then hi := b
+    done;
+    t.max_v <- (match max_opt with Some v -> v | None -> upper_bound !hi);
+    t.min_v <-
+      (match min_opt with
+       | Some v -> v
+       | None -> if !lo = 0 then 0 else upper_bound (!lo - 1) + 1)
+  end;
+  t
+
 let clear t =
   Array.fill t.counts 0 n_buckets 0;
   t.n <- 0;

@@ -54,4 +54,27 @@ val p99 : t -> float
 val buckets : t -> (int * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
+val merge_into : into:t -> t -> unit
+(** Add [src]'s buckets into [into] elementwise (plus count, sum, and
+    exact min/max combination). Because binning is deterministic per
+    value, the result is {e exactly} the histogram that observing the
+    union stream would have produced — percentiles lose no fidelity to
+    aggregation (QCheck-tested in [test/test_obs.ml]). [src] is not
+    modified; merging a histogram into itself doubles it. *)
+
+val merge : t -> t -> t
+(** Fresh histogram equal to observing both input streams. *)
+
+val of_buckets :
+  ?sum:int -> ?min_value:int -> ?max_value:int -> (int * int) list -> t
+(** Bucket-level constructor, the inverse of {!buckets}:
+    [of_buckets (buckets t)] has identical counts and percentiles to
+    [t]. Each pair is [(bound, count)] where [bound] is any value that
+    bins into the intended bucket ({!buckets} emits the upper bound,
+    which round-trips). Counts must be non-negative; an empty or
+    all-zero list yields an empty histogram (optional fields are then
+    ignored). Without the optional exact [sum]/[min_value]/[max_value]
+    (lost by bucket serialization) they default to per-bucket
+    upper-bound estimates, which bound the true values from above. *)
+
 val clear : t -> unit

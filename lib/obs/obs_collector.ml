@@ -46,7 +46,17 @@ let make_meters m =
     m_rollback_bytes = Metrics.counter m "osiris.rollback_bytes";
     m_restarts = Metrics.counter m "osiris.restarts" }
 
+(* The telemetry engine's summary gauges ([Timeseries.publish]) are
+   pre-registered at collector creation so [Metrics.dump] lists the
+   same deterministically sorted name set whether or not a sampler
+   ran — runs without telemetry report the series as 0. *)
+let preregister_timeline m =
+  List.iter
+    (fun name -> ignore (Metrics.gauge m ("osiris.timeline." ^ name)))
+    [ "interval"; "sources"; "samples"; "retained"; "dropped" ]
+
 let create ?metrics () =
+  (match metrics with None -> () | Some m -> preregister_timeline m);
   { evs = Array.make 1024 dummy_event;
     n = 0;
     registry = metrics;

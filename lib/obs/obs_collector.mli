@@ -13,7 +13,10 @@ val create : ?metrics:Metrics.t -> unit -> t
 (** With [metrics], pre-registers the ["osiris.*"] event series
     (deliveries, replies, window opens/closes, checkpoint cycles,
     logged stores and bytes, kcalls, crashes, hangs, rollbacks and
-    bytes rolled back, restarts) and updates them on every event. *)
+    bytes rolled back, restarts) and updates them on every event. The
+    ["osiris.timeline.*"] summary gauges ([Timeseries.publish]) are
+    pre-registered too, so [Metrics.dump]'s sorted name set does not
+    depend on whether a vtime sampler ran. *)
 
 val record : t -> Kernel.event -> unit
 (** The hook body. *)

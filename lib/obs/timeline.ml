@@ -1,0 +1,320 @@
+type episode = {
+  epi_server : string;
+  epi_crashed_at : int;
+  epi_recovered_at : int;
+  epi_mttr : int;
+}
+
+type t = {
+  tl_interval : int;
+  tl_window : int;
+  tl_times : int array;               (* oldest first *)
+  tl_names : string array;
+  tl_kinds : Timeseries.kind array;
+  tl_values : int array array;        (* per source, oldest first *)
+  tl_dropped : int;
+  tl_episodes : episode list;         (* oldest first *)
+  tl_crashes : int list;              (* oldest first *)
+  tl_lat_count : int array;
+  tl_lat_p50 : int array;
+  tl_lat_p95 : int array;
+  tl_lat_p99 : int array;
+}
+
+(* Nearest-rank percentile over a sorted int slice — all integer, so
+   artifacts carry no platform-dependent float formatting. *)
+let rank_of p n = max 1 (min n ((((p * n) + 99) / 100)))
+
+let pct_sorted a lo len p =
+  if len = 0 then 0 else a.(lo + rank_of p len - 1)
+
+let build ?(latencies = []) ?(window = 8) ?(episodes = []) ?(crash_times = [])
+    series =
+  if window <= 0 then invalid_arg "Timeline.build: window must be positive";
+  let times = Timeseries.times series in
+  let n = Array.length times in
+  let n_src = Timeseries.n_sources series in
+  let names = Array.of_list (Timeseries.source_names series) in
+  let kinds = Array.init n_src (Timeseries.source_kind series) in
+  let values = Array.init n_src (fun s -> Timeseries.values series ~source:s) in
+  (* Latency pairs sorted by completion time; per sample a two-pointer
+     sliding span, then a sorted copy of the span's durations. *)
+  let lat = Array.of_list latencies in
+  Array.sort compare lat;
+  let lat_t = Array.map fst lat and lat_d = Array.map snd lat in
+  let nl = Array.length lat in
+  let iv = Timeseries.interval series in
+  let count = Array.make n 0
+  and p50 = Array.make n 0
+  and p95 = Array.make n 0
+  and p99 = Array.make n 0 in
+  let lo = ref 0 and hi = ref 0 in
+  for i = 0 to n - 1 do
+    let upper = times.(i) in
+    let lower = upper - (window * iv) in
+    while !hi < nl && lat_t.(!hi) <= upper do incr hi done;
+    while !lo < !hi && lat_t.(!lo) <= lower do incr lo done;
+    let len = !hi - !lo in
+    count.(i) <- len;
+    if len > 0 then begin
+      let slice = Array.sub lat_d !lo len in
+      Array.sort compare slice;
+      p50.(i) <- pct_sorted slice 0 len 50;
+      p95.(i) <- pct_sorted slice 0 len 95;
+      p99.(i) <- pct_sorted slice 0 len 99
+    end
+  done;
+  let episodes =
+    List.sort
+      (fun (_, a, _) (_, b, _) -> compare a b)
+      episodes
+    |> List.map (fun (srv, c, r) ->
+           { epi_server = srv;
+             epi_crashed_at = c;
+             epi_recovered_at = r;
+             epi_mttr = r - c })
+  in
+  { tl_interval = iv;
+    tl_window = window;
+    tl_times = times;
+    tl_names = names;
+    tl_kinds = kinds;
+    tl_values = values;
+    tl_dropped = Timeseries.dropped series;
+    tl_episodes = episodes;
+    tl_crashes = List.sort compare crash_times;
+    tl_lat_count = count;
+    tl_lat_p50 = p50;
+    tl_lat_p95 = p95;
+    tl_lat_p99 = p99 }
+
+let of_kernel ?latencies ?window series k =
+  let episodes =
+    List.rev_map
+      (fun (ep, c, r) -> (Endpoint.server_name ep, c, r))
+      (Kernel.recovery_episodes k)
+  in
+  build ?latencies ?window ~episodes ~crash_times:(Kernel.crash_times k) series
+
+let episodes t = t.tl_episodes
+let crash_times t = t.tl_crashes
+
+let mttr_mean t =
+  match t.tl_episodes with
+  | [] -> 0.
+  | es ->
+    let sum = List.fold_left (fun acc e -> acc + e.epi_mttr) 0 es in
+    float_of_int sum /. float_of_int (List.length es)
+
+let windowed_rate t ~source ~window =
+  if window <= 0 then invalid_arg "Timeline.windowed_rate";
+  let v = t.tl_values.(source) in
+  let n = Array.length v in
+  let out = Array.make n 0 in
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    sum := !sum + v.(i);
+    if i >= window then sum := !sum - v.(i - window);
+    out.(i) <- !sum
+  done;
+  out
+
+let latency_counts t = Array.copy t.tl_lat_count
+let latency_p50 t = Array.copy t.tl_lat_p50
+let latency_p95 t = Array.copy t.tl_lat_p95
+let latency_p99 t = Array.copy t.tl_lat_p99
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spark_chars = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(* Downsample to at most [width] points (max over each cell — spikes
+   must survive compression on a dashboard) and min-max normalize into
+   the eight block glyphs. *)
+let sparkline ?(width = 60) v =
+  let n = Array.length v in
+  if n = 0 then ""
+  else begin
+    let pts = min n width in
+    let cell i =
+      let lo = i * n / pts and hi = max (((i + 1) * n / pts) - 1) (i * n / pts) in
+      let m = ref v.(lo) in
+      for j = lo + 1 to hi do
+        if v.(j) > !m then m := v.(j)
+      done;
+      !m
+    in
+    let cells = Array.init pts cell in
+    let mn = Array.fold_left min cells.(0) cells in
+    let mx = Array.fold_left max cells.(0) cells in
+    let b = Buffer.create (pts * 3) in
+    Array.iter
+      (fun x ->
+         let level =
+           if mx = mn then 0
+           else (x - mn) * (Array.length spark_chars - 1) / (mx - mn)
+         in
+         Buffer.add_string b spark_chars.(level))
+      cells;
+    Buffer.contents b
+  end
+
+let arr_min v = Array.fold_left min max_int v
+let arr_max v = Array.fold_left max min_int v
+
+let dashboard ?(color = true) t =
+  let b = Buffer.create 4096 in
+  let dim s = if color then "\x1b[2m" ^ s ^ "\x1b[0m" else s in
+  let bold s = if color then "\x1b[1m" ^ s ^ "\x1b[0m" else s in
+  let n = Array.length t.tl_times in
+  Buffer.add_string b
+    (bold (Printf.sprintf "telemetry: %d samples every %d vcycles%s\n" n
+             t.tl_interval
+             (if t.tl_dropped > 0 then
+                Printf.sprintf " (%d dropped by ring wrap)" t.tl_dropped
+              else "")));
+  let row name v =
+    if n = 0 then ()
+    else
+      Buffer.add_string b
+        (Printf.sprintf "  %-24s %s %s\n" name (sparkline v)
+           (dim
+              (Printf.sprintf "min %d  max %d  last %d" (arr_min v) (arr_max v)
+                 v.(n - 1))))
+  in
+  Array.iteri (fun s nm -> row nm t.tl_values.(s)) t.tl_names;
+  if n > 0 then begin
+    Buffer.add_string b
+      (bold
+         (Printf.sprintf "request latency (sliding %d-sample window)\n"
+            t.tl_window));
+    row "p50" t.tl_lat_p50;
+    row "p95" t.tl_lat_p95;
+    row "p99" t.tl_lat_p99;
+    row "completions" t.tl_lat_count
+  end;
+  Buffer.add_string b
+    (bold
+       (Printf.sprintf "recovery: %d crash(es), %d episode(s)%s\n"
+          (List.length t.tl_crashes)
+          (List.length t.tl_episodes)
+          (if t.tl_episodes = [] then ""
+           else Printf.sprintf ", mean MTTR %.0f vcycles" (mttr_mean t))));
+  List.iter
+    (fun e ->
+       Buffer.add_string b
+         (Printf.sprintf "  %-8s crash @%-10d restart @%-10d mttr %d\n"
+            e.epi_server e.epi_crashed_at e.epi_recovered_at e.epi_mttr))
+    t.tl_episodes;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Artifacts                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "vtime";
+  Array.iter
+    (fun nm ->
+       Buffer.add_char b ',';
+       Buffer.add_string b nm)
+    t.tl_names;
+  Buffer.add_string b ",lat_count,lat_p50,lat_p95,lat_p99\n";
+  Array.iteri
+    (fun i at ->
+       Buffer.add_string b (string_of_int at);
+       Array.iter
+         (fun v ->
+            Buffer.add_char b ',';
+            Buffer.add_string b (string_of_int v.(i)))
+         t.tl_values;
+       Buffer.add_string b
+         (Printf.sprintf ",%d,%d,%d,%d\n" t.tl_lat_count.(i) t.tl_lat_p50.(i)
+            t.tl_lat_p95.(i) t.tl_lat_p99.(i)))
+    t.tl_times;
+  Buffer.contents b
+
+let add_int_array b vals =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i v ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (string_of_int v))
+    vals;
+  Buffer.add_char b ']'
+
+let kind_to_string = function
+  | Timeseries.Gauge -> "gauge"
+  | Timeseries.Delta -> "delta"
+
+let to_json t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"interval\":";
+  Buffer.add_string b (string_of_int t.tl_interval);
+  Buffer.add_string b ",\"window\":";
+  Buffer.add_string b (string_of_int t.tl_window);
+  Buffer.add_string b ",\"dropped\":";
+  Buffer.add_string b (string_of_int t.tl_dropped);
+  Buffer.add_string b ",\"times\":";
+  add_int_array b t.tl_times;
+  Buffer.add_string b ",\"series\":[";
+  Array.iteri
+    (fun s nm ->
+       if s > 0 then Buffer.add_char b ',';
+       Buffer.add_string b "{\"name\":";
+       Buffer.add_string b (Chrome_trace.escaped nm);
+       Buffer.add_string b ",\"kind\":\"";
+       Buffer.add_string b (kind_to_string t.tl_kinds.(s));
+       Buffer.add_string b "\",\"values\":";
+       add_int_array b t.tl_values.(s);
+       Buffer.add_char b '}')
+    t.tl_names;
+  Buffer.add_string b "],\"latency\":{\"count\":";
+  add_int_array b t.tl_lat_count;
+  Buffer.add_string b ",\"p50\":";
+  add_int_array b t.tl_lat_p50;
+  Buffer.add_string b ",\"p95\":";
+  add_int_array b t.tl_lat_p95;
+  Buffer.add_string b ",\"p99\":";
+  add_int_array b t.tl_lat_p99;
+  Buffer.add_string b "},\"episodes\":[";
+  List.iteri
+    (fun i e ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b "{\"server\":";
+       Buffer.add_string b (Chrome_trace.escaped e.epi_server);
+       Buffer.add_string b
+         (Printf.sprintf ",\"crashed_at\":%d,\"recovered_at\":%d,\"mttr\":%d}"
+            e.epi_crashed_at e.epi_recovered_at e.epi_mttr))
+    t.tl_episodes;
+  Buffer.add_string b "],\"crash_times\":";
+  add_int_array b (Array.of_list t.tl_crashes);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let counter_samples t =
+  let out = ref [] in
+  let n = Array.length t.tl_times in
+  for i = n - 1 downto 0 do
+    let ts = t.tl_times.(i) in
+    out :=
+      { Chrome_trace.cs_track = "latency";
+        cs_ts = ts;
+        cs_values =
+          [ ("p50", t.tl_lat_p50.(i)); ("p95", t.tl_lat_p95.(i));
+            ("p99", t.tl_lat_p99.(i)) ] }
+      :: !out;
+    for s = Array.length t.tl_names - 1 downto 0 do
+      out :=
+        { Chrome_trace.cs_track = t.tl_names.(s);
+          cs_ts = ts;
+          cs_values = [ ("value", t.tl_values.(s).(i)) ] }
+        :: !out
+    done
+  done;
+  !out

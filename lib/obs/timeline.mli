@@ -1,0 +1,89 @@
+(** Derived timelines over {!Timeseries} samples.
+
+    Where [Timeseries] records raw per-tick values, this module turns
+    them into the time-resolved quantities the evaluation needs:
+    windowed rates, sliding request-latency percentiles, and recovery
+    {e episodes} — crash → rollback → restart spans with a per-episode
+    MTTR — and renders the result three ways: an ANSI sparkline
+    dashboard, deterministic CSV/JSON artifacts, and Perfetto counter
+    tracks ([Chrome_trace.counter_sample]).
+
+    Everything here is computed once, off the sampling hot path, from
+    a finished (or paused) run. All artifact numbers are integers
+    computed by nearest-rank on exact samples — no float formatting —
+    so artifacts are byte-stable across platforms. *)
+
+type episode = {
+  epi_server : string;      (** Crashed compartment. *)
+  epi_crashed_at : int;     (** Virtual instant of the crash. *)
+  epi_recovered_at : int;   (** Virtual instant of the restart. *)
+  epi_mttr : int;           (** [recovered_at - crashed_at]. *)
+}
+
+type t
+
+val build :
+  ?latencies:(int * int) list ->
+  ?window:int ->
+  ?episodes:(string * int * int) list ->
+  ?crash_times:int list ->
+  Timeseries.t -> t
+(** [latencies] are [(completion vtime, duration)] pairs of finished
+    requests (e.g. from [Span.build] roots), in any order; the sliding
+    p50/p95/p99 series at sample [i] summarize requests completing in
+    the last [window] sample intervals (default 8) ending at sample
+    [i]'s instant. [episodes] are [(server, crashed_at, recovered_at)]
+    spans and [crash_times] raw crash instants, both in any order —
+    normally from {!of_kernel}. *)
+
+val of_kernel :
+  ?latencies:(int * int) list -> ?window:int ->
+  Timeseries.t -> Kernel.t -> t
+(** {!build} with episodes and crash instants read from the kernel
+    ([Kernel.recovery_episodes] / [Kernel.crash_times]). *)
+
+(** {1 Reading} *)
+
+val episodes : t -> episode list
+(** Oldest first. *)
+
+val crash_times : t -> int list
+(** Oldest first — includes crashes that never recovered. *)
+
+val mttr_mean : t -> float
+(** Mean episode MTTR in virtual cycles; 0. with no episodes. *)
+
+val windowed_rate : t -> source:int -> window:int -> int array
+(** Moving sum of a series over [window] samples, one value per
+    retained sample (partial windows at the start sum what exists).
+    For a [Delta] series this is the event count per
+    [window * interval] virtual cycles — the windowed rate. *)
+
+val latency_counts : t -> int array
+(** Requests completing within each sample's sliding window. *)
+
+val latency_p50 : t -> int array
+val latency_p95 : t -> int array
+val latency_p99 : t -> int array
+(** Nearest-rank percentiles of the sliding window's latencies, 0
+    where the window is empty. *)
+
+(** {1 Rendering} *)
+
+val dashboard : ?color:bool -> t -> string
+(** ANSI sparkline dashboard: one row per series (min/max/last and a
+    sparkline of the retained samples), the sliding latency
+    percentiles, and the recovery episodes with their MTTRs. [color]
+    (default true) adds ANSI SGR codes; pass false for logs. *)
+
+val to_csv : t -> string
+(** The raw series plus the latency columns, one row per sample. *)
+
+val to_json : t -> string
+(** Deterministic artifact: raw series, latency series, episodes and
+    crash instants in one object (fixed field order, ints only). *)
+
+val counter_samples : t -> Chrome_trace.counter_sample list
+(** One Perfetto counter track per series (track = series name) plus a
+    ["latency"] track carrying p50/p95/p99 — feed to
+    [Chrome_trace.of_spans ~counters]. *)

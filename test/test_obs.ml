@@ -448,6 +448,113 @@ let test_histogram_percentile_edges () =
   Alcotest.(check (float 1e-9)) "negative p50 is the bucket-0 bound" 0.
     (Histogram.p50 h3)
 
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 1; 2; 3; 100 ];
+  List.iter (Histogram.observe b) [ 5; 7; 9000 ];
+  let m = Histogram.merge a b in
+  (* inputs untouched *)
+  Alcotest.(check int) "left input unchanged" 4 (Histogram.count a);
+  Alcotest.(check int) "right input unchanged" 3 (Histogram.count b);
+  (* the merge is exactly the union stream *)
+  let u = Histogram.create () in
+  List.iter (Histogram.observe u) [ 1; 2; 3; 100; 5; 7; 9000 ];
+  Alcotest.(check int) "count" (Histogram.count u) (Histogram.count m);
+  Alcotest.(check int) "sum" (Histogram.sum u) (Histogram.sum m);
+  Alcotest.(check int) "min" (Histogram.min_value u) (Histogram.min_value m);
+  Alcotest.(check int) "max" (Histogram.max_value u) (Histogram.max_value m);
+  Alcotest.(check (list (pair int int))) "buckets"
+    (Histogram.buckets u) (Histogram.buckets m);
+  List.iter
+    (fun p ->
+       Alcotest.(check (float 1e-9)) (Printf.sprintf "p%g" p)
+         (Histogram.percentile u p) (Histogram.percentile m p))
+    [ 0.; 50.; 95.; 99.; 100. ];
+  (* merging the empty histogram is the identity *)
+  let id = Histogram.merge a (Histogram.create ()) in
+  Alcotest.(check (list (pair int int))) "merge with empty = copy"
+    (Histogram.buckets a) (Histogram.buckets id);
+  Alcotest.(check int) "identity min" (Histogram.min_value a)
+    (Histogram.min_value id);
+  (* merge_into mutates only [into]; self-merge doubles *)
+  Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "merge_into accumulates" 7 (Histogram.count a);
+  Alcotest.(check int) "merge_into src untouched" 3 (Histogram.count b);
+  let d = Histogram.create () in
+  Histogram.observe d 9;
+  Histogram.merge_into ~into:d d;
+  Alcotest.(check int) "self-merge doubles count" 2 (Histogram.count d);
+  Alcotest.(check int) "self-merge doubles sum" 18 (Histogram.sum d)
+
+let test_histogram_of_buckets () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 1; 2; 3; 100; -4 ];
+  (* full round trip with the exact fields supplied *)
+  let r =
+    Histogram.of_buckets ~sum:(Histogram.sum h)
+      ~min_value:(Histogram.min_value h) ~max_value:(Histogram.max_value h)
+      (Histogram.buckets h)
+  in
+  Alcotest.(check (list (pair int int))) "buckets round-trip"
+    (Histogram.buckets h) (Histogram.buckets r);
+  Alcotest.(check int) "count round-trips" (Histogram.count h)
+    (Histogram.count r);
+  Alcotest.(check int) "sum round-trips" (Histogram.sum h) (Histogram.sum r);
+  Alcotest.(check int) "min round-trips" (Histogram.min_value h)
+    (Histogram.min_value r);
+  Alcotest.(check int) "max round-trips" (Histogram.max_value h)
+    (Histogram.max_value r);
+  List.iter
+    (fun p ->
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "p%g round-trips" p)
+         (Histogram.percentile h p) (Histogram.percentile r p))
+    [ 0.; 50.; 95.; 99.; 100. ];
+  (* without the optional exacts, estimates bound the truth from above *)
+  let e = Histogram.of_buckets (Histogram.buckets h) in
+  Alcotest.(check (list (pair int int))) "buckets alone still round-trip"
+    (Histogram.buckets h) (Histogram.buckets e);
+  Alcotest.(check bool) "estimated sum bounds from above" true
+    (Histogram.sum e >= Histogram.sum h);
+  Alcotest.(check bool) "estimated max bounds from above" true
+    (Histogram.max_value e >= Histogram.max_value h);
+  (* degenerate inputs *)
+  Alcotest.(check int) "empty list -> empty histogram" 0
+    (Histogram.count (Histogram.of_buckets []));
+  Alcotest.(check int) "all-zero counts -> empty histogram" 0
+    (Histogram.count (Histogram.of_buckets [ (1, 0); (7, 0) ]));
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Histogram.of_buckets: negative count")
+    (fun () -> ignore (Histogram.of_buckets [ (1, -2) ]))
+
+let prop_histogram_merge_matches_union =
+  QCheck.Test.make
+    ~name:"Histogram.merge percentiles match observing the union stream"
+    ~count:100
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (xs, ys) ->
+       let observe_all vs =
+         let h = Histogram.create () in
+         List.iter (Histogram.observe h) vs;
+         h
+       in
+       let m = Histogram.merge (observe_all xs) (observe_all ys) in
+       let u = observe_all (xs @ ys) in
+       Histogram.count m = Histogram.count u
+       && Histogram.sum m = Histogram.sum u
+       && Histogram.min_value m = Histogram.min_value u
+       && Histogram.max_value m = Histogram.max_value u
+       && Histogram.buckets m = Histogram.buckets u
+       && List.for_all
+            (fun p -> Histogram.percentile m p = Histogram.percentile u p)
+            [ 0.; 25.; 50.; 75.; 90.; 95.; 99.; 100. ]
+       (* bucket serialization of the merge also round-trips *)
+       && Histogram.buckets
+            (Histogram.of_buckets ~sum:(Histogram.sum m)
+               ~min_value:(Histogram.min_value m)
+               ~max_value:(Histogram.max_value m) (Histogram.buckets m))
+          = Histogram.buckets u)
+
 let test_metrics_registry () =
   let m = Metrics.create () in
   let c = Metrics.counter m "a.count" in
@@ -499,6 +606,120 @@ let test_collector_metrics_agree () =
   Alcotest.(check bool) "rollback bytes surfaced" true
     (counter "osiris.rollback_bytes" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Interleaved observers: tracer + collector + vtime sampler together  *)
+(* ------------------------------------------------------------------ *)
+
+let test_observers_interleaved () =
+  (* One run with every observer attached at once: a tracer and a
+     collector composed into the event hook, and a vtime-sampled
+     timeseries through [System.build ~telemetry]. Each must see the
+     complete picture, and the sampler must not disturb the others. *)
+  let metrics = Metrics.create () in
+  let collector = Obs_collector.create ~metrics () in
+  let tracer = Tracer.create ~capacity:65536 () in
+  let interval = 1024 in
+  let ts = Timeseries.create ~interval ~capacity:4096 () in
+  let sys =
+    System.build
+      ~event_hook:(fun e ->
+        Tracer.record tracer e;
+        Obs_collector.record collector e)
+      ~telemetry:ts
+      (Sysconf.uniform Policy.enhanced)
+  in
+  let kernel = System.kernel sys in
+  let armed = ref true in
+  Kernel.set_fault_hook kernel
+    (Some
+       (fun site ->
+          if !armed
+             && site.Kernel.site_ep = Endpoint.ds
+             && site.Kernel.site_kind = Kernel.Op_reply
+             && Kernel.window_is_open kernel Endpoint.ds
+          then begin
+            armed := false;
+            Some (Kernel.F_crash "test crash")
+          end
+          else None));
+  let halt = System.run sys ~root:Workgen.quickstart in
+  Alcotest.(check bool) "run completed" true
+    (match halt with Kernel.H_completed _ -> true | _ -> false);
+  (* both event observers saw the identical stream *)
+  Alcotest.(check int) "tracer and collector fed equally"
+    (Obs_collector.count collector) (Tracer.recorded tracer);
+  Alcotest.(check bool) "events recorded" true
+    (Obs_collector.count collector > 0);
+  (* the sampler ran on the fixed vtime grid, nothing dropped *)
+  let n = Timeseries.samples_taken ts in
+  Alcotest.(check bool) "samples taken" true (n > 0);
+  Alcotest.(check int) "ring held every sample" 0 (Timeseries.dropped ts);
+  let times = Timeseries.times ts in
+  Array.iteri
+    (fun i at ->
+       if at <> (i + 1) * interval then
+         Alcotest.failf "sample %d stamped %d, expected the grid %d" i at
+           ((i + 1) * interval))
+    times;
+  (* the standard kernel source set is registered and coherent *)
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) ("source " ^ name) true
+         (Timeseries.index_of ts name <> None))
+    [ "kernel.ops"; "kernel.delivered"; "kernel.crashes"; "kernel.restarts";
+      "kernel.runq"; "srv.ds.inbox"; "srv.ds.alive"; "phase.user.cycles" ];
+  let series name =
+    match Timeseries.index_of ts name with
+    | Some source -> Timeseries.values ts ~source
+    | None -> Alcotest.fail ("missing source " ^ name)
+  in
+  let sum a = Array.fold_left ( + ) 0 a in
+  (* delta series resum to the lifetime counter at the last boundary *)
+  let last_t = times.(Array.length times - 1) in
+  Alcotest.(check int) "crash deltas resum to crashes before last sample"
+    (List.length
+       (List.filter (fun t -> t <= last_t) (Kernel.crash_times kernel)))
+    (sum (series "kernel.crashes"));
+  Alcotest.(check bool) "op deltas accumulate" true
+    (sum (series "kernel.ops") > 0
+     && sum (series "kernel.ops") <= Kernel.total_ops kernel);
+  (* the telemetry build enabled cycle counts: phases carry data *)
+  Alcotest.(check bool) "phase series carry cycles" true
+    (List.exists
+       (fun ph ->
+          sum (series ("phase." ^ Kernel.phase_to_string ph ^ ".cycles")) > 0)
+       Kernel.all_phases);
+  Array.iter
+    (fun v ->
+       if v <> 0 && v <> 1 then Alcotest.failf "alive sample %d not 0/1" v)
+    (series "srv.ds.alive");
+  (* the collector still agrees with the kernel despite the sampler *)
+  let crash_events =
+    List.length
+      (List.filter
+         (function Kernel.E_crash _ -> true | _ -> false)
+         (Obs_collector.events collector))
+  in
+  Alcotest.(check int) "collector crash count matches kernel" crash_events
+    (Kernel.crashes kernel);
+  (* osiris.timeline.* are pre-registered: publish adds no new names,
+     so the sorted dump is layout-stable with or without telemetry *)
+  let names () = List.map fst (Metrics.dump metrics) in
+  let before = names () in
+  List.iter
+    (fun g ->
+       Alcotest.(check bool) (g ^ " pre-registered") true
+         (List.mem g before))
+    [ "osiris.timeline.interval"; "osiris.timeline.sources";
+      "osiris.timeline.samples"; "osiris.timeline.retained";
+      "osiris.timeline.dropped" ];
+  Timeseries.publish ts metrics;
+  Alcotest.(check (list string)) "publish adds no names" before (names ());
+  (match Metrics.find metrics "osiris.timeline.samples" with
+   | Some (Metrics.V_gauge v) ->
+     Alcotest.(check int) "published sample count" n v
+   | _ -> Alcotest.fail "osiris.timeline.samples is not a gauge")
+
 let test_report_renders () =
   let sys, collector, metrics, _halt = run_with_crash () in
   Obs_collector.snapshot_server_stats metrics (System.kernel sys);
@@ -538,7 +759,13 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "histogram percentile edges" `Quick
             test_histogram_percentile_edges;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "histogram of_buckets" `Quick
+            test_histogram_of_buckets;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_matches_union;
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "collector series" `Quick
             test_collector_metrics_agree;
+          Alcotest.test_case "interleaved observers" `Quick
+            test_observers_interleaved;
           Alcotest.test_case "report" `Quick test_report_renders ] ) ]

@@ -174,6 +174,55 @@ let prop_matrix_jobs_invariant =
        in
        List.map row_to_tuple seq = List.map row_to_tuple par)
 
+let prop_rollup_artifact_jobs_invariant =
+  (* The telemetry rollup extends the Determinator contract to the
+     campaign artifact: the serialized rollup (sans the optional pool
+     section) must be byte-identical at any worker count and across
+     re-runs of the same seed. *)
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, sample) -> Printf.sprintf "seed=%d sample=%d" seed sample)
+      QCheck.Gen.(pair (int_range 1 1000) (int_range 2 4))
+  in
+  QCheck.Test.make ~name:"rollup artifact byte-identical across jobs" ~count:4
+    arb
+    (fun (seed, sample) ->
+       let artifact jobs =
+         let rows, ro =
+           Campaign.survivability_matrix_rollup ~seed ~sample ~jobs
+             Edfi.Fail_stop specs_pool
+         in
+         (List.map row_to_tuple rows, Campaign.rollup_to_json ro)
+       in
+       let rows1, a1 = artifact 1 in
+       let rows2, a2 = artifact 2 in
+       let rows4, a4 = artifact 4 in
+       let _, again = artifact 4 in
+       rows1 = rows2 && rows1 = rows4
+       && String.equal a1 a2 && String.equal a1 a4
+       && String.equal a4 again)
+
+let test_rollup_rows_match_plain_matrix () =
+  (* the rollup variant must not perturb the rows the plain matrix
+     reports for the same arguments *)
+  let plain =
+    Campaign.survivability_matrix ~seed:42 ~sample:3 ~jobs:2 Edfi.Fail_stop
+      specs_pool
+  in
+  let rows, ro =
+    Campaign.survivability_matrix_rollup ~seed:42 ~sample:3 ~jobs:2
+      Edfi.Fail_stop specs_pool
+  in
+  Alcotest.(check bool) "rows identical" true
+    (List.map row_to_tuple plain = List.map row_to_tuple rows);
+  Alcotest.(check int) "rollup counts every run"
+    (List.fold_left (fun acc r -> acc + r.Campaign.runs) 0 plain)
+    ro.Campaign.ro_runs;
+  Alcotest.(check int) "outcome split resums"
+    ro.Campaign.ro_runs
+    (ro.Campaign.ro_pass + ro.Campaign.ro_fail + ro.Campaign.ro_shutdown
+     + ro.Campaign.ro_crash)
+
 let test_multi_jobs_invariant () =
   let seq =
     Campaign.survivability_multi ~seed:42 ~sample:6 ~jobs:1 ~k:2
@@ -211,5 +260,8 @@ let () =
             test_concurrent_runs_no_interference ] );
       ( "determinism",
         [ QCheck_alcotest.to_alcotest prop_matrix_jobs_invariant;
+          QCheck_alcotest.to_alcotest prop_rollup_artifact_jobs_invariant;
+          Alcotest.test_case "rollup rows match plain matrix" `Slow
+            test_rollup_rows_match_plain_matrix;
           Alcotest.test_case "multi-fault jobs invariant" `Slow
             test_multi_jobs_invariant ] ) ]

@@ -1,0 +1,487 @@
+(* Tests for the virtual-clock telemetry engine: Timeseries ring/delta
+   semantics driven by hand, grid determinism against real kernels, and
+   the Timeline derivations (windowed rates, sliding latency
+   percentiles, recovery episodes) with their three renderings. The
+   JSON artifacts are validated with the same small structural parser
+   test_obs uses — no JSON library in the tree. *)
+
+(* ------------------------------------------------------------------ *)
+(* Structural JSON parser (same shape as in test_obs.ml)               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true
+                                        | _ -> false)
+      then (advance (); skip_ws ())
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then
+        raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance (); Buffer.contents b
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'u' -> Buffer.add_string b "\\u"
+           | c -> Buffer.add_char b c);
+          advance (); go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let rec go () =
+        if !pos < n
+           && (match s.[!pos] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false)
+        then (advance (); go ())
+      in
+      go ();
+      if start = !pos then raise (Bad "empty number");
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance (); skip_ws ();
+        if peek () = '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); skip_ws (); members ((key, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+          in
+          members []
+      | '[' ->
+        advance (); skip_ws ();
+        if peek () = ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements (v :: acc)
+            | ']' -> advance (); List (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+          in
+          elements []
+      | '"' -> Str (parse_string ())
+      | 't' -> pos := !pos + 4; Bool true
+      | 'f' -> pos := !pos + 5; Bool false
+      | 'n' -> pos := !pos + 4; Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let mem key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+
+  let ints = function
+    | Some (List l) ->
+      List.map (function Num f -> int_of_float f | _ -> failwith "not int") l
+    | _ -> failwith "not an int array"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries: hand-driven ring and kind semantics                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_delta_and_gauge_semantics () =
+  let ts = Timeseries.create ~interval:10 ~capacity:8 () in
+  let level = ref 0 and cum = ref 0 in
+  Timeseries.add_source ts ~name:"level" ~kind:Timeseries.Gauge
+    (fun () -> !level);
+  Timeseries.add_source ts ~name:"events" ~kind:Timeseries.Delta
+    (fun () -> !cum);
+  (* three ticks; the first delta counts from registration (zero) *)
+  level := 4; cum := 5;
+  Timeseries.sample ts 10;
+  level := 2; cum := 8;
+  Timeseries.sample ts 20;
+  level := 9; cum := 8;
+  Timeseries.sample ts 30;
+  Alcotest.(check int) "sources" 2 (Timeseries.n_sources ts);
+  Alcotest.(check (list string)) "registration order"
+    [ "level"; "events" ] (Timeseries.source_names ts);
+  Alcotest.(check int) "samples" 3 (Timeseries.samples_taken ts);
+  Alcotest.(check int) "retained" 3 (Timeseries.retained ts);
+  Alcotest.(check int) "dropped" 0 (Timeseries.dropped ts);
+  Alcotest.(check (array int)) "timestamps" [| 10; 20; 30 |]
+    (Timeseries.times ts);
+  Alcotest.(check (array int)) "gauge keeps raw reads" [| 4; 2; 9 |]
+    (Timeseries.values ts ~source:0);
+  Alcotest.(check (array int)) "delta diffs successive reads" [| 5; 3; 0 |]
+    (Timeseries.values ts ~source:1);
+  Alcotest.(check int) "value_at agrees" 3
+    (Timeseries.value_at ts ~source:1 1);
+  Alcotest.(check int) "time_at agrees" 20 (Timeseries.time_at ts 1);
+  (match Timeseries.index_of ts "events" with
+   | Some 1 -> ()
+   | _ -> Alcotest.fail "index_of missed a registered source");
+  Alcotest.(check bool) "index_of misses unknown" true
+    (Timeseries.index_of ts "nope" = None);
+  Alcotest.(check bool) "kinds preserved" true
+    (Timeseries.source_kind ts 0 = Timeseries.Gauge
+     && Timeseries.source_kind ts 1 = Timeseries.Delta)
+
+let test_ring_wraparound () =
+  (* capacity rounds up to a power of two (3 -> 4); ten samples keep
+     the newest four, oldest first *)
+  let ts = Timeseries.create ~interval:10 ~capacity:3 () in
+  Alcotest.(check int) "capacity rounded to power of two" 4
+    (Timeseries.capacity ts);
+  let k = ref 0 in
+  Timeseries.add_source ts ~name:"k" ~kind:Timeseries.Gauge (fun () -> !k);
+  for i = 1 to 10 do
+    k := i * 100;
+    Timeseries.sample ts (i * 10)
+  done;
+  Alcotest.(check int) "samples counts overwritten ticks" 10
+    (Timeseries.samples_taken ts);
+  Alcotest.(check int) "retained clamps to capacity" 4
+    (Timeseries.retained ts);
+  Alcotest.(check int) "dropped" 6 (Timeseries.dropped ts);
+  Alcotest.(check (array int)) "newest window, oldest first"
+    [| 70; 80; 90; 100 |] (Timeseries.times ts);
+  Alcotest.(check (array int)) "values follow the window"
+    [| 700; 800; 900; 1000 |] (Timeseries.values ts ~source:0)
+
+let test_registration_guards () =
+  Alcotest.check_raises "interval must be positive"
+    (Invalid_argument "Timeseries.create: interval must be positive")
+    (fun () -> ignore (Timeseries.create ~interval:0 ()));
+  let ts = Timeseries.create ~interval:10 ~capacity:4 () in
+  Timeseries.add_source ts ~name:"x" ~kind:Timeseries.Gauge (fun () -> 0);
+  Alcotest.check_raises "duplicate name refused"
+    (Invalid_argument "Timeseries.add_source: duplicate source x")
+    (fun () ->
+       Timeseries.add_source ts ~name:"x" ~kind:Timeseries.Delta (fun () -> 0));
+  Timeseries.sample ts 10;
+  Alcotest.check_raises "registration frozen after first sample"
+    (Invalid_argument
+       "Timeseries.add_source: source set is frozen (already sampling)")
+    (fun () ->
+       Timeseries.add_source ts ~name:"y" ~kind:Timeseries.Gauge (fun () -> 0));
+  Alcotest.check_raises "value_at rejects unknown source"
+    (Invalid_argument "Timeseries.value_at: unknown source")
+    (fun () -> ignore (Timeseries.value_at ts ~source:7 0));
+  Alcotest.check_raises "value_at rejects bad index"
+    (Invalid_argument "Timeseries.value_at")
+    (fun () -> ignore (Timeseries.value_at ts ~source:0 3))
+
+let test_timeseries_artifacts () =
+  let ts = Timeseries.create ~interval:10 ~capacity:4 () in
+  let v = ref 0 in
+  Timeseries.add_source ts ~name:"a" ~kind:Timeseries.Gauge (fun () -> !v);
+  Timeseries.add_source ts ~name:"b" ~kind:Timeseries.Delta (fun () -> !v);
+  v := 3; Timeseries.sample ts 10;
+  v := 7; Timeseries.sample ts 20;
+  let csv = Timeseries.to_csv ts in
+  Alcotest.(check (list string)) "csv rows"
+    [ "vtime,a,b"; "10,3,3"; "20,7,4" ]
+    (String.split_on_char '\n' (String.trim csv));
+  let root =
+    try Json.parse (Timeseries.to_json ts)
+    with Json.Bad m -> Alcotest.fail ("to_json invalid: " ^ m)
+  in
+  Alcotest.(check (list int)) "json times" [ 10; 20 ]
+    (Json.ints (Json.mem "times" root));
+  (match Json.mem "series" root with
+   | Some (Json.List [ sa; sb ]) ->
+     Alcotest.(check bool) "series a" true
+       (Json.mem "name" sa = Some (Json.Str "a")
+        && Json.mem "kind" sa = Some (Json.Str "gauge"));
+     Alcotest.(check (list int)) "series a values" [ 3; 7 ]
+       (Json.ints (Json.mem "values" sa));
+     Alcotest.(check bool) "series b" true
+       (Json.mem "name" sb = Some (Json.Str "b")
+        && Json.mem "kind" sb = Some (Json.Str "delta"));
+     Alcotest.(check (list int)) "series b values" [ 3; 4 ]
+       (Json.ints (Json.mem "values" sb))
+   | _ -> Alcotest.fail "series array missing");
+  List.iter
+    (fun (key, expected) ->
+       match Json.mem key root with
+       | Some (Json.Num f) ->
+         Alcotest.(check int) ("json " ^ key) expected (int_of_float f)
+       | _ -> Alcotest.fail ("missing " ^ key))
+    [ ("interval", 10); ("samples", 2); ("retained", 2); ("dropped", 0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Grid determinism against real kernels                               *)
+(* ------------------------------------------------------------------ *)
+
+let telemetered_run ?(seed = 42) () =
+  let ts = Timeseries.create ~interval:1024 ~capacity:4096 () in
+  let sys = System.build ~seed ~telemetry:ts (Sysconf.uniform Policy.enhanced) in
+  let halt = System.run sys ~root:(Workgen.generate ~seed ()) in
+  Alcotest.(check bool) "run completed" true
+    (match halt with Kernel.H_completed _ -> true | _ -> false);
+  (ts, sys)
+
+let test_sampler_grid_deterministic () =
+  let ts1, _ = telemetered_run () in
+  let ts2, _ = telemetered_run () in
+  Alcotest.(check bool) "samples taken" true
+    (Timeseries.samples_taken ts1 > 0);
+  (* the grid: consecutive multiples of the interval, nothing skipped *)
+  Array.iteri
+    (fun i at ->
+       if at <> (i + 1) * Timeseries.interval ts1 then
+         Alcotest.failf "sample %d off-grid at %d" i at)
+    (Timeseries.times ts1);
+  (* byte-identical artifact across identical runs *)
+  Alcotest.(check string) "telemetry artifact reproducible"
+    (Timeseries.to_json ts1) (Timeseries.to_json ts2);
+  Alcotest.(check string) "csv reproducible too"
+    (Timeseries.to_csv ts1) (Timeseries.to_csv ts2)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline derivations                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-driven series: one delta source with known per-tick values. *)
+let driven_series ?(interval = 10) values =
+  let ts = Timeseries.create ~interval ~capacity:64 () in
+  let cum = ref 0 in
+  Timeseries.add_source ts ~name:"events" ~kind:Timeseries.Delta
+    (fun () -> !cum);
+  List.iteri
+    (fun i d ->
+       cum := !cum + d;
+       Timeseries.sample ts ((i + 1) * interval))
+    values;
+  ts
+
+let test_windowed_rate () =
+  let tl = Timeline.build (driven_series [ 1; 2; 3; 4; 5 ]) in
+  Alcotest.(check (array int)) "window 2 moving sum, partial at start"
+    [| 1; 3; 5; 7; 9 |]
+    (Timeline.windowed_rate tl ~source:0 ~window:2);
+  Alcotest.(check (array int)) "window larger than series sums everything"
+    [| 1; 3; 6; 10; 15 |]
+    (Timeline.windowed_rate tl ~source:0 ~window:100);
+  Alcotest.check_raises "window must be positive"
+    (Invalid_argument "Timeline.windowed_rate")
+    (fun () -> ignore (Timeline.windowed_rate tl ~source:0 ~window:0))
+
+let test_latency_percentiles () =
+  (* window:1 -> at sample time T the window is (T-interval, T] *)
+  let tl =
+    Timeline.build ~window:1
+      ~latencies:[ (25, 300); (15, 200); (15, 100) ]
+      (driven_series [ 0; 0; 0; 0 ])
+  in
+  Alcotest.(check (array int)) "counts per window" [| 0; 2; 1; 0 |]
+    (Timeline.latency_counts tl);
+  (* nearest-rank on the exact samples: {100,200} -> p50 100, p95 200 *)
+  Alcotest.(check (array int)) "p50 series" [| 0; 100; 300; 0 |]
+    (Timeline.latency_p50 tl);
+  Alcotest.(check (array int)) "p95 series" [| 0; 200; 300; 0 |]
+    (Timeline.latency_p95 tl);
+  Alcotest.(check (array int)) "p99 series" [| 0; 200; 300; 0 |]
+    (Timeline.latency_p99 tl)
+
+let test_episodes_and_mttr () =
+  let tl =
+    Timeline.build
+      ~episodes:[ ("ds", 100, 150); ("vfs", 50, 90) ]
+      ~crash_times:[ 100; 50; 200 ]
+      (driven_series [ 1; 1 ])
+  in
+  (match Timeline.episodes tl with
+   | [ e1; e2 ] ->
+     Alcotest.(check string) "oldest crash first" "vfs" e1.Timeline.epi_server;
+     Alcotest.(check int) "mttr derived" 40 e1.Timeline.epi_mttr;
+     Alcotest.(check string) "then ds" "ds" e2.Timeline.epi_server;
+     Alcotest.(check int) "ds mttr" 50 e2.Timeline.epi_mttr
+   | es -> Alcotest.failf "expected 2 episodes, got %d" (List.length es));
+  Alcotest.(check (float 1e-9)) "mean mttr" 45. (Timeline.mttr_mean tl);
+  Alcotest.(check (list int)) "crash instants sorted" [ 50; 100; 200 ]
+    (Timeline.crash_times tl);
+  Alcotest.(check (float 1e-9)) "no episodes -> zero mttr" 0.
+    (Timeline.mttr_mean (Timeline.build (driven_series [ 1 ])))
+
+let test_of_kernel_episodes () =
+  (* crash one server for real and read the episode back *)
+  let ts = Timeseries.create ~interval:1024 ~capacity:4096 () in
+  let sys =
+    System.build ~seed:42 ~telemetry:ts (Sysconf.uniform Policy.enhanced)
+  in
+  let kernel = System.kernel sys in
+  let armed = ref true in
+  Kernel.set_fault_hook kernel
+    (Some
+       (fun site ->
+          if !armed
+             && site.Kernel.site_ep = Endpoint.ds
+             && site.Kernel.site_kind = Kernel.Op_reply
+             && Kernel.window_is_open kernel Endpoint.ds
+          then begin
+            armed := false;
+            Some (Kernel.F_crash "test crash")
+          end
+          else None));
+  let (_ : Kernel.halt) = System.run sys ~root:Workgen.quickstart in
+  let tl = Timeline.of_kernel ts kernel in
+  let kernel_episodes = Kernel.recovery_episodes kernel in
+  Alcotest.(check bool) "kernel recorded an episode" true
+    (kernel_episodes <> []);
+  Alcotest.(check int) "every kernel episode surfaced"
+    (List.length kernel_episodes)
+    (List.length (Timeline.episodes tl));
+  List.iter
+    (fun e ->
+       Alcotest.(check string) "crashed server" "ds" e.Timeline.epi_server;
+       Alcotest.(check bool) "positive mttr" true (e.Timeline.epi_mttr > 0);
+       Alcotest.(check int) "mttr consistent" e.Timeline.epi_mttr
+         (e.Timeline.epi_recovered_at - e.Timeline.epi_crashed_at))
+    (Timeline.episodes tl);
+  Alcotest.(check int) "crash instants match the kernel"
+    (List.length (Kernel.crash_times kernel))
+    (List.length (Timeline.crash_times tl))
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_dashboard_renders () =
+  let tl =
+    Timeline.build
+      ~episodes:[ ("ds", 100, 150) ]
+      ~crash_times:[ 100 ]
+      ~latencies:[ (20, 7) ]
+      (driven_series [ 1; 2; 3 ])
+  in
+  let plain = Timeline.dashboard ~color:false tl in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) ("dashboard mentions " ^ needle) true
+         (contains plain needle))
+    [ "telemetry: 3 samples"; "events"; "request latency"; "p95";
+      "recovery: 1 crash(es), 1 episode(s)"; "mttr 50" ];
+  Alcotest.(check bool) "no ANSI codes without color" false
+    (String.contains plain '\x1b');
+  Alcotest.(check bool) "ANSI codes with color" true
+    (String.contains (Timeline.dashboard tl) '\x1b')
+
+let test_timeline_artifacts () =
+  let tl =
+    Timeline.build ~window:1
+      ~episodes:[ ("ds", 100, 150) ]
+      ~crash_times:[ 100 ]
+      ~latencies:[ (20, 7) ]
+      (driven_series [ 1; 2; 3 ])
+  in
+  (* CSV: header carries the latency columns, one row per sample *)
+  (match String.split_on_char '\n' (String.trim (Timeline.to_csv tl)) with
+   | header :: rows ->
+     Alcotest.(check string) "csv header"
+       "vtime,events,lat_count,lat_p50,lat_p95,lat_p99" header;
+     Alcotest.(check int) "csv row per sample" 3 (List.length rows);
+     Alcotest.(check string) "latency row" "20,2,1,7,7,7" (List.nth rows 1)
+   | [] -> Alcotest.fail "empty csv");
+  let root =
+    try Json.parse (Timeline.to_json tl)
+    with Json.Bad m -> Alcotest.fail ("to_json invalid: " ^ m)
+  in
+  Alcotest.(check (list int)) "json times" [ 10; 20; 30 ]
+    (Json.ints (Json.mem "times" root));
+  (match Json.mem "latency" root with
+   | Some lat ->
+     Alcotest.(check (list int)) "latency counts" [ 0; 1; 0 ]
+       (Json.ints (Json.mem "count" lat));
+     Alcotest.(check (list int)) "latency p99" [ 0; 7; 0 ]
+       (Json.ints (Json.mem "p99" lat))
+   | None -> Alcotest.fail "no latency object");
+  (match Json.mem "episodes" root with
+   | Some (Json.List [ e ]) ->
+     Alcotest.(check bool) "episode fields" true
+       (Json.mem "server" e = Some (Json.Str "ds")
+        && Json.mem "mttr" e = Some (Json.Num 50.))
+   | _ -> Alcotest.fail "episodes array wrong");
+  Alcotest.(check (list int)) "crash_times" [ 100 ]
+    (Json.ints (Json.mem "crash_times" root));
+  (* Perfetto counters: one track sample per series per tick plus the
+     latency track, and the latency track is present *)
+  let counters = Timeline.counter_samples tl in
+  Alcotest.(check int) "counter sample count" (3 * 2) (List.length counters);
+  Alcotest.(check bool) "latency track present" true
+    (List.exists (fun c -> c.Chrome_trace.cs_track = "latency") counters);
+  (* and the whole thing feeds Chrome_trace without producing bad JSON *)
+  (match Json.parse (Chrome_trace.of_spans ~counters []) with
+   | _ -> ()
+   | exception Json.Bad m ->
+     Alcotest.fail ("counter export invalid JSON: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "osiris_timeline"
+    [ ( "timeseries",
+        [ Alcotest.test_case "delta and gauge kinds" `Quick
+            test_delta_and_gauge_semantics;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "registration guards" `Quick
+            test_registration_guards;
+          Alcotest.test_case "csv and json artifacts" `Quick
+            test_timeseries_artifacts ] );
+      ( "determinism",
+        [ Alcotest.test_case "fixed sampling grid, reproducible artifact"
+            `Quick test_sampler_grid_deterministic ] );
+      ( "timeline",
+        [ Alcotest.test_case "windowed rate" `Quick test_windowed_rate;
+          Alcotest.test_case "sliding latency percentiles" `Quick
+            test_latency_percentiles;
+          Alcotest.test_case "episodes and mttr" `Quick
+            test_episodes_and_mttr;
+          Alcotest.test_case "episodes from a real crash" `Quick
+            test_of_kernel_episodes ] );
+      ( "render",
+        [ Alcotest.test_case "dashboard" `Quick test_dashboard_renders;
+          Alcotest.test_case "csv/json/perfetto artifacts" `Quick
+            test_timeline_artifacts ] ) ]

@@ -19,7 +19,18 @@
    Paths listed there compare against their own tolerance instead of
    the global threshold (the baseline's entry wins; the new artifact
    is consulted for paths the baseline does not mention). The
-   "tolerances" subtree itself is never diffed. *)
+   "tolerances" subtree itself is never diffed.
+
+   Calibration gating: an artifact whose "calibration.ideal" is below
+   1 was produced on a host that could not parallelize even its own
+   calibration probe (an oversubscribed CI container, say) — every
+   wall-clock number in it reflects the throttling, not the code. When
+   either side of the diff is such an artifact, numeric moves under
+   "wall.", "pool." and "calibration." are reported as informational
+   [info] lines instead of DRIFT, so a poisoned baseline cannot flag
+   (or mask) timing drift. Gates still compare normally — the benches
+   derive their thresholds from the same calibration, so gate booleans
+   stay meaningful on throttled hosts. *)
 
 type json =
   | Null
@@ -193,9 +204,30 @@ let () =
   let is_tolerance_entry path =
     String.length path > 11 && String.sub path 0 11 = "tolerances."
   in
+  (* Calibration gating: wall-clock numbers from a host whose own
+     calibration probe could not parallelize (ideal < 1) are noise. *)
+  let throttled kv =
+    match List.assoc_opt "calibration.ideal" kv with
+    | Some (Num v) -> v < 1.
+    | _ -> false
+  in
+  let calibration_gated = throttled old_kv || throttled new_kv in
+  let has_prefix p path =
+    String.length path >= String.length p
+    && String.sub path 0 (String.length p) = p
+  in
+  let is_informational path =
+    calibration_gated
+    && (has_prefix "wall." path || has_prefix "pool." path
+        || has_prefix "calibration." path)
+  in
   let regressions = ref 0 and drifts = ref 0 in
   Printf.printf "bench_diff: %s -> %s (threshold %.1f%%, %d per-path)\n"
     old_path new_path !threshold (List.length tolerances);
+  if calibration_gated then
+    Printf.printf
+      "  (calibration.ideal < 1 on at least one side: host-throttled\n\
+      \   artifact; wall.*/pool.*/calibration.* moves are informational)\n";
   List.iter
     (fun (path, nv) ->
        if is_tolerance_entry path then ()
@@ -214,11 +246,15 @@ let () =
              if ov = 0. then infinity else 100. *. (n -. ov) /. Float.abs ov
            in
            let allowed = threshold_for path in
-           if Float.abs rel > allowed then begin
-             incr drifts;
-             Printf.printf "  DRIFT     %-42s %g -> %g (%+.1f%%, tol %.1f%%)\n"
-               path ov n rel allowed
-           end
+           if Float.abs rel > allowed then
+             if is_informational path then
+               Printf.printf "  info      %-42s %g -> %g (%+.1f%%)\n"
+                 path ov n rel
+             else begin
+               incr drifts;
+               Printf.printf "  DRIFT     %-42s %g -> %g (%+.1f%%, tol %.1f%%)\n"
+                 path ov n rel allowed
+             end
          | Some (Str ov), Str n when ov <> n ->
            Printf.printf "  changed   %-42s %S -> %S\n" path ov n
          | Some _, _ -> ())
