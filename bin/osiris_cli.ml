@@ -8,6 +8,15 @@
      survive   fault-injection survivability campaign (Tables II/III)
      disrupt   service-disruption sweep on one benchmark (Figure 3)
      sites     profile and list fault sites
+     stress    run randomly generated workloads (deterministic per seed)
+     fsck      filesystem invariant check (block conservation)
+     events    run a generated workload, print the tail of its IPC
+               event log (was `timeline` before the vtime telemetry
+               engine took that name)
+     timeline  run quickstart with the vtime telemetry engine attached,
+               render the sampled series as an ANSI dashboard
+     load      open-loop saturation sweep: step offered load, crash a
+               server mid-storm, report goodput + tail latency
      trace     run the quickstart workload, export a Perfetto trace
      report    per-handler latency / recovery / metrics report
      profile   cycle-accounting profile (per-compartment phase matrix,
@@ -571,6 +580,230 @@ let timeline_cmd =
     Term.(const run $ policy_arg $ seed_arg $ crash_arg $ interval_arg
           $ window_arg $ json_arg $ csv_arg $ perfetto_arg $ no_color_arg)
 
+(* Open-loop saturation sweep: step the offered load, drive each step
+   through Loadgen (arrival times fixed up front — no coordinated
+   omission), optionally crash a server mid-storm, and report goodput
+   plus tail latency per step. Steps fan out over the Parfan domain
+   pool; every reported number is an integer derived from the seed, so
+   the JSON/CSV artifacts are byte-identical across re-runs and across
+   worker counts. *)
+let load_cmd =
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Arrivals per step.")
+  in
+  let rate_min_arg =
+    Arg.(value & opt int 5_000
+         & info [ "rate-min" ] ~docv:"RPS"
+           ~doc:"Lowest offered load (requests per simulated second).")
+  in
+  let rate_max_arg =
+    Arg.(value & opt int 40_000
+         & info [ "rate-max" ] ~docv:"RPS"
+           ~doc:"Highest offered load (requests per simulated second).")
+  in
+  let steps_arg =
+    Arg.(value & opt int 8
+         & info [ "steps" ] ~docv:"K"
+           ~doc:"Sweep points, linearly spaced over \
+                 [$(b,--rate-min), $(b,--rate-max)].")
+  in
+  let arrival_arg =
+    Arg.(value & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ])
+           `Poisson
+         & info [ "arrival" ] ~docv:"MODEL"
+           ~doc:"Arrival process: $(b,poisson) (memoryless) or \
+                 $(b,bursty) (on/off modulated, same average rate).")
+  in
+  let on_us_arg =
+    Arg.(value & opt int 1_000
+         & info [ "on-us" ] ~docv:"US"
+           ~doc:"Bursty: mean ON-phase length, simulated microseconds.")
+  in
+  let off_us_arg =
+    Arg.(value & opt int 3_000
+         & info [ "off-us" ] ~docv:"US"
+           ~doc:"Bursty: mean OFF-gap length, simulated microseconds.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 64
+         & info [ "keys" ] ~docv:"N"
+           ~doc:"Popularity universe (distinct files / DS keys).")
+  in
+  let zipf_arg =
+    Arg.(value & opt float 1.1
+         & info [ "zipf" ] ~docv:"S"
+           ~doc:"Zipf skew exponent for key popularity (0 = uniform).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_LOAD_JSON or \
+                 osiris_load.json).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH"
+           ~doc:"Also write the latency-under-load table as CSV.")
+  in
+  let timeline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"PATH"
+           ~doc:"Write the highest-rate step's Timeline JSON (sampled \
+                 series + sliding latency percentiles + recovery \
+                 episodes).")
+  in
+  let run policy seed crash jobs requests rate_min rate_max steps arrival
+      on_us off_us keys zipf json csv timeline =
+    setup_logs ();
+    let cycles_per_us = Loadgen.cycles_per_second / 1_000_000 in
+    let l_arrival =
+      match arrival with
+      | `Poisson -> Loadgen.Poisson
+      | `Bursty ->
+        Loadgen.Bursty
+          { on_mean = on_us * cycles_per_us;
+            off_mean = off_us * cycles_per_us }
+    in
+    let steps = max 1 steps in
+    let rates =
+      List.init steps (fun i ->
+          if steps = 1 then rate_min
+          else rate_min + (i * (rate_max - rate_min) / (steps - 1)))
+    in
+    let step rate =
+      let spec =
+        { Loadgen.l_seed = seed; l_requests = requests; l_rate = rate;
+          l_arrival; l_mix = Loadgen.default_mix; l_keys = keys;
+          l_zipf = zipf }
+      in
+      let ts = Timeseries.create ~interval:2048 () in
+      let sys = System.build ~seed ~telemetry:ts (Sysconf.uniform policy) in
+      let kernel = System.kernel sys in
+      let reqs = Loadgen.inject kernel spec in
+      arm_crash kernel crash;
+      let halt = Kernel.run kernel in
+      let o =
+        { (Loadgen.collect kernel reqs) with Loadgen.o_spec_rate = rate }
+      in
+      let crashes = List.length (Kernel.crash_times kernel) in
+      let restarts =
+        List.fold_left
+          (fun acc ep -> acc + (Kernel.server_stats kernel ep).Kernel.ss_restarts)
+          0 System.core_servers
+      in
+      let tl_json =
+        Timeline.to_json
+          (Timeline.of_kernel ~latencies:o.Loadgen.o_lat_pairs ts kernel)
+      in
+      (halt, o, crashes, restarts, tl_json)
+    in
+    let results = Parfan.map ?jobs:(if jobs = 0 then None else Some jobs) step rates in
+    let p o num den = Loadgen.percentile o.Loadgen.o_latencies ~num ~den in
+    let lat_max o =
+      let n = Array.length o.Loadgen.o_latencies in
+      if n = 0 then 0 else o.Loadgen.o_latencies.(n - 1)
+    in
+    let rows =
+      List.map
+        (fun (halt, o, crashes, restarts, _) ->
+           [ string_of_int o.Loadgen.o_spec_rate;
+             string_of_int (Loadgen.goodput_rps o);
+             string_of_int o.Loadgen.o_ok;
+             string_of_int o.Loadgen.o_shed;
+             string_of_int (p o 1 2);
+             string_of_int (p o 95 100);
+             string_of_int (p o 99 100);
+             string_of_int (p o 999 1000);
+             string_of_int (lat_max o);
+             string_of_int crashes;
+             string_of_int restarts;
+             (match halt with
+              | Kernel.H_completed 0 -> "drained"
+              | h -> Kernel.halt_to_string h) ])
+        results
+    in
+    print_string
+      (Osiris_util.Tablefmt.render
+         ~title:
+           (Printf.sprintf
+              "Open-loop saturation sweep: %d requests/step, %s arrivals, \
+               crash %s (latencies in virtual cycles)"
+              requests
+              (match arrival with `Poisson -> "poisson" | `Bursty -> "bursty")
+              (match crash with
+               | Some ep -> Endpoint.server_name ep
+               | None -> "none"))
+         ~header:
+           [ "offered"; "goodput"; "ok"; "shed"; "p50"; "p95"; "p99";
+             "p99.9"; "max"; "crashes"; "restarts"; "halt" ]
+         ~align:
+           Osiris_util.Tablefmt.
+             [ Right; Right; Right; Right; Right; Right; Right; Right;
+               Right; Right; Right; Left ]
+         rows);
+    let buf = Buffer.create 2048 in
+    Printf.bprintf buf "{\n  \"sweep\": \"load\",\n";
+    Printf.bprintf buf "  \"seed\": %d,\n  \"requests\": %d,\n" seed requests;
+    Printf.bprintf buf "  \"arrival\": \"%s\",\n"
+      (match arrival with `Poisson -> "poisson" | `Bursty -> "bursty");
+    Printf.bprintf buf "  \"crash\": \"%s\",\n"
+      (match crash with
+       | Some ep -> Endpoint.server_name ep
+       | None -> "none");
+    Printf.bprintf buf "  \"keys\": %d,\n  \"zipf\": \"%g\",\n" keys zipf;
+    Printf.bprintf buf "  \"steps\": [\n";
+    List.iteri
+      (fun i (_, o, crashes, restarts, _) ->
+         Printf.bprintf buf
+           "    {\"offered_rps\": %d, \"goodput_rps\": %d, \"completed\": \
+            %d, \"ok\": %d, \"shed\": %d,\n\
+           \     \"makespan\": %d, \"p50\": %d, \"p95\": %d, \"p99\": %d, \
+            \"p999\": %d, \"max\": %d,\n\
+           \     \"crashes\": %d, \"restarts\": %d}%s\n"
+           o.Loadgen.o_spec_rate (Loadgen.goodput_rps o)
+           o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed
+           o.Loadgen.o_makespan (p o 1 2) (p o 95 100) (p o 99 100)
+           (p o 999 1000) (lat_max o) crashes restarts
+           (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.bprintf buf "  ]\n}\n";
+    write_file
+      (out_path ~flag:json ~env:"OSIRIS_LOAD_JSON"
+         ~default:"osiris_load.json")
+      (Buffer.contents buf);
+    (match csv with
+     | Some path ->
+       let cb = Buffer.create 1024 in
+       Buffer.add_string cb
+         "offered_rps,goodput_rps,completed,ok,shed,makespan,p50,p95,p99,\
+          p999,max,crashes,restarts\n";
+       List.iter
+         (fun (_, o, crashes, restarts, _) ->
+            Printf.bprintf cb "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n"
+              o.Loadgen.o_spec_rate (Loadgen.goodput_rps o)
+              o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed
+              o.Loadgen.o_makespan (p o 1 2) (p o 95 100) (p o 99 100)
+              (p o 999 1000) (lat_max o) crashes restarts)
+         results;
+       write_file path (Buffer.contents cb)
+     | None -> ());
+    (match timeline, List.rev results with
+     | Some path, (_, _, _, _, tl_json) :: _ -> write_file path tl_json
+     | _ -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Open-loop heavy-traffic saturation sweep: step the offered \
+             load over Poisson or bursty arrivals with Zipf-skewed \
+             popularity, inject a crash mid-storm, and report goodput and \
+             tail latency per step as deterministic JSON/CSV artifacts.")
+    Term.(const run $ policy_arg $ seed_arg $ crash_arg $ jobs_arg
+          $ requests_arg $ rate_min_arg $ rate_max_arg $ steps_arg
+          $ arrival_arg $ on_us_arg $ off_us_arg $ keys_arg $ zipf_arg
+          $ json_arg $ csv_arg $ timeline_arg)
+
 let profile_cmd =
   let json_arg =
     Arg.(value & opt (some string) None
@@ -976,7 +1209,7 @@ let main =
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
-      stress_cmd; events_cmd; timeline_cmd; trace_cmd; report_cmd;
+      stress_cmd; events_cmd; timeline_cmd; load_cmd; trace_cmd; report_cmd;
       profile_cmd; health_cmd; record_cmd; replay_cmd; postmortem_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

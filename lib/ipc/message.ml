@@ -18,6 +18,7 @@ type t =
   | Getppid
   | Kill of { pid : int; signal : int }
   | Signal_set of { signal : int; ignore : bool }
+  | Adopt
   | Vm_fork of { parent : int; child : int }
   | Vm_exec of { proc : int; size : int }
   | Vm_exit of { proc : int }
@@ -93,7 +94,7 @@ module Tag = struct
 
   type t =
     | T_fork | T_exec | T_exit | T_waitpid | T_getpid | T_getppid | T_kill
-    | T_signal_set
+    | T_signal_set | T_adopt
     | T_vm_fork | T_vm_exec | T_vm_exit
     | T_vfs_fork | T_vfs_exec | T_vfs_exit
     | T_open | T_close | T_read | T_write | T_lseek | T_pipe | T_dup
@@ -122,6 +123,7 @@ module Tag = struct
     | Getppid -> T_getppid
     | Kill _ -> T_kill
     | Signal_set _ -> T_signal_set
+    | Adopt -> T_adopt
     | Vm_fork _ -> T_vm_fork
     | Vm_exec _ -> T_vm_exec
     | Vm_exit _ -> T_vm_exit
@@ -193,7 +195,7 @@ module Tag = struct
 
   let all =
     [ T_fork; T_exec; T_exit; T_waitpid; T_getpid; T_getppid; T_kill;
-      T_signal_set;
+      T_signal_set; T_adopt;
       T_vm_fork; T_vm_exec; T_vm_exit;
       T_vfs_fork; T_vfs_exec; T_vfs_exit;
       T_open; T_close; T_read; T_write; T_lseek; T_pipe; T_dup;
@@ -270,6 +272,7 @@ let corrupt rng m =
     if Osiris_util.Rng.bool rng then Kill { pid = ci pid; signal }
     else Kill { pid; signal = ci signal }
   | Signal_set { signal; ignore } -> Signal_set { signal = ci signal; ignore }
+  | Adopt -> Adopt
   | Vm_fork { parent; child } -> Vm_fork { parent = ci parent; child }
   | Vm_exec { proc; size } -> Vm_exec { proc; size = ci size }
   | Vm_exit { proc } -> Vm_exit { proc = ci proc }

@@ -35,6 +35,10 @@ type t =
   | Getppid
   | Kill of { pid : int; signal : int }
   | Signal_set of { signal : int; ignore : bool }
+  | Adopt
+      (** Register the (kernel-spawned) caller in PM's process table as
+          a primordial orphan, with VM/VFS introductions — the
+          session-connect step of the open-loop load engine. *)
       (** Set the caller's disposition for a signal: ignore or default.
           SIGKILL (9) cannot be ignored. *)
   (* --- PM -> VM --------------------------------------------------- *)
@@ -122,7 +126,7 @@ module Tag : sig
 
   type t =
     | T_fork | T_exec | T_exit | T_waitpid | T_getpid | T_getppid | T_kill
-    | T_signal_set
+    | T_signal_set | T_adopt
     | T_vm_fork | T_vm_exec | T_vm_exit
     | T_vfs_fork | T_vfs_exec | T_vfs_exit
     | T_open | T_close | T_read | T_write | T_lseek | T_pipe | T_dup

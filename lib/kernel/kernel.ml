@@ -343,6 +343,7 @@ type proc = {
   mutable stalled : bool;
   mutable hung : bool;
   mutable in_heap : bool;
+  mutable covering : bool;  (* booted server: coverage/site accounting applies *)
   mutable loop_prog : unit Prog.t option;
   mutable baseline_ready : bool;  (* boot image recorded in the Memimage baseline *)
   mutable restore_saved : int;    (* bytes dirty-region restarts did not blit *)
@@ -358,6 +359,8 @@ type proc = {
   mutable ops_in_window : int;
   mutable busy_cycles : int;
   mutable restart_count : int;
+  mutable exit_status : int;  (* user procs: status at exit, -1 while alive *)
+  mutable exit_vtime : int;   (* user procs: own clock at the exit call *)
   (* Per-slot cycle/event counters, interleaved [2*slot] = cycles and
      [2*slot+1] = events; [||] until [enable_cycle_counts]. Kept on
      the proc so the hot path is a flat array bump with no closure
@@ -366,7 +369,11 @@ type proc = {
   mutable prof : int array;
 }
 
-type sched_item = S_run of Endpoint.t | S_alarm of Endpoint.t | S_hangcheck of Endpoint.t
+(* Run-queue items are packed ints — [(endpoint lsl 2) lor tag] — so a
+   push allocates nothing (see Sched).  Tags: *)
+let tag_run = 0
+let tag_alarm = 1
+let tag_hangcheck = 2
 
 type event =
   | E_msg of { time : int; src : Endpoint.t; dst : Endpoint.t;
@@ -407,8 +414,7 @@ type t = {
   rng : Osiris_util.Rng.t;
   procs : (int, proc) Hashtbl.t;
   mutable servers : Endpoint.t list;
-  heap : sched_item Osiris_util.Vheap.t;
-  mutable seq : int;
+  sched : Sched.t;
   mutable run_items : int;
   mutable booted : bool;
   mutable halted : halt option;
@@ -416,6 +422,9 @@ type t = {
   mutable next_user_ep : int;
   mutable fault_hook : (site -> fault_action option) option;
   mutable site_recorder : (site -> unit) option;
+  (* Cached [fault_hook <> None || site_recorder <> None]: [op_site]
+     runs per op and must not pay two polymorphic compares there. *)
+  mutable siting : bool;
   mutable event_hook : (event -> unit) option;
   mutable capture : capture option;
   (* event_hook <> None || capture <> None, cached: the emission
@@ -434,6 +443,8 @@ type t = {
   mutable n_orphans : int;
   mutable n_delivered : int;
   mutable n_users : int;
+  mutable live_users : int;
+  mutable halt_on_drain : bool;
   mutable global_now : int;
   mutable recovery_latencies : int list;
   (* Crash instants and (ep, crashed_at, recovered_at) recovery spans,
@@ -456,8 +467,7 @@ let create cfg =
     rng = Osiris_util.Rng.create cfg.seed;
     procs = Hashtbl.create 64;
     servers = [];
-    heap = Osiris_util.Vheap.create ();
-    seq = 0;
+    sched = Sched.create ();
     run_items = 0;
     booted = false;
     halted = None;
@@ -465,6 +475,7 @@ let create cfg =
     next_user_ep = Endpoint.first_user;
     fault_hook = None;
     site_recorder = None;
+    siting = false;
     event_hook = None;
     capture = None;
     observing = false;
@@ -477,6 +488,8 @@ let create cfg =
     n_orphans = 0;
     n_delivered = 0;
     n_users = 0;
+    live_users = 0;
+    halt_on_drain = false;
     global_now = 0;
     recovery_latencies = [];
     crash_log = [];
@@ -486,7 +499,15 @@ let create cfg =
     sample_hook = None;
     next_rid = 0 }
 
-let set_fault_hook t hook = t.fault_hook <- hook
+let refresh_siting t =
+  t.siting <-
+    (match t.fault_hook, t.site_recorder with
+     | None, None -> false
+     | _ -> true)
+
+let set_fault_hook t hook =
+  t.fault_hook <- hook;
+  refresh_siting t
 
 let set_event_hook t hook =
   t.event_hook <- hook;
@@ -811,7 +832,9 @@ let[@inline] alloc_rid t =
   t.next_rid <- t.next_rid + 1;
   t.next_rid
 
-let set_site_recorder t recorder = t.site_recorder <- recorder
+let set_site_recorder t recorder =
+  t.site_recorder <- recorder;
+  refresh_siting t
 let set_halt_on_exit t ep = t.halt_on_exit <- Some ep
 
 let fresh_thread p ?(started = true) ?req prog =
@@ -830,17 +853,23 @@ let get_proc t ep =
 
 let runnable p =
   p.alive && (not p.stalled) && (not p.hung)
-  && (p.active <> None || not (Queue.is_empty p.runq))
+  && (match p.active with
+      | Some _ -> true
+      | None -> not (Queue.is_empty p.runq))
 
-let push_heap t item ~key =
-  t.seq <- t.seq + 1;
-  (match item with S_run _ -> t.run_items <- t.run_items + 1 | _ -> ());
-  Osiris_util.Vheap.push t.heap ~key ~seq:t.seq item
+let push_run t ep ~key =
+  t.run_items <- t.run_items + 1;
+  Sched.push t.sched ~key ((ep lsl 2) lor tag_run)
+
+let push_alarm t ep ~key = Sched.push t.sched ~key ((ep lsl 2) lor tag_alarm)
+
+let push_hangcheck t ep ~key =
+  Sched.push t.sched ~key ((ep lsl 2) lor tag_hangcheck)
 
 let schedule t p =
   if (not p.in_heap) && runnable p then begin
     p.in_heap <- true;
-    push_heap t (S_run p.ep) ~key:p.vtime
+    push_run t p.ep ~key:p.vtime
   end
 
 (* Wake a receive-parked thread if a message is available. *)
@@ -1209,6 +1238,7 @@ let add_server t srv =
       stalled = false;
       hung = false;
       in_heap = false;
+      covering = false;
       loop_prog = Some srv.srv_loop;
       baseline_ready = false;
       restore_saved = 0;
@@ -1224,6 +1254,8 @@ let add_server t srv =
       ops_in_window = 0;
       busy_cycles = 0;
       restart_count = 0;
+      exit_status = -1;
+      exit_vtime = -1;
       prof = (if t.profiling then prof_row () else [||]) }
   in
   let main =
@@ -1235,10 +1267,12 @@ let add_server t srv =
   t.servers <- t.servers @ [ srv.srv_ep ];
   schedule t p
 
-let spawn_user t ~name ~prog ~parent:_ =
+let spawn_user_at t ~at ~name ~prog ~parent:_ =
+  let start = if at > t.global_now then at else t.global_now in
   let ep = t.next_user_ep in
   t.next_user_ep <- t.next_user_ep + 1;
   t.n_users <- t.n_users + 1;
+  t.live_users <- t.live_users + 1;
   let p =
     { ep;
       pname = name;
@@ -1249,12 +1283,13 @@ let spawn_user t ~name ~prog ~parent:_ =
       threads = [];
       runq = Queue.create ();
       active = None;
-      vtime = t.global_now;
+      vtime = start;
       inbox = Queue.create ();
       alive = true;
       stalled = false;
       hung = false;
       in_heap = false;
+      covering = false;
       loop_prog = None;
       baseline_ready = false;
       restore_saved = 0;
@@ -1270,26 +1305,32 @@ let spawn_user t ~name ~prog ~parent:_ =
       ops_in_window = 0;
       busy_cycles = 0;
       restart_count = 0;
+      exit_status = -1;
+      exit_vtime = -1;
       prof = (if t.profiling then prof_row () else [||]) }
   in
   let th = fresh_thread p prog in
   p.threads <- [ th ];
   Queue.push th p.runq;
   Hashtbl.replace t.procs ep p;
-  (* The clock starts at the global now: attribute the pre-existence
-     span so per-process attribution still sums to the final clock. *)
-  cycles t p sl_wait_spawn t.global_now;
+  (* The clock starts at the global now (or the future arrival
+     instant): attribute the pre-existence span so per-process
+     attribution still sums to the final clock. *)
+  cycles t p sl_wait_spawn start;
   schedule t p;
   ep
 
+let spawn_user t ~name ~prog ~parent =
+  spawn_user_at t ~at:min_int ~name ~prog ~parent
+
 let destroy_user t p =
+  if p.alive then t.live_users <- t.live_users - 1;
   p.alive <- false;
   p.stalled <- true;
   p.threads <- [];
   Queue.clear p.runq;
   Queue.clear p.inbox;
-  p.active <- None;
-  ignore t
+  p.active <- None
 
 (* ------------------------------------------------------------------ *)
 (* Live update (extension)                                             *)
@@ -1384,10 +1425,16 @@ let exec_kcall t p kc : Prog.kresult =
     (match proc_of t proc with
      | None -> Prog.Kr_err Errno.ESRCH
      | Some pp ->
+       (* Completion record for the load engine: the dying process'
+          own clock at its exit call — PM teardown excluded. *)
+       pp.exit_status <- status;
+       pp.exit_vtime <- pp.vtime;
        destroy_user t pp;
        (match t.halt_on_exit with
         | Some root when root = proc -> halt t (H_completed status)
         | _ -> ());
+       if t.halt_on_drain && t.live_users = 0 && t.halted = None then
+         halt t (H_completed 0);
        Prog.Kr_ok)
   | Prog.K_crash_context ep ->
     (match proc_of t ep with
@@ -1436,7 +1483,7 @@ let exec_kcall t p kc : Prog.kresult =
     halt t (H_shutdown reason);
     Prog.Kr_ok
   | Prog.K_alarm { ticks } ->
-    push_heap t (S_alarm p.ep) ~key:(p.vtime + ticks);
+    push_alarm t p.ep ~key:(p.vtime + ticks);
     Prog.Kr_ok
   | Prog.K_mmu { proc = _ } ->
     (* Page-table manipulation: observable cost only. *)
@@ -1507,8 +1554,8 @@ let charge_flat t p slot c =
   p.busy_cycles <- p.busy_cycles + c;
   cycles t p slot c
 
-let coverage t p =
-  if t.booted && p.kind = Server_proc then begin
+let coverage _t p =
+  if p.covering then begin
     p.ops_total <- p.ops_total + 1;
     match p.window with
     | Some w when Window.is_open w -> p.ops_in_window <- p.ops_in_window + 1
@@ -1517,9 +1564,7 @@ let coverage t p =
 
 (* Build the site for this op and consult recorder/fault hook. *)
 let op_site t p th kind =
-  if t.booted && p.kind = Server_proc
-     && (t.fault_hook <> None || t.site_recorder <> None)
-  then begin
+  if p.covering && t.siting then begin
     let idx = op_kind_index kind in
     (* Cap the occurrence index: a fault site models a *static* program
        location, and loop iterations re-execute the same location. The
@@ -1627,7 +1672,7 @@ let step t p th prog =
     (match op_site t p th Op_compute with
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang -> p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
@@ -1641,7 +1686,7 @@ let step t p th prog =
        (match op_site t p th Op_load with
         | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
         | Some F_hang -> p.hung <- true;
-          push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+          push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
           raise Thread_parked
         | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
         | _ -> ());
@@ -1656,7 +1701,7 @@ let step t p th prog =
        (match action with
         | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
         | Some F_hang -> p.hung <- true;
-          push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+          push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
           raise Thread_parked
         | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
         | _ -> ());
@@ -1720,7 +1765,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
        p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
@@ -1748,7 +1793,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
        p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
@@ -1790,7 +1835,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
        p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | _ -> ());
     charge t p sl_receive costs.Costs.c_receive;
@@ -1830,7 +1875,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
        p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
@@ -1906,7 +1951,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
        p.hung <- true;
-       push_heap t (S_hangcheck p.ep) ~key:(p.vtime + t.cfg.hang_detect_cycles);
+       push_hangcheck t p.ep ~key:(p.vtime + t.cfg.hang_detect_cycles);
        raise Thread_parked
      | Some F_skip_handler -> finish_thread t p th; raise Thread_finished
      | _ -> ());
@@ -1992,13 +2037,14 @@ let exec_proc t p =
          | T_call_wait _ | T_recv_wait _ ->
            (* Parked while marked active: clear and pick next. *)
            p.active <- None);
-        (* Preemption check: if another item in the heap is due before
-           this process' clock, give it the CPU. *)
-        (match Osiris_util.Vheap.peek_key t.heap with
-         | Some key when p.vtime > key ->
-           continue := false;
-           schedule t p
-         | _ -> ())
+        (* Preemption check: if another item in the queue is due
+           before this process' clock, give it the CPU.  [next_key]
+           is a cached int read ([max_int] when empty) — no boxing on
+           this per-op path. *)
+        if Sched.next_key t.sched < p.vtime then begin
+          continue := false;
+          schedule t p
+        end
     end
   done;
   bump_now t p.vtime
@@ -2008,34 +2054,37 @@ let exec_proc t p =
 (* ------------------------------------------------------------------ *)
 
 let dispatch t item =
-  match item with
-  | S_run ep ->
+  let ep = item lsr 2 in
+  let tag = item land 3 in
+  if tag = tag_run then begin
     t.run_items <- t.run_items - 1;
-    (match proc_of t ep with
-     | None -> ()
-     | Some p ->
-       p.in_heap <- false;
-       if runnable p then exec_proc t p)
-  | S_alarm ep ->
+    match proc_of t ep with
+    | None -> ()
+    | Some p ->
+      p.in_heap <- false;
+      if runnable p then exec_proc t p
+  end
+  else if tag = tag_alarm then
     deliver_to_inbox t ~src:Endpoint.kernel ~src_tid:0 ~call:false
       ~rid:(alloc_rid t) ~parent:0 ep Message.Alarm
-  | S_hangcheck ep ->
-    (match proc_of t ep with
-     | Some p when p.hung && p.alive ->
-       p.hung <- false;
-       if observed t then
-         emit_hang_detected t ~time:t.global_now ~ep:p.ep;
-       crash_proc t p "hang detected by heartbeat"
-     | _ -> ())
+  else
+    match proc_of t ep with
+    | Some p when p.hung && p.alive ->
+      p.hung <- false;
+      if observed t then
+        emit_hang_detected t ~time:t.global_now ~ep:p.ep;
+      crash_proc t p "hang detected by heartbeat"
+    | _ -> ()
 
 let pump t ~until_quiescent =
   let continue = ref true in
   while !continue && t.halted = None do
     if until_quiescent && t.run_items = 0 then continue := false
-    else
-      match Osiris_util.Vheap.pop t.heap with
-      | None -> continue := false
-      | Some (key, _, item) ->
+    else begin
+      let item = Sched.pop t.sched in
+      if item < 0 then continue := false
+      else begin
+        let key = Sched.popped_key t.sched in
         bump_now t key;
         (* Virtual-time cutoff: a system that is past the deadline is
            hung (deadlocked processes, spinning readers, or an idle
@@ -2043,6 +2092,8 @@ let pump t ~until_quiescent =
         if (not until_quiescent) && key > t.cfg.max_vtime then
           halt t H_hang
         else dispatch t item
+      end
+    end
   done
 
 let boot t =
@@ -2052,6 +2103,9 @@ let boot t =
    | None -> ());
   Hashtbl.iter
     (fun _ p ->
+       (* Flattened fast-path flag: coverage/site accounting applies
+          to servers from boot on (see [coverage] / [op_site]). *)
+       if p.kind = Server_proc then p.covering <- true;
        match p.image with
        | Some img when p.kind = Server_proc ->
          (* The booted image is the pristine clone state: record it as
@@ -2232,5 +2286,12 @@ let window_is_open t ep =
   | exception Not_found -> false
 
 let user_count t = t.n_users
+
+let set_halt_on_drain t = t.halt_on_drain <- true
+
+let user_exit t ep =
+  match proc_of t ep with
+  | Some p when p.exit_status >= 0 -> Some (p.exit_status, p.exit_vtime)
+  | _ -> None
 
 let live_update = live_update_internal

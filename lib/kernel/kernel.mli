@@ -148,8 +148,28 @@ val spawn_user : t -> name:string -> prog:unit Prog.t -> parent:Endpoint.t ->
     forked/exec'd through PM). It must be registered in PM separately
     — the core library's boot protocol handles that. *)
 
+val spawn_user_at : t -> at:int -> name:string -> prog:unit Prog.t ->
+  parent:Endpoint.t -> Endpoint.t
+(** {!spawn_user}, but the process first runs at virtual instant
+    [at]: its clock starts there and it enters the scheduler's timer
+    wheel at that key.  This is how the open-loop load engine drives
+    arrivals — each request is a process whose start rides the wheel
+    at its nominal arrival time, independent of system state (past
+    instants are clamped to now). *)
+
 val set_halt_on_exit : t -> Endpoint.t -> unit
 (** When this process exits, the run completes. *)
+
+val set_halt_on_drain : t -> unit
+(** Halt ([H_completed 0]) when the last live user process exits —
+    how an open-loop run ends: all requests injected up front, the
+    system drains.  No effect on runs that halt earlier. *)
+
+val user_exit : t -> Endpoint.t -> (int * int) option
+(** [(status, vtime)] recorded when the user process exited: the
+    status it passed to PM and its own virtual clock at the exit
+    call (i.e. when its work finished — PM teardown excluded).
+    [None] while alive or for unknown endpoints. *)
 
 val run : t -> halt
 (** Interpret until a halt condition. *)

@@ -161,6 +161,45 @@ let handle t src msg =
                    let* _ = Prog.kcall (Prog.K_go child) in
                    Prog.reply src (Message.R_fork { child })))
            | _ -> Srvlib.reply_err src Errno.EAGAIN)))
+  | Message.Adopt ->
+    (* Open-loop load engine: a kernel-spawned request process
+       introduces itself before issuing syscalls — the session-connect
+       step.  Registered as a primordial orphan (parent 0) so its exit
+       reaps the row immediately; a full table sheds the request with
+       EAGAIN, which is what saturation looks like to an open-loop
+       client. *)
+    let* urow = find_by_ep t src in
+    let* () = Srvlib.diag "pm: adopt" in
+    (match urow with
+     | Some _ -> Srvlib.reply_err src Errno.EEXIST
+     | None ->
+       let* slot = find_free t in
+       (match slot with
+        | None -> Srvlib.reply_err src Errno.EAGAIN
+        | Some row ->
+          let* () =
+            set_row t ~row ~state:st_alive ~ep:src ~parent:0 ~name:"load"
+          in
+          let* vr =
+            Prog.call Endpoint.vm (Message.Vm_fork { parent = 0; child = src })
+          in
+          (match Srvlib.err_of_reply vr with
+           | Some e ->
+             let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+             Srvlib.reply_err src e
+           | None ->
+             let* fr =
+               Prog.call Endpoint.vfs
+                 (Message.Vfs_fork { parent = 0; child = src })
+             in
+             (match Srvlib.err_of_reply fr with
+              | Some e ->
+                let* _ =
+                  Prog.call Endpoint.vm (Message.Vm_exit { proc = src })
+                in
+                let* () = Prog.Mem.set_int t.procs ~row t.f_state st_free in
+                Srvlib.reply_err src e
+              | None -> Srvlib.reply_ok src 0))))
   | Message.Exec { path; arg } ->
     let* urow = find_by_ep t src in
     let* () = Srvlib.diag "pm: exec" in
@@ -345,6 +384,10 @@ let summary =
       Summary.handler ~replies:false Message.Tag.T_exit
         [ Summary.seg ~out:diag_out 205; Summary.seg ~out:vm_exit 2;
           Summary.seg ~out:vfs_exit 5; Summary.seg 90 ];
+      Summary.handler Message.Tag.T_adopt
+        [ Summary.seg ~out:diag_out 70; Summary.seg 70;
+          Summary.seg ~out:vm_fork 20; Summary.seg ~out:vfs_fork 5;
+          Summary.seg 10 ];
       Summary.handler Message.Tag.T_waitpid [ Summary.seg 180 ];
       Summary.handler Message.Tag.T_getpid [ Summary.seg 70 ];
       Summary.handler Message.Tag.T_signal_set [ Summary.seg 75 ];

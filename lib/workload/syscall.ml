@@ -62,6 +62,10 @@ let signal_ignore ~signal ignore =
   let* r = sys_call Endpoint.pm (Message.Signal_set { signal; ignore }) in
   Prog.return (code_of_reply r)
 
+let adopt =
+  let* r = sys_call Endpoint.pm Message.Adopt in
+  Prog.return (code_of_reply r)
+
 let open_ path flags =
   let* r = sys_call Endpoint.vfs (Message.Open { path; flags }) in
   Prog.return (code_of_reply r)

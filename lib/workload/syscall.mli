@@ -34,6 +34,13 @@ val signal_ignore : signal:int -> bool -> int Prog.t
     the previous disposition (1 = was ignored). SIGKILL (9) is
     rejected with EINVAL. *)
 
+val adopt : int Prog.t
+(** Register the caller — a process the load engine spawned directly
+    in the kernel — in PM's table, with VM/VFS introductions
+    (primordial orphan: parent 0).  Non-negative on success; [EAGAIN]
+    when the table is full (the request is shed — open-loop
+    saturation), [EEXIST] if already registered. *)
+
 (** {2 Files and pipes (VFS)} *)
 
 val open_ : string -> Message.open_flags -> int Prog.t

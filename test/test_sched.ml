@@ -1,0 +1,244 @@
+(* Scheduler queue tests: the hierarchical timer wheel + ready ring
+   (lib/kernel/sched) that replaced the Osiris_util.Vheap binary heap.
+   The first block migrates the old vheap unit tests to the new API;
+   the property block checks exact (key, seq) pop order against a
+   sorted-list oracle under kernel-shaped traffic — including
+   past-dated keys (below the wheel cursor), keys beyond the wheel
+   horizon (far chain), and interleaved push/pop — and cross-checks
+   the wheel against the embedded old-heap oracle instance. *)
+
+(* ---------------- migrated vheap unit tests ----------------------- *)
+
+let test_basic () =
+  let s = Sched.create () in
+  Alcotest.(check bool) "empty" true (Sched.is_empty s);
+  Alcotest.(check int) "next_key empty" max_int (Sched.next_key s);
+  Sched.push s ~key:5 50;
+  Sched.push s ~key:1 10;
+  Sched.push s ~key:3 30;
+  Alcotest.(check int) "length" 3 (Sched.length s);
+  Alcotest.(check int) "next_key" 1 (Sched.next_key s);
+  Alcotest.(check int) "pop one" 10 (Sched.pop s);
+  Alcotest.(check int) "popped_key one" 1 (Sched.popped_key s);
+  Alcotest.(check int) "pop three" 30 (Sched.pop s);
+  Alcotest.(check int) "popped_key three" 3 (Sched.popped_key s);
+  Alcotest.(check int) "pop five" 50 (Sched.pop s);
+  Alcotest.(check int) "drained" (-1) (Sched.pop s);
+  Alcotest.(check int) "next_key drained" max_int (Sched.next_key s)
+
+let test_fifo_ties () =
+  (* Equal keys pop in push order. *)
+  let s = Sched.create () in
+  for i = 1 to 10 do
+    Sched.push s ~key:7 i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    let v = Sched.pop s in
+    if v >= 0 then begin
+      order := v :: !order;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo among ties"
+    (List.init 10 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_clear () =
+  let s = Sched.create () in
+  Sched.push s ~key:1 1;
+  Sched.push s ~key:(Sched.horizon * 3) 2;
+  Sched.clear s;
+  Alcotest.(check bool) "cleared" true (Sched.is_empty s);
+  Alcotest.(check int) "cleared pop" (-1) (Sched.pop s);
+  (* Reusable after clear, with the sequence counter reset. *)
+  Sched.push s ~key:4 44;
+  Sched.push s ~key:4 45;
+  Alcotest.(check int) "reuse" 44 (Sched.pop s);
+  Alcotest.(check int) "reuse fifo" 45 (Sched.pop s)
+
+(* ---------------- past-dated keys (ready ring) -------------------- *)
+
+let test_past_dated () =
+  (* The kernel routinely pushes keys below the last popped key
+     (blocked receivers keep lagging vtimes).  They must pop before
+     anything at/above the cursor, in exact (key, seq) order. *)
+  let s = Sched.create () in
+  Sched.push s ~key:1000 0;
+  Alcotest.(check int) "advance cursor" 0 (Sched.pop s);
+  Sched.push s ~key:2000 1;
+  Sched.push s ~key:10 2 (* past-dated *);
+  Sched.push s ~key:500 3 (* past-dated *);
+  Sched.push s ~key:10 4 (* tie with a past-dated key *);
+  Alcotest.(check int) "past first" 2 (Sched.pop s);
+  Alcotest.(check int) "past key" 10 (Sched.popped_key s);
+  Alcotest.(check int) "past tie fifo" 4 (Sched.pop s);
+  Alcotest.(check int) "past order" 3 (Sched.pop s);
+  Alcotest.(check int) "then wheel" 1 (Sched.pop s);
+  Alcotest.(check int) "wheel key" 2000 (Sched.popped_key s)
+
+(* ---------------- far chain / horizon wraparound ------------------ *)
+
+let test_horizon_wraparound () =
+  (* Keys at or beyond cursor + horizon park on the far chain and
+     migrate onto the wheel as the cursor advances past them. *)
+  let s = Sched.create () in
+  let h = Sched.horizon in
+  Sched.push s ~key:((3 * h) + 7) 30;
+  Sched.push s ~key:5 1;
+  Sched.push s ~key:(h + 1) 10;
+  Sched.push s ~key:(2 * h) 20;
+  Alcotest.(check int) "near first" 1 (Sched.pop s);
+  Alcotest.(check int) "first horizon" 10 (Sched.pop s);
+  Alcotest.(check int) "key past horizon" (h + 1) (Sched.popped_key s);
+  (* Push behind the advanced cursor while far entries are parked. *)
+  Sched.push s ~key:6 2;
+  Alcotest.(check int) "ready beats far" 2 (Sched.pop s);
+  Alcotest.(check int) "second horizon" 20 (Sched.pop s);
+  Alcotest.(check int) "third horizon" 30 (Sched.pop s);
+  Alcotest.(check int) "far key" ((3 * h) + 7) (Sched.popped_key s);
+  Alcotest.(check bool) "drained" true (Sched.is_empty s)
+
+(* ---------------- properties -------------------------------------- *)
+
+(* Sorted-list oracle: (key, seq) pairs in lexicographic order. *)
+module Oracle = struct
+  type t = { mutable entries : (int * int * int) list; mutable seq : int }
+
+  let create () = { entries = []; seq = 0 }
+
+  let push o ~key v =
+    let s = o.seq in
+    o.seq <- s + 1;
+    o.entries <-
+      List.merge
+        (fun (k1, s1, _) (k2, s2, _) -> compare (k1, s1) (k2, s2))
+        o.entries
+        [ (key, s, v) ]
+
+  let pop o =
+    match o.entries with
+    | [] -> None
+    | (k, _, v) :: rest ->
+      o.entries <- rest;
+      Some (k, v)
+end
+
+(* Kernel-shaped op trace: each op either pushes a key offset from the
+   current popped frontier — mostly near-future, sometimes past-dated,
+   sometimes beyond the horizon — or pops.  Drives wheel cascading,
+   the ready ring, and the far chain in one stream. *)
+let op_gen =
+  QCheck.(
+    list_of_size Gen.(int_range 0 400)
+      (pair (int_range 0 100) (int_range (-3) 10)))
+
+let replay_ops ops mk_push mk_pop =
+  let cursor = ref 0 in
+  let popped = ref [] in
+  List.iteri
+    (fun i (roll, shape) ->
+       if shape < 0 then begin
+         (* pop *)
+         match mk_pop () with
+         | None -> ()
+         | Some (k, v) ->
+           if k > !cursor then cursor := k;
+           popped := (k, v) :: !popped
+       end
+       else begin
+         let off =
+           if shape = 0 then -(roll * 13) (* past-dated *)
+           else if shape = 1 then Sched.horizon + (roll * 97) (* far *)
+           else roll * (shape - 2) * 31 (* near future; ties at 0 *)
+         in
+         let key = max 0 (!cursor + off) in
+         mk_push ~key (i + 1)
+       end)
+    ops;
+  let rec drain () =
+    match mk_pop () with
+    | None -> ()
+    | Some (k, v) ->
+      popped := (k, v) :: !popped;
+      drain ()
+  in
+  drain ();
+  List.rev !popped
+
+let sched_replay ops s =
+  replay_ops ops
+    (fun ~key v -> Sched.push s ~key v)
+    (fun () ->
+       let v = Sched.pop s in
+       if v < 0 then None else Some (Sched.popped_key s, v))
+
+let prop_matches_sorted_oracle =
+  QCheck.Test.make ~name:"wheel pop stream = sorted-list oracle" ~count:300
+    op_gen (fun ops ->
+      let wheel = sched_replay ops (Sched.create ()) in
+      let o = Oracle.create () in
+      let reference =
+        replay_ops ops
+          (fun ~key v -> Oracle.push o ~key v)
+          (fun () -> Oracle.pop o)
+      in
+      wheel = reference)
+
+let prop_matches_heap_oracle =
+  QCheck.Test.make ~name:"wheel pop stream = old-heap oracle instance"
+    ~count:300 op_gen (fun ops ->
+      let s = Sched.create () in
+      Sched.use_oracle := true;
+      let h =
+        Fun.protect ~finally:(fun () -> Sched.use_oracle := false)
+          Sched.create
+      in
+      assert (Sched.is_oracle h && not (Sched.is_oracle s));
+      sched_replay ops s = sched_replay ops h)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"pops keys in nondecreasing order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun keys ->
+       let s = Sched.create () in
+       List.iteri (fun i k -> Sched.push s ~key:k i) keys;
+       let rec drain last =
+         let v = Sched.pop s in
+         if v < 0 then true
+         else
+           let k = Sched.popped_key s in
+           k >= last && drain k
+       in
+       drain 0)
+
+let prop_fifo_at_equal_key =
+  QCheck.Test.make ~name:"FIFO tie-break at equal key" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 1 50))
+    (fun (key, n) ->
+       let s = Sched.create () in
+       for i = 0 to n - 1 do
+         Sched.push s ~key i
+       done;
+       let ok = ref true in
+       for i = 0 to n - 1 do
+         if Sched.pop s <> i then ok := false
+       done;
+       !ok && Sched.is_empty s)
+
+let () =
+  Alcotest.run "sched"
+    [ ( "units",
+        [ Alcotest.test_case "basic ordering" `Quick test_basic;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "past-dated keys" `Quick test_past_dated;
+          Alcotest.test_case "horizon wraparound" `Quick
+            test_horizon_wraparound ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_sorted_oracle;
+            prop_matches_heap_oracle;
+            prop_sorted;
+            prop_fifo_at_equal_key ] ) ]

@@ -1,0 +1,42 @@
+(* Satellite regression gate for the scheduler rebuild: the vtime
+   telemetry grid on the seed-42 quickstart run must be byte-identical
+   before and after the Vheap -> Sched (timer wheel) refactor.  The
+   golden digest below was captured from the pre-refactor binary-heap
+   scheduler; the test recomputes the grid with the current scheduler
+   and (separately) with the embedded old-heap oracle and requires all
+   three to agree. *)
+
+let golden_digest = "094e7df161db5f94d26f690e848fc7e4"
+
+let run_grid () =
+  let ts = Timeseries.create ~interval:2048 () in
+  let sys =
+    System.build ~seed:42 ~telemetry:ts
+      (Sysconf.uniform Policy.enhanced)
+  in
+  let halt = System.run sys ~root:Workgen.quickstart in
+  (halt, Timeseries.to_csv ts)
+
+let test_grid_golden () =
+  let _halt, csv = run_grid () in
+  let d = Digest.to_hex (Digest.string csv) in
+  Alcotest.(check string) "telemetry grid digest (seed-42 quickstart)"
+    golden_digest d
+
+let test_grid_oracle_identical () =
+  let halt_w, csv_wheel = run_grid () in
+  Sched.use_oracle := true;
+  let halt_o, csv_oracle =
+    Fun.protect ~finally:(fun () -> Sched.use_oracle := false) run_grid
+  in
+  Alcotest.(check bool) "same halt" true (halt_w = halt_o);
+  Alcotest.(check string) "wheel grid = oracle grid" csv_oracle csv_wheel;
+  Alcotest.(check string) "oracle grid digest" golden_digest
+    (Digest.to_hex (Digest.string csv_oracle))
+
+let () =
+  Alcotest.run "telemetry_grid"
+    [ ("grid",
+       [ Alcotest.test_case "golden" `Quick test_grid_golden;
+         Alcotest.test_case "wheel vs old-heap oracle" `Quick
+           test_grid_oracle_identical ]) ]

@@ -1,8 +1,7 @@
-(* Tests for osiris_util: deterministic RNG, the scheduler heap, and the
-   statistics helpers. *)
+(* Tests for osiris_util: deterministic RNG and the statistics helpers.
+   (The scheduler queue moved to lib/kernel/sched; see test_sched.) *)
 
 module Rng = Osiris_util.Rng
-module Vheap = Osiris_util.Vheap
 module Stats = Osiris_util.Stats
 module Tablefmt = Osiris_util.Tablefmt
 
@@ -64,64 +63,6 @@ let prop_shuffle_is_permutation =
        let a = Array.of_list xs in
        Rng.shuffle (Rng.create seed) a;
        List.sort compare (Array.to_list a) = List.sort compare xs)
-
-(* ---------------- vheap ------------------------------------------- *)
-
-let test_heap_basic () =
-  let h = Vheap.create () in
-  Alcotest.(check bool) "empty" true (Vheap.is_empty h);
-  Vheap.push h ~key:5 ~seq:1 "five";
-  Vheap.push h ~key:1 ~seq:2 "one";
-  Vheap.push h ~key:3 ~seq:3 "three";
-  Alcotest.(check int) "length" 3 (Vheap.length h);
-  Alcotest.(check (option int)) "peek" (Some 1) (Vheap.peek_key h);
-  (match Vheap.pop h with
-   | Some (1, _, "one") -> ()
-   | _ -> Alcotest.fail "expected (1, one)");
-  (match Vheap.pop h with
-   | Some (3, _, "three") -> ()
-   | _ -> Alcotest.fail "expected (3, three)");
-  (match Vheap.pop h with
-   | Some (5, _, "five") -> ()
-   | _ -> Alcotest.fail "expected (5, five)");
-  Alcotest.(check bool) "drained" true (Vheap.pop h = None)
-
-let test_heap_fifo_ties () =
-  (* Equal keys pop in insertion (seq) order. *)
-  let h = Vheap.create () in
-  for i = 1 to 10 do
-    Vheap.push h ~key:7 ~seq:i i
-  done;
-  let order = ref [] in
-  let rec drain () =
-    match Vheap.pop h with
-    | Some (_, _, v) ->
-      order := v :: !order;
-      drain ()
-    | None -> ()
-  in
-  drain ();
-  Alcotest.(check (list int)) "fifo among ties" (List.init 10 (fun i -> i + 1))
-    (List.rev !order)
-
-let prop_heap_sorted =
-  QCheck.Test.make ~name:"Vheap pops keys in nondecreasing order" ~count:200
-    QCheck.(list (int_range 0 1000))
-    (fun keys ->
-       let h = Vheap.create () in
-       List.iteri (fun i k -> Vheap.push h ~key:k ~seq:i i) keys;
-       let rec drain last =
-         match Vheap.pop h with
-         | None -> true
-         | Some (k, _, _) -> k >= last && drain k
-       in
-       drain min_int)
-
-let test_heap_clear () =
-  let h = Vheap.create () in
-  Vheap.push h ~key:1 ~seq:1 ();
-  Vheap.clear h;
-  Alcotest.(check bool) "cleared" true (Vheap.is_empty h)
 
 (* ---------------- stats ------------------------------------------- *)
 
@@ -213,11 +154,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_int_in_bounds;
           QCheck_alcotest.to_alcotest prop_float_in_bounds;
           QCheck_alcotest.to_alcotest prop_shuffle_is_permutation ] );
-      ( "vheap",
-        [ Alcotest.test_case "basic ordering" `Quick test_heap_basic;
-          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
-          Alcotest.test_case "clear" `Quick test_heap_clear;
-          QCheck_alcotest.to_alcotest prop_heap_sorted ] );
       ( "stats",
         [ Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
