@@ -1,0 +1,283 @@
+(* Critical-path engine benchmark: what per-request cycle charging
+   costs on the kernel's clock-advance path, and whether the
+   attribution pipeline keeps its exactness promises.
+
+   Run with [dune exec bench/main.exe critpath]. Emits a JSON report
+   (path from OSIRIS_CRITPATH_BENCH_JSON, default BENCH_critpath.json)
+   and exits non-zero when a gate fails:
+
+     OSIRIS_BENCH_MS            per-variant wall budget in ms (default 200)
+     OSIRIS_CRITPATH_BENCH_JSON output path (default BENCH_critpath.json)
+     OSIRIS_CRITPATH_MAX_OVERHEAD_PCT
+                                maximum tolerated request-charging
+                                slowdown over cycle counts alone, in
+                                percent (default 3)
+
+   Gates:
+     charging_overhead       enabling per-request charging on top of
+                             the per-slot cycle counters (the PR-4
+                             profiler substrate) costs <3% wall time
+                             on a workgen run — the charging path is
+                             two array reads and one write per clock
+                             advance, no hashing, no allocation
+     conservation            every analyzed request's buckets sum to
+                             exactly its end-to-end latency, and the
+                             kernel's per-root phase rows sum to the
+                             global phase totals — zero tolerance on
+                             both
+     journal_parity          attributing the decoded journal of a run
+                             yields a byte-identical rendering to
+                             attributing the live event stream
+     blame_identity          the per-spec p99-blame rollup is
+                             byte-identical across re-runs and across
+                             domain-pool worker counts (jobs:1 vs
+                             jobs:4, submission-order merge) *)
+
+let budget_ns () =
+  let ms =
+    match Sys.getenv_opt "OSIRIS_BENCH_MS" with
+    | Some s -> (try float_of_string s with _ -> 200.)
+    | None -> 200.
+  in
+  ms *. 1e6
+
+let max_overhead_pct () =
+  match Sys.getenv_opt "OSIRIS_CRITPATH_MAX_OVERHEAD_PCT" with
+  | Some s -> (try float_of_string s with _ -> 3.)
+  | None -> 3.
+
+let json_path () =
+  match Sys.getenv_opt "OSIRIS_CRITPATH_BENCH_JSON" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_critpath.json"
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let workload_seed = 42
+
+(* ---- overhead probe ---------------------------------------------- *)
+
+let run_counted ~requests () =
+  let sys =
+    System.build ~seed:workload_seed (Sysconf.uniform Policy.enhanced)
+  in
+  let k = System.kernel sys in
+  Kernel.enable_cycle_counts k;
+  if requests then Kernel.enable_request_counts k;
+  match System.run sys ~root:(Workgen.generate ~seed:workload_seed ()) with
+  | Kernel.H_completed _ -> ()
+  | halt ->
+    failwith ("critpath bench workload halted: " ^ Kernel.halt_to_string halt)
+
+(* Interleaved best-of (see obs_bench.ml): both variants run back to
+   back each round so host load drift cannot masquerade as overhead. *)
+let best_ns_interleaved variants =
+  List.iter (fun (_, f) -> f ()) variants;
+  (* warm *)
+  let k = List.length variants in
+  let best = Array.make k infinity in
+  let budget = float_of_int k *. budget_ns () in
+  let t0 = now_ns () in
+  let rounds = ref 0 in
+  while now_ns () -. t0 < budget || !rounds < 8 do
+    List.iteri
+      (fun i (_, f) ->
+         let s = now_ns () in
+         f ();
+         let d = now_ns () -. s in
+         if d < best.(i) then best.(i) <- d)
+      variants;
+    incr rounds
+  done;
+  (best, !rounds)
+
+(* ---- attribution probes ------------------------------------------ *)
+
+let collect_events ~spec ~crash =
+  let header =
+    match
+      Flight.make_header ~seed:workload_seed ~spec ~workload:"quickstart"
+        ~crash ()
+    with
+    | Ok h -> h
+    | Error m -> failwith m
+  in
+  let c = Obs_collector.create () in
+  let kr = ref None in
+  ignore
+    (Flight.exec
+       ~prepare:(fun sys ->
+           let k = System.kernel sys in
+           Kernel.enable_cycle_counts k;
+           Kernel.enable_request_counts k;
+           kr := Some k)
+       header
+       ~hook:(Obs_collector.record c));
+  (header, Obs_collector.events c, Option.get !kr)
+
+(* Canonical rendering used by the parity and identity gates — every
+   field of every breakdown, in analysis order. *)
+let render_result (r : Critpath.result) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "incomplete=%d\n" r.Critpath.cr_incomplete;
+  List.iter
+    (fun (b : Critpath.breakdown) ->
+       Printf.bprintf buf
+         "ep=%d rid=%d inj=%b a=%d x=%d own=%d q=%d svc=[%s] ck=%d rb=%d \
+          rs=%d col=%d path=[%s]\n"
+         b.Critpath.cp_ep b.Critpath.cp_rid b.Critpath.cp_injected
+         b.Critpath.cp_arrival b.Critpath.cp_exit b.Critpath.cp_own
+         b.Critpath.cp_queue
+         (String.concat ";"
+            (List.map
+               (fun (ep, c) -> Printf.sprintf "%d:%d" ep c)
+               b.Critpath.cp_service))
+         b.Critpath.cp_checkpoint b.Critpath.cp_rollback
+         b.Critpath.cp_restart b.Critpath.cp_collateral
+         (String.concat ";" (List.map string_of_int b.Critpath.cp_path)))
+    r.Critpath.cr_requests;
+  Buffer.contents buf
+
+let render_profile = function
+  | None -> "no-profile\n"
+  | Some tp ->
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "n=%d p50=%d p99=%d\n" tp.Tailprof.tp_n
+      tp.Tailprof.tp_p50 tp.Tailprof.tp_p99;
+    List.iter
+      (fun (bk, delta) ->
+         let bi = Tailprof.bucket_index bk in
+         Printf.bprintf buf "%s lo=%d hi=%d d=%d\n"
+           (Tailprof.bucket_name bk)
+           tp.Tailprof.tp_low.Tailprof.co_mean10.(bi)
+           tp.Tailprof.tp_high.Tailprof.co_mean10.(bi)
+           delta)
+      tp.Tailprof.tp_blame;
+    Buffer.contents buf
+
+let blame_specs = [ "enhanced"; "pessimistic"; "enhanced,ds=stateless" ]
+
+let blame_rollup ~jobs =
+  String.concat "--\n"
+    (Parfan.map ~jobs
+       (fun spec ->
+          let _, events, _ = collect_events ~spec ~crash:"ds" in
+          let r = Critpath.analyze events in
+          render_profile (Tailprof.profile r.Critpath.cr_requests))
+       blame_specs)
+
+let json_bool b = if b then "true" else "false"
+
+let run () =
+  Printf.printf
+    "\n================================================================\n\
+     Critical-path engine: charging overhead, conservation, parity\n\
+     ================================================================\n";
+  (* ---- charging overhead ---- *)
+  let best, rounds =
+    best_ns_interleaved
+      [ ("cycle counts", run_counted ~requests:false);
+        ("+ request charging", run_counted ~requests:true) ]
+  in
+  let base_ns = best.(0) and req_ns = best.(1) in
+  let overhead_pct = 100. *. (req_ns -. base_ns) /. base_ns in
+  Printf.printf
+    "workgen run (best of %d interleaved rounds):\n\
+    \  cycle counts alone     %.2f ms\n\
+    \  + request charging     %.2f ms (%+.2f%%)\n"
+    rounds (base_ns /. 1e6) (req_ns /. 1e6) overhead_pct;
+  (* ---- conservation ---- *)
+  let _, events, kernel = collect_events ~spec:"enhanced" ~crash:"ds" in
+  let result = Critpath.analyze events in
+  let n_requests = List.length result.Critpath.cr_requests in
+  let event_conserved =
+    List.for_all
+      (fun b -> Critpath.breakdown_sum b = Critpath.total b)
+      result.Critpath.cr_requests
+  in
+  let rows = Kernel.request_rows kernel in
+  let sys_row = Kernel.system_request_row kernel in
+  let kernel_conserved =
+    List.for_all
+      (fun ph ->
+         let pi = Kernel.phase_index ph in
+         List.fold_left (fun acc (_, _, row) -> acc + row.(pi)) sys_row.(pi)
+           rows
+         = Kernel.total_phase_cycles kernel ph)
+      Kernel.all_phases
+  in
+  Printf.printf
+    "conservation: %d requests, buckets %s, kernel charging (%d roots) %s\n"
+    n_requests
+    (if event_conserved then "exact" else "VIOLATED")
+    (Kernel.request_count kernel)
+    (if kernel_conserved then "exact" else "VIOLATED");
+  (* ---- journal parity ---- *)
+  let header, events2, _ = collect_events ~spec:"enhanced" ~crash:"ds" in
+  let live_render = render_result (Critpath.analyze events2) in
+  let parity =
+    match Journal.read_string (Journal.of_events header events2) with
+    | Error m -> failwith ("critpath bench: journal decode: " ^ m)
+    | Ok (_, decoded) ->
+      String.equal live_render
+        (render_result (Critpath.analyze (Array.to_list decoded)))
+  in
+  Printf.printf "journal parity: attribution of decoded journal %s\n"
+    (if parity then "byte-identical to live" else "DIFFERS");
+  (* ---- blame identity ---- *)
+  let b1 = blame_rollup ~jobs:1 in
+  let b1' = blame_rollup ~jobs:1 in
+  let b4 = blame_rollup ~jobs:4 in
+  let blame_identical = String.equal b1 b1' && String.equal b1 b4 in
+  Printf.printf
+    "blame rollup (%d specs): re-run %s, jobs:1 vs jobs:4 %s\n"
+    (List.length blame_specs)
+    (if String.equal b1 b1' then "identical" else "DIFFERS")
+    (if String.equal b1 b4 then "identical" else "DIFFERS");
+  (* ---- gates ---- *)
+  let threshold = max_overhead_pct () in
+  let overhead_ok = overhead_pct < threshold in
+  let gates =
+    [ ("charging_overhead", overhead_ok);
+      ("conservation", event_conserved && kernel_conserved && n_requests > 0);
+      ("journal_parity", parity);
+      ("blame_identity", blame_identical) ]
+  in
+  (* ---- JSON report ---- *)
+  let buf = Buffer.create 1024 in
+  let f = Printf.bprintf in
+  f buf "{\n";
+  f buf "  \"bench\": \"critpath\",\n";
+  f buf "  \"budget_ms\": %.0f,\n" (budget_ns () /. 1e6);
+  f buf "  \"workload_seed\": %d,\n" workload_seed;
+  f buf
+    "  \"charging\": {\"cycle_counts_ns\": %.0f, \"request_counts_ns\": \
+     %.0f,\n\
+    \    \"overhead_pct\": %.3f, \"max_overhead_pct\": %.1f},\n"
+    base_ns req_ns overhead_pct threshold;
+  f buf
+    "  \"conservation\": {\"requests\": %d, \"event_exact\": %s, \
+     \"kernel_exact\": %s},\n"
+    n_requests (json_bool event_conserved) (json_bool kernel_conserved);
+  f buf "  \"journal_parity\": %s,\n" (json_bool parity);
+  f buf
+    "  \"blame\": {\"specs\": %d, \"bytes\": %d, \"identical\": %s},\n"
+    (List.length blame_specs) (String.length b1) (json_bool blame_identical);
+  f buf "  \"gates\": {%s}\n"
+    (String.concat ", "
+       (List.map (fun (n, ok) -> Printf.sprintf "\"%s\": %s" n (json_bool ok))
+          gates));
+  f buf "}\n";
+  let path = json_path () in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  let failed = List.filter (fun (_, ok) -> not ok) gates in
+  if failed <> [] then begin
+    List.iter
+      (fun (n, _) -> Printf.eprintf "critpath bench: gate FAILED: %s\n" n)
+      failed;
+    exit 1
+  end
+  else Printf.printf "all %d gates passed\n" (List.length gates)

@@ -668,7 +668,8 @@ let all_experiments =
     ("checkpoint", Checkpoint_bench.run); ("obs", Obs_bench.run);
     ("matrix", Matrix_bench.run); ("profiler", Profiler_bench.run);
     ("journal", Journal_bench.run); ("parfan", Parfan_bench.run);
-    ("timeseries", Timeseries_bench.run); ("sched", Sched_bench.run) ]
+    ("timeseries", Timeseries_bench.run); ("sched", Sched_bench.run);
+    ("critpath", Critpath_bench.run) ]
 
 let () =
   let requested =

@@ -17,6 +17,9 @@
                render the sampled series as an ANSI dashboard
      load      open-loop saturation sweep: step offered load, crash a
                server mid-storm, report goodput + tail latency
+               (--attribute adds per-step p99-vs-p50 blame columns)
+     why       causal critical-path attribution: conserved latency
+               breakdowns per request, p99-vs-p50 blame ranking
      trace     run the quickstart workload, export a Perfetto trace
      report    per-handler latency / recovery / metrics report
      profile   cycle-accounting profile (per-compartment phase matrix,
@@ -544,15 +547,17 @@ let timeline_cmd =
     let halt = System.run sys ~root:Workgen.quickstart in
     Timeseries.publish ts metrics;
     let spans = Span.build (Obs_collector.events collector) in
-    (* Request latency = completed top-level request roots, stamped at
-       completion — what the sliding percentile windows consume. *)
+    (* Request latency = completed top-level request spans, stamped at
+       completion — what the sliding percentile windows consume. Since
+       arrival anchoring, request spans nest under per-process Session
+       roots; [top_requests] finds them either way. *)
     let latencies =
       List.filter_map
         (fun (s : Span.t) ->
-           if s.Span.sp_kind = Span.Request && s.Span.sp_complete then
+           if s.Span.sp_complete then
              Some (s.Span.sp_end, s.Span.sp_end - s.Span.sp_start)
            else None)
-        spans
+        (Span.top_requests spans)
     in
     let tl = Timeline.of_kernel ~latencies ~window ts kernel in
     print_string (Timeline.dashboard ~color:(not no_color) tl);
@@ -653,8 +658,17 @@ let load_cmd =
                  series + sliding latency percentiles + recovery \
                  episodes).")
   in
+  let attribute_arg =
+    Arg.(value & flag
+         & info [ "attribute" ]
+           ~doc:"Run the critical-path engine on every step and add \
+                 per-step p99-vs-p50 blame columns (which latency \
+                 bucket — queueing, service, checkpointing, recovery \
+                 collateral... — separates the tail from the median) \
+                 plus the sweep's knee step to the JSON/CSV artifacts.")
+  in
   let run policy seed crash jobs requests rate_min rate_max steps arrival
-      on_us off_us keys zipf json csv timeline =
+      on_us off_us keys zipf json csv timeline attribute =
     setup_logs ();
     let cycles_per_us = Loadgen.cycles_per_second / 1_000_000 in
     let l_arrival =
@@ -678,7 +692,12 @@ let load_cmd =
           l_zipf = zipf }
       in
       let ts = Timeseries.create ~interval:2048 () in
-      let sys = System.build ~seed ~telemetry:ts (Sysconf.uniform policy) in
+      let collector = if attribute then Some (Obs_collector.create ()) else None in
+      let sys =
+        System.build ~seed ~telemetry:ts
+          ?event_hook:(Option.map Obs_collector.record collector)
+          (Sysconf.uniform policy)
+      in
       let kernel = System.kernel sys in
       let reqs = Loadgen.inject kernel spec in
       arm_crash kernel crash;
@@ -696,7 +715,15 @@ let load_cmd =
         Timeline.to_json
           (Timeline.of_kernel ~latencies:o.Loadgen.o_lat_pairs ts kernel)
       in
-      (halt, o, crashes, restarts, tl_json)
+      let att =
+        Option.map
+          (fun c ->
+             let cp = Critpath.analyze (Obs_collector.events c) in
+             (Tailprof.profile cp.Critpath.cr_requests,
+              cp.Critpath.cr_incomplete))
+          collector
+      in
+      (halt, o, crashes, restarts, Kernel.shed_exits kernel, att, tl_json)
     in
     let results = Parfan.map ?jobs:(if jobs = 0 then None else Some jobs) step rates in
     let p o num den = Loadgen.percentile o.Loadgen.o_latencies ~num ~den in
@@ -706,7 +733,7 @@ let load_cmd =
     in
     let rows =
       List.map
-        (fun (halt, o, crashes, restarts, _) ->
+        (fun (halt, o, crashes, restarts, _, _, _) ->
            [ string_of_int o.Loadgen.o_spec_rate;
              string_of_int (Loadgen.goodput_rps o);
              string_of_int o.Loadgen.o_ok;
@@ -752,22 +779,59 @@ let load_cmd =
        | Some ep -> Endpoint.server_name ep
        | None -> "none");
     Printf.bprintf buf "  \"keys\": %d,\n  \"zipf\": \"%g\",\n" keys zipf;
+    let attribution_json att =
+      match att with
+      | None -> ""
+      | Some (prof, incomplete) ->
+        let b = Buffer.create 256 in
+        (match prof with
+         | None ->
+           Printf.bprintf b ",\n     \"attribution\": {\"n\": 0, \
+                            \"incomplete\": %d}" incomplete
+         | Some tp ->
+           Printf.bprintf b
+             ",\n     \"attribution\": {\"n\": %d, \"incomplete\": %d, \
+              \"p50_cut\": %d, \"p99_cut\": %d, \"blame10\": [\n"
+             tp.Tailprof.tp_n incomplete tp.Tailprof.tp_p50
+             tp.Tailprof.tp_p99;
+           let last = List.length tp.Tailprof.tp_blame - 1 in
+           List.iteri
+             (fun j (bk, delta) ->
+                let bi = Tailprof.bucket_index bk in
+                Printf.bprintf b
+                  "       {\"bucket\": \"%s\", \"p50_mean10\": %d, \
+                   \"p99_mean10\": %d, \"delta10\": %d}%s\n"
+                  (Tailprof.bucket_name bk)
+                  tp.Tailprof.tp_low.Tailprof.co_mean10.(bi)
+                  tp.Tailprof.tp_high.Tailprof.co_mean10.(bi)
+                  delta
+                  (if j = last then "" else ","))
+             tp.Tailprof.tp_blame;
+           Buffer.add_string b "     ]}");
+        Buffer.contents b
+    in
     Printf.bprintf buf "  \"steps\": [\n";
     List.iteri
-      (fun i (_, o, crashes, restarts, _) ->
+      (fun i (_, o, crashes, restarts, kshed, att, _) ->
          Printf.bprintf buf
            "    {\"offered_rps\": %d, \"goodput_rps\": %d, \"completed\": \
-            %d, \"ok\": %d, \"shed\": %d,\n\
+            %d, \"ok\": %d, \"shed\": %d, \"kernel_shed\": %d,\n\
            \     \"makespan\": %d, \"p50\": %d, \"p95\": %d, \"p99\": %d, \
             \"p999\": %d, \"max\": %d,\n\
-           \     \"crashes\": %d, \"restarts\": %d}%s\n"
+           \     \"crashes\": %d, \"restarts\": %d%s}%s\n"
            o.Loadgen.o_spec_rate (Loadgen.goodput_rps o)
-           o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed
+           o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed kshed
            o.Loadgen.o_makespan (p o 1 2) (p o 95 100) (p o 99 100)
-           (p o 999 1000) (lat_max o) crashes restarts
+           (p o 999 1000) (lat_max o) crashes restarts (attribution_json att)
            (if i = List.length results - 1 then "" else ","))
       results;
-    Printf.bprintf buf "  ]\n}\n";
+    if attribute then begin
+      let p99s =
+        Array.of_list (List.map (fun (_, o, _, _, _, _, _) -> p o 99 100) results)
+      in
+      Printf.bprintf buf "  ],\n  \"knee_step\": %d\n}\n" (Tailprof.knee p99s)
+    end
+    else Printf.bprintf buf "  ]\n}\n";
     write_file
       (out_path ~flag:json ~env:"OSIRIS_LOAD_JSON"
          ~default:"osiris_load.json")
@@ -776,20 +840,36 @@ let load_cmd =
      | Some path ->
        let cb = Buffer.create 1024 in
        Buffer.add_string cb
-         "offered_rps,goodput_rps,completed,ok,shed,makespan,p50,p95,p99,\
-          p999,max,crashes,restarts\n";
+         "offered_rps,goodput_rps,completed,ok,shed,kernel_shed,makespan,\
+          p50,p95,p99,p999,max,crashes,restarts";
+       if attribute then
+         for i = 0 to Tailprof.n_buckets - 1 do
+           Printf.bprintf cb ",blame_%s10"
+             (Tailprof.bucket_name (Tailprof.bucket_of_index i))
+         done;
+       Buffer.add_char cb '\n';
        List.iter
-         (fun (_, o, crashes, restarts, _) ->
-            Printf.bprintf cb "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n"
+         (fun (_, o, crashes, restarts, kshed, att, _) ->
+            Printf.bprintf cb "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
               o.Loadgen.o_spec_rate (Loadgen.goodput_rps o)
-              o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed
+              o.Loadgen.o_completed o.Loadgen.o_ok o.Loadgen.o_shed kshed
               o.Loadgen.o_makespan (p o 1 2) (p o 95 100) (p o 99 100)
-              (p o 999 1000) (lat_max o) crashes restarts)
+              (p o 999 1000) (lat_max o) crashes restarts;
+            (if attribute then
+               let delta10 = Array.make Tailprof.n_buckets 0 in
+               (match att with
+                | Some (Some tp, _) ->
+                  List.iter
+                    (fun (bk, d) -> delta10.(Tailprof.bucket_index bk) <- d)
+                    tp.Tailprof.tp_blame
+                | _ -> ());
+               Array.iter (fun d -> Printf.bprintf cb ",%d" d) delta10);
+            Buffer.add_char cb '\n')
          results;
        write_file path (Buffer.contents cb)
      | None -> ());
     (match timeline, List.rev results with
-     | Some path, (_, _, _, _, tl_json) :: _ -> write_file path tl_json
+     | Some path, (_, _, _, _, _, _, tl_json) :: _ -> write_file path tl_json
      | _ -> ());
     0
   in
@@ -802,7 +882,337 @@ let load_cmd =
     Term.(const run $ policy_arg $ seed_arg $ crash_arg $ jobs_arg
           $ requests_arg $ rate_min_arg $ rate_max_arg $ steps_arg
           $ arrival_arg $ on_us_arg $ off_us_arg $ keys_arg $ zipf_arg
-          $ json_arg $ csv_arg $ timeline_arg)
+          $ json_arg $ csv_arg $ timeline_arg $ attribute_arg)
+
+(* Causal critical-path attribution: decompose each request's latency
+   into conserved buckets and rank which bucket separates the p99 tail
+   from the median. The analysis is a pure function of the event
+   stream, so attributing a recorded journal (--journal) yields an
+   artifact byte-identical to the live run that produced it — the
+   parity gate in bench/critpath_bench.ml. *)
+let why_cmd =
+  let spec_all_arg =
+    Arg.(value & opt_all string []
+         & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"System spec(s) to attribute (repeatable; overrides \
+                 $(b,--policy)): default[,server=policy[/budget]]... Specs \
+                 fan out over the domain pool; the artifact merges them in \
+                 submission order, byte-identical at any $(b,--jobs).")
+  in
+  let workload_arg =
+    Arg.(value & opt string "quickstart"
+         & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Workload: quickstart, suite, or workgen (seed-derived).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1
+         & info [ "crashes" ] ~docv:"N" ~doc:"Crashes to inject.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Attribute a recorded journal instead of running live \
+                 ($(b,--spec)/$(b,--crash)/... are ignored; the journal \
+                 already fixes the run).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_WHY_JSON or \
+                 osiris_why.json).")
+  in
+  let perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"PATH"
+           ~doc:"Also write a Perfetto span trace of the first run with \
+                 flow arrows tracing each tail request's critical path \
+                 across the server tracks.")
+  in
+  let top_arg =
+    Arg.(value & opt int 3
+         & info [ "top" ] ~docv:"N"
+           ~doc:"Slowest requests to detail on stdout.")
+  in
+  let tenths v = Printf.sprintf "%d.%d" (v / 10) (abs v mod 10) in
+  let service_json b =
+    "["
+    ^ String.concat ", "
+        (List.map
+           (fun (ep, c) ->
+              Printf.sprintf "[%s, %d]"
+                (Chrome_trace.escaped (Endpoint.server_name ep))
+                c)
+           b.Critpath.cp_service)
+    ^ "]"
+  in
+  let request_json buf (b : Critpath.breakdown) =
+    Printf.bprintf buf
+      "      {\"ep\": %s, \"rid\": %d, \"injected\": %b, \"arrival\": %d, \
+       \"exit\": %d, \"total\": %d,\n\
+      \       \"own\": %d, \"queue\": %d, \"service\": %s, \"checkpoint\": \
+       %d, \"rollback\": %d, \"restart\": %d, \"collateral\": %d, \
+       \"path\": [%s]}"
+      (Chrome_trace.escaped (Endpoint.server_name b.Critpath.cp_ep))
+      b.Critpath.cp_rid b.Critpath.cp_injected b.Critpath.cp_arrival
+      b.Critpath.cp_exit (Critpath.total b) b.Critpath.cp_own
+      b.Critpath.cp_queue (service_json b) b.Critpath.cp_checkpoint
+      b.Critpath.cp_rollback b.Critpath.cp_restart b.Critpath.cp_collateral
+      (String.concat ", " (List.map string_of_int b.Critpath.cp_path))
+  in
+  let profile_json buf = function
+    | None -> Buffer.add_string buf "null"
+    | Some tp ->
+      Printf.bprintf buf
+        "{\"n\": %d, \"p50_cut\": %d, \"p99_cut\": %d, \"blame10\": [\n"
+        tp.Tailprof.tp_n tp.Tailprof.tp_p50 tp.Tailprof.tp_p99;
+      let last = List.length tp.Tailprof.tp_blame - 1 in
+      List.iteri
+        (fun j (bk, delta) ->
+           let bi = Tailprof.bucket_index bk in
+           Printf.bprintf buf
+             "        {\"bucket\": \"%s\", \"p50_mean10\": %d, \
+              \"p99_mean10\": %d, \"delta10\": %d}%s\n"
+             (Tailprof.bucket_name bk)
+             tp.Tailprof.tp_low.Tailprof.co_mean10.(bi)
+             tp.Tailprof.tp_high.Tailprof.co_mean10.(bi)
+             delta
+             (if j = last then "      ]}" else ","))
+        tp.Tailprof.tp_blame
+  in
+  let run policy specs seed arch workload crash count jobs journal json
+      perfetto top =
+    setup_logs ();
+    let runs =
+      match journal with
+      | Some path ->
+        (match Journal.read_file path with
+         | Error m ->
+           prerr_endline ("why: " ^ m);
+           Error 1
+         | Ok (_header, events) -> Ok [ (Array.to_list events, None) ])
+      | None ->
+        let specs = if specs = [] then [ policy.Policy.name ] else specs in
+        let crash_name =
+          match crash with
+          | None -> "none"
+          | Some ep -> Endpoint.server_name ep
+        in
+        let headers =
+          List.map
+            (fun s ->
+               Flight.make_header ~arch ~seed ~spec:s ~workload
+                 ~crash:crash_name ~crash_count:count ())
+            specs
+        in
+        (match
+           List.find_map
+             (function Error m -> Some m | Ok _ -> None)
+             headers
+         with
+         | Some m ->
+           prerr_endline ("why: " ^ m);
+           Error 1
+         | None ->
+           let headers =
+             List.filter_map
+               (function Ok h -> Some h | Error _ -> None)
+               headers
+           in
+           Ok
+             (Parfan.map
+                ?jobs:(if jobs = 0 then None else Some jobs)
+                (fun header ->
+                   let c = Obs_collector.create () in
+                   let kr = ref None in
+                   ignore
+                     (Flight.exec
+                        ~prepare:(fun sys ->
+                            let k = System.kernel sys in
+                            (* Kernel-side charging is the independent
+                               cross-check on the event-derived
+                               attribution; it observes the run without
+                               perturbing it. *)
+                            Kernel.enable_cycle_counts k;
+                            Kernel.enable_request_counts k;
+                            kr := Some k)
+                        header
+                        ~hook:(Obs_collector.record c));
+                   (Obs_collector.events c, !kr))
+                headers))
+    in
+    match runs with
+    | Error rc -> rc
+    | Ok runs ->
+      let analyzed =
+        List.map
+          (fun (events, kernel) ->
+             let cp = Critpath.analyze events in
+             (events, kernel, cp, Tailprof.profile cp.Critpath.cr_requests))
+          runs
+      in
+      (* Conservation is the tool's contract: refuse to emit an
+         artifact whose buckets don't sum back to the latencies. *)
+      let violations =
+        List.concat_map
+          (fun (_, _, cp, _) ->
+             List.filter
+               (fun b -> Critpath.breakdown_sum b <> Critpath.total b)
+               cp.Critpath.cr_requests)
+          analyzed
+      in
+      if violations <> [] then begin
+        Printf.eprintf
+          "why: INTERNAL: %d request(s) violate conservation (e.g. %s: sum \
+           %d <> total %d)\n"
+          (List.length violations)
+          (Endpoint.server_name (List.hd violations).Critpath.cp_ep)
+          (Critpath.breakdown_sum (List.hd violations))
+          (Critpath.total (List.hd violations));
+        1
+      end
+      else begin
+        List.iteri
+          (fun i (_, kernel, cp, prof) ->
+             let reqs = cp.Critpath.cr_requests in
+             Printf.printf
+               "run %d: %d completed request(s), %d incomplete — \
+                conservation exact\n"
+               i (List.length reqs) cp.Critpath.cr_incomplete;
+             (match prof with
+              | None -> ()
+              | Some tp ->
+                Printf.printf "  p50 %d cycles, p99 %d cycles (n=%d)\n"
+                  tp.Tailprof.tp_p50 tp.Tailprof.tp_p99 tp.Tailprof.tp_n;
+                print_string
+                  (Osiris_util.Tablefmt.render
+                     ~title:"p99-vs-p50 blame (mean cycles per request)"
+                     ~header:[ "bucket"; "p50 mean"; "p99 mean"; "blame" ]
+                     ~align:
+                       Osiris_util.Tablefmt.[ Left; Right; Right; Right ]
+                     (List.map
+                        (fun (bk, delta) ->
+                           let bi = Tailprof.bucket_index bk in
+                           [ Tailprof.bucket_name bk;
+                             tenths tp.Tailprof.tp_low.Tailprof.co_mean10.(bi);
+                             tenths tp.Tailprof.tp_high.Tailprof.co_mean10.(bi);
+                             tenths delta ])
+                        tp.Tailprof.tp_blame)));
+             let slowest =
+               List.sort
+                 (fun a b -> compare (Critpath.total b) (Critpath.total a))
+                 reqs
+             in
+             List.iteri
+               (fun j b ->
+                  if j < top then begin
+                    Printf.printf
+                      "  #%d %s: total %d = own %d + queue %d + service %d \
+                       + ckpt %d + rollback %d + restart %d + collateral %d\n"
+                      (j + 1)
+                      (Endpoint.server_name b.Critpath.cp_ep)
+                      (Critpath.total b) b.Critpath.cp_own
+                      b.Critpath.cp_queue (Critpath.service_total b)
+                      b.Critpath.cp_checkpoint b.Critpath.cp_rollback
+                      b.Critpath.cp_restart b.Critpath.cp_collateral;
+                    List.iter
+                      (fun (ep, c) ->
+                         Printf.printf "       service[%s] = %d\n"
+                           (Endpoint.server_name ep) c)
+                      b.Critpath.cp_service
+                  end)
+               slowest;
+             (* Live runs carry the kernel: check the charging identity
+                (sum of per-root rows = global phase totals). Stdout
+                only — the JSON artifact stays a pure function of the
+                events so journal attribution matches byte-for-byte. *)
+             match kernel with
+             | None -> ()
+             | Some k ->
+               let rows = Kernel.request_rows k in
+               let sys_row = Kernel.system_request_row k in
+               let ok =
+                 List.for_all
+                   (fun ph ->
+                      let pi = Kernel.phase_index ph in
+                      let s =
+                        List.fold_left
+                          (fun acc (_, _, row) -> acc + row.(pi))
+                          sys_row.(pi) rows
+                      in
+                      s = Kernel.total_phase_cycles k ph)
+                   Kernel.all_phases
+               in
+               Printf.printf
+                 "  kernel charging cross-check: %s (%d roots)\n"
+                 (if ok then "exact" else "MISMATCH")
+                 (Kernel.request_count k))
+          analyzed;
+        let buf = Buffer.create 4096 in
+        Printf.bprintf buf "{\n  \"tool\": \"why\",\n  \"runs\": [\n";
+        let nruns = List.length analyzed in
+        List.iteri
+          (fun i (_, _, cp, prof) ->
+             Printf.bprintf buf "    {\"incomplete\": %d,\n     \"requests\": [\n"
+               cp.Critpath.cr_incomplete;
+             let reqs = cp.Critpath.cr_requests in
+             let last = List.length reqs - 1 in
+             List.iteri
+               (fun j b ->
+                  request_json buf b;
+                  Buffer.add_string buf (if j = last then "\n     ],\n" else ",\n"))
+               reqs;
+             if reqs = [] then Buffer.add_string buf "     ],\n";
+             Buffer.add_string buf "     \"profile\": ";
+             profile_json buf prof;
+             Buffer.add_string buf (if i = nruns - 1 then "}\n" else "},\n"))
+          analyzed;
+        Printf.bprintf buf "  ]\n}\n";
+        write_file
+          (out_path ~flag:json ~env:"OSIRIS_WHY_JSON"
+             ~default:"osiris_why.json")
+          (Buffer.contents buf);
+        (match perfetto, analyzed with
+         | Some path, (events, _, cp, prof) :: _ ->
+           let spans = Span.build events in
+           let anchor_of = Hashtbl.create 256 in
+           List.iter
+             (fun (s : Span.t) ->
+                if not (Hashtbl.mem anchor_of s.Span.sp_id) then
+                  Hashtbl.replace anchor_of s.Span.sp_id
+                    { Chrome_trace.fa_tid = s.Span.sp_ep;
+                      fa_ts = s.Span.sp_start })
+             (Span.flatten spans);
+           let tail_cut =
+             match prof with Some tp -> tp.Tailprof.tp_p99 | None -> 0
+           in
+           let flows =
+             List.filter_map
+               (fun (b : Critpath.breakdown) ->
+                  if Critpath.total b >= tail_cut && b.Critpath.cp_path <> []
+                  then
+                    Some
+                      (b.Critpath.cp_rid,
+                       List.filter_map
+                         (Hashtbl.find_opt anchor_of)
+                         b.Critpath.cp_path)
+                  else None)
+               cp.Critpath.cr_requests
+           in
+           write_file path (Chrome_trace.of_spans ~events ~flows spans)
+         | _ -> ());
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Causal critical-path attribution: decompose each request's \
+             end-to-end latency into an exactly conserved breakdown (own \
+             compute, queueing, per-server service, checkpoint windows, \
+             self-inflicted rollback/restart, recovery collateral) and \
+             rank which bucket separates the p99 tail from the median.")
+    Term.(const run $ policy_arg $ spec_all_arg $ seed_arg $ arch_arg
+          $ workload_arg $ crash_arg $ count_arg $ jobs_arg $ journal_arg
+          $ json_arg $ perfetto_arg $ top_arg)
 
 let profile_cmd =
   let json_arg =
@@ -1209,7 +1619,8 @@ let main =
        ~doc:"OSIRIS: compartmentalized OS crash recovery (simulation)")
     [ suite_cmd; bench_cmd; coverage_cmd; memory_cmd; survive_cmd;
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
-      stress_cmd; events_cmd; timeline_cmd; load_cmd; trace_cmd; report_cmd;
-      profile_cmd; health_cmd; record_cmd; replay_cmd; postmortem_cmd ]
+      stress_cmd; events_cmd; timeline_cmd; load_cmd; why_cmd; trace_cmd;
+      report_cmd; profile_cmd; health_cmd; record_cmd; replay_cmd;
+      postmortem_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

@@ -1,0 +1,370 @@
+(* Critical-path decomposition of request latency. See the .mli for
+   the bucket taxonomy and the conservation argument; the core is an
+   exact interval partition. Each completed request's [arrival, exit]
+   interval splits into own-compute and outstanding-call intervals;
+   each call interval splits at the dispatch instant into a queueing
+   prefix and a handling suffix; the suffix splits into child-call
+   intervals (recursed) and residual handler time; and every segment
+   is classified against the handling server's checkpoint intervals
+   and crash->restart episodes. All arithmetic is integer interval
+   lengths over one partition, so the buckets sum to the latency
+   exactly — no tolerance needed. *)
+
+type breakdown = {
+  cp_ep : Endpoint.t;
+  cp_rid : int;
+  cp_injected : bool;
+  cp_arrival : int;
+  cp_exit : int;
+  cp_own : int;
+  cp_queue : int;
+  cp_service : (Endpoint.t * int) list;
+  cp_checkpoint : int;
+  cp_rollback : int;
+  cp_restart : int;
+  cp_collateral : int;
+  cp_path : int list;
+}
+
+let total b = b.cp_exit - b.cp_arrival
+
+let service_total b = List.fold_left (fun a (_, c) -> a + c) 0 b.cp_service
+
+let breakdown_sum b =
+  b.cp_own + b.cp_queue + service_total b + b.cp_checkpoint + b.cp_rollback
+  + b.cp_restart + b.cp_collateral
+
+type result = {
+  cr_requests : breakdown list;
+  cr_incomplete : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stream indexing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type msg = {
+  m_time : int;
+  m_src : int;
+  m_dst : int;
+  m_call : bool;
+}
+
+type episode = {
+  e_crash : int;
+  mutable e_restart : int;  (* max_int while still recovering *)
+  e_root : int;             (* causal root of the crashed rid *)
+  (* Rollback sub-intervals (begin, end), oldest first once frozen. *)
+  mutable e_rollbacks : (int * int) list;
+  mutable e_rb_open : int;  (* open rollback begin, -1 when none *)
+}
+
+type index = {
+  ix_msgs : (int, msg) Hashtbl.t;
+  ix_reply : (int, int) Hashtbl.t;          (* rid -> first reply time *)
+  ix_children : (int, int list) Hashtbl.t;  (* rid -> call-child rids, rev *)
+  ix_marks : (int, int list) Hashtbl.t;     (* rid -> activity times, rev *)
+  ix_ckpts : (int, (int * int) list) Hashtbl.t;  (* rid -> (open, done), rev *)
+  ix_ck_open : (int, int) Hashtbl.t;        (* rid -> pending window open *)
+  ix_roots : (int, int) Hashtbl.t;          (* rid -> causal root rid *)
+  ix_episodes : (int, episode list) Hashtbl.t;  (* server -> episodes, rev *)
+  ix_tops : (int, int list) Hashtbl.t;      (* src ep -> root-call rids, rev *)
+  ix_exits : (int, int) Hashtbl.t;          (* user ep -> last exit-call time *)
+  mutable ix_spawns : (int * int * int) list;  (* (ep, arrival, parent), rev *)
+}
+
+let push tbl k v =
+  Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+
+let root_of ix rid =
+  if rid = 0 then 0
+  else Option.value ~default:rid (Hashtbl.find_opt ix.ix_roots rid)
+
+let index events =
+  let ix =
+    { ix_msgs = Hashtbl.create 1024;
+      ix_reply = Hashtbl.create 1024;
+      ix_children = Hashtbl.create 256;
+      ix_marks = Hashtbl.create 1024;
+      ix_ckpts = Hashtbl.create 256;
+      ix_ck_open = Hashtbl.create 16;
+      ix_roots = Hashtbl.create 1024;
+      ix_episodes = Hashtbl.create 16;
+      ix_tops = Hashtbl.create 256;
+      ix_exits = Hashtbl.create 256;
+      ix_spawns = [] }
+  in
+  let open_episode ep time rid =
+    push ix.ix_episodes ep
+      { e_crash = time; e_restart = max_int; e_root = root_of ix rid;
+        e_rollbacks = []; e_rb_open = -1 }
+  in
+  let current_episode ep =
+    match Hashtbl.find_opt ix.ix_episodes ep with
+    | Some (e :: _) -> Some e
+    | _ -> None
+  in
+  List.iter
+    (fun ev ->
+       match ev with
+       | Kernel.E_spawn { time; ep; parent } ->
+         ix.ix_spawns <- (ep, time, parent) :: ix.ix_spawns
+       | Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls = _ } ->
+         Hashtbl.replace ix.ix_msgs rid
+           { m_time = time; m_src = src; m_dst = dst; m_call = call };
+         Hashtbl.replace ix.ix_roots rid
+           (if parent = 0 then rid else root_of ix parent);
+         if parent = 0 then begin
+           if call then push ix.ix_tops src rid;
+           (* Exit detection: a PM crash can force the exit call to be
+              retried; the last attempt's issue time is the process'
+              exit vtime. *)
+           if tag = Message.Tag.T_exit then
+             Hashtbl.replace ix.ix_exits src time
+         end
+         else begin
+           if call then push ix.ix_children parent rid;
+           push ix.ix_marks parent time
+         end
+       | Kernel.E_reply { time; rid; _ } ->
+         if not (Hashtbl.mem ix.ix_reply rid) then
+           Hashtbl.replace ix.ix_reply rid time
+       | Kernel.E_window_open { time; rid; _ } ->
+         if rid <> 0 then begin
+           push ix.ix_marks rid time;
+           Hashtbl.replace ix.ix_ck_open rid time
+         end
+       | Kernel.E_checkpoint { time; rid; _ } ->
+         if rid <> 0 then begin
+           push ix.ix_marks rid time;
+           (match Hashtbl.find_opt ix.ix_ck_open rid with
+            | Some op when op <= time ->
+              push ix.ix_ckpts rid (op, time);
+              Hashtbl.remove ix.ix_ck_open rid
+            | _ -> ())
+         end
+       | Kernel.E_kcall { time; rid; _ } | Kernel.E_store_logged { time; rid; _ }
+         ->
+         if rid <> 0 then push ix.ix_marks rid time
+       | Kernel.E_crash { time; ep; rid; _ } ->
+         if rid <> 0 then push ix.ix_marks rid time;
+         open_episode ep time rid
+       | Kernel.E_rollback_begin { time; ep; _ } ->
+         (match current_episode ep with
+          | Some e when e.e_restart = max_int -> e.e_rb_open <- time
+          | _ -> ())
+       | Kernel.E_rollback_end { time; ep; _ } ->
+         (match current_episode ep with
+          | Some e when e.e_rb_open >= 0 ->
+            e.e_rollbacks <- (e.e_rb_open, time) :: e.e_rollbacks;
+            e.e_rb_open <- -1
+          | _ -> ())
+       | Kernel.E_restart { time; ep; _ } ->
+         (match current_episode ep with
+          | Some e when e.e_restart = max_int -> e.e_restart <- time
+          | _ -> ())
+       | Kernel.E_window_close _ | Kernel.E_hang_detected _ | Kernel.E_halt _
+         -> ())
+    events;
+  ix
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable x_own : int;
+  mutable x_queue : int;
+  x_service : (int, int) Hashtbl.t;
+  mutable x_checkpoint : int;
+  mutable x_rollback : int;
+  mutable x_restart : int;
+  mutable x_collateral : int;
+  mutable x_path : int list;  (* reversed *)
+}
+
+(* Attribute the part of [a, z) overlapping [server]'s recovery
+   episodes, returning the uncovered segments (ascending). A crash
+   sharing the request's causal [root] is the request's own fault —
+   rollback sub-intervals to [x_rollback], the rest of the episode to
+   [x_restart]; any other root's recovery is collateral damage. *)
+let cut_episodes ix acc server root a z =
+  match Hashtbl.find_opt ix.ix_episodes server with
+  | None -> [ (a, z) ]
+  | Some eps ->
+    let eps = List.rev eps in  (* ascending crash time *)
+    let cur = ref a in
+    let out = ref [] in
+    List.iter
+      (fun e ->
+         let lo = max !cur e.e_crash and hi = min z e.e_restart in
+         if hi > lo then begin
+           if lo > !cur then out := (!cur, lo) :: !out;
+           (if e.e_root = root && root <> 0 then begin
+              let rb =
+                List.fold_left
+                  (fun s (ra, rz) ->
+                     let x = max lo ra and y = min hi rz in
+                     if y > x then s + (y - x) else s)
+                  0 e.e_rollbacks
+              in
+              acc.x_rollback <- acc.x_rollback + rb;
+              acc.x_restart <- acc.x_restart + (hi - lo - rb)
+            end
+            else acc.x_collateral <- acc.x_collateral + (hi - lo));
+           cur := hi
+         end)
+      eps;
+    if z > !cur then out := (!cur, z) :: !out;
+    List.rev !out
+
+(* Handler time on [server] for [rid] over [a, z): recovery overlap
+   first, then the request's own checkpoint intervals, remainder is
+   plain service. *)
+let classify_residual ix acc server rid root a z =
+  let rem = cut_episodes ix acc server root a z in
+  let ckpts =
+    match Hashtbl.find_opt ix.ix_ckpts rid with
+    | None -> []
+    | Some l -> List.rev l
+  in
+  List.iter
+    (fun (a, z) ->
+       let cur = ref a in
+       List.iter
+         (fun (ca, cz) ->
+            let lo = max !cur ca and hi = min z cz in
+            if hi > lo then begin
+              acc.x_checkpoint <- acc.x_checkpoint + (hi - lo);
+              let s =
+                Option.value ~default:0
+                  (Hashtbl.find_opt acc.x_service server)
+              in
+              Hashtbl.replace acc.x_service server (s + (lo - !cur));
+              cur := hi
+            end)
+         ckpts;
+       let s =
+         Option.value ~default:0 (Hashtbl.find_opt acc.x_service server)
+       in
+       Hashtbl.replace acc.x_service server (s + (z - !cur)))
+    rem
+
+let reply_end ix rid t =
+  match Hashtbl.find_opt ix.ix_reply rid with
+  | Some r -> max t r
+  | None -> t
+
+(* Decompose [rid]'s handling as its requester saw it over [lo, hi). *)
+let rec walk ix acc rid lo hi =
+  if hi > lo then begin
+    match Hashtbl.find_opt ix.ix_msgs rid with
+    | None -> acc.x_own <- acc.x_own + (hi - lo)
+    | Some m ->
+      acc.x_path <- rid :: acc.x_path;
+      let root = root_of ix rid in
+      (* Dispatch: the server's first observable act on this rid. *)
+      let d =
+        match Hashtbl.find_opt ix.ix_marks rid with
+        | None -> lo
+        | Some marks ->
+          let best =
+            List.fold_left
+              (fun best t -> if t >= lo && t <= hi && t < best then t else best)
+              hi marks
+          in
+          if best = hi then lo else best
+      in
+      (* Pre-dispatch wait: queueing, except where the server was
+         mid-recovery. *)
+      List.iter
+        (fun (a, z) -> acc.x_queue <- acc.x_queue + (z - a))
+        (cut_episodes ix acc m.m_dst root lo d);
+      (* Handling: child calls recurse, residual is this server's. *)
+      let kids =
+        List.filter_map
+          (fun crid ->
+             match Hashtbl.find_opt ix.ix_msgs crid with
+             | Some cm when cm.m_call ->
+               Some (crid, cm.m_time, reply_end ix crid cm.m_time)
+             | _ -> None)
+          (List.rev
+             (Option.value ~default:[]
+                (Hashtbl.find_opt ix.ix_children rid)))
+      in
+      let kids =
+        List.sort (fun (_, a, _) (_, b, _) -> compare a b) kids
+      in
+      let cur = ref d in
+      List.iter
+        (fun (crid, ct, cr) ->
+           let ct = max ct !cur and cr = min cr hi in
+           if cr > ct then begin
+             if ct > !cur then classify_residual ix acc m.m_dst rid root !cur ct;
+             walk ix acc crid ct cr;
+             cur := cr
+           end)
+        kids;
+      if hi > !cur then classify_residual ix acc m.m_dst rid root !cur hi
+  end
+
+let analyze events =
+  let ix = index events in
+  let incomplete = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun (ep, arrival, parent) ->
+       match Hashtbl.find_opt ix.ix_exits ep with
+       | None -> incr incomplete
+       | Some exit_t ->
+         let acc =
+           { x_own = 0; x_queue = 0; x_service = Hashtbl.create 8;
+             x_checkpoint = 0; x_rollback = 0; x_restart = 0;
+             x_collateral = 0; x_path = [] }
+         in
+         (* Outstanding top-level calls, oldest first, clipped to the
+            exit instant: the exit call itself (issued at [exit_t])
+            contributes nothing, but earlier failed exit attempts
+            count as wait time like any other call. *)
+         let tops =
+           List.filter_map
+             (fun rid ->
+                match Hashtbl.find_opt ix.ix_msgs rid with
+                | Some m when m.m_time < exit_t ->
+                  Some (rid, m.m_time, min exit_t (reply_end ix rid m.m_time))
+                | _ -> None)
+             (List.rev
+                (Option.value ~default:[] (Hashtbl.find_opt ix.ix_tops ep)))
+         in
+         let tops =
+           List.sort (fun (_, a, _) (_, b, _) -> compare a b) tops
+         in
+         let away = ref 0 in
+         List.iter
+           (fun (rid, t, r) ->
+              away := !away + (r - t);
+              walk ix acc rid t r)
+           tops;
+         acc.x_own <- acc.x_own + (exit_t - arrival - !away);
+         let service =
+           List.sort compare
+             (Hashtbl.fold (fun ep c l -> (ep, c) :: l) acc.x_service [])
+         in
+         let first_rid = match tops with (rid, _, _) :: _ -> rid | [] -> 0 in
+         out :=
+           { cp_ep = ep;
+             cp_rid = first_rid;
+             cp_injected = parent = 0;
+             cp_arrival = arrival;
+             cp_exit = exit_t;
+             cp_own = acc.x_own;
+             cp_queue = acc.x_queue;
+             cp_service = service;
+             cp_checkpoint = acc.x_checkpoint;
+             cp_rollback = acc.x_rollback;
+             cp_restart = acc.x_restart;
+             cp_collateral = acc.x_collateral;
+             cp_path = List.rev acc.x_path }
+           :: !out)
+    (List.rev ix.ix_spawns);
+  { cr_requests = List.rev !out; cr_incomplete = !incomplete }

@@ -75,12 +75,14 @@ let make_header ?(arch = Kernel.Microkernel) ?(seed = 42) ?(spec = "enhanced")
   in
   match resolve header with Ok _ -> Ok header | Error m -> Error m
 
-let run_resolved ?costs ?event_hook ?journal header (conf, root, crash) =
+let run_resolved ?costs ?event_hook ?journal ?prepare header (conf, root, crash)
+    =
   let sys =
     System.build ~arch:header.Journal.jh_arch ~seed:header.Journal.jh_seed
       ?costs ?event_hook ?journal conf
   in
   arm_crash ~count:header.Journal.jh_crash_count (System.kernel sys) crash;
+  (match prepare with Some f -> f sys | None -> ());
   System.run sys ~root
 
 type recording = {
@@ -126,10 +128,10 @@ let record ~path ?ring header =
               rec_snapshots = snapshots }
         with Sys_error m -> Error m))
 
-let exec header ~hook =
+let exec ?prepare header ~hook =
   match resolve header with
   | Error m -> invalid_arg ("Flight.exec: " ^ m)
-  | Ok resolved -> run_resolved ~event_hook:hook header resolved
+  | Ok resolved -> run_resolved ~event_hook:hook ?prepare header resolved
 
 let replay ?costs header events =
   let table =

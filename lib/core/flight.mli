@@ -61,10 +61,15 @@ val record :
     crash the final ring contents are spilled, so the tail of the run
     is always preserved. *)
 
-val exec : Journal.header -> hook:(Kernel.event -> unit) -> Kernel.halt
+val exec :
+  ?prepare:(System.t -> unit) ->
+  Journal.header -> hook:(Kernel.event -> unit) -> Kernel.halt
 (** Rebuild the system a header describes — spec parsed, [hook]
     installed from boot, crash injection re-armed — and run its
     workload to halt. This is the [exec] argument {!Replay.run} wants.
+    [prepare] runs on the built system just before the workload starts
+    — [osiris why] uses it to switch on the kernel's per-request cycle
+    charging, which observes but never perturbs the run.
     @raise Invalid_argument on a header that fails {!make_header}'s
     validation (CLI paths validate first). *)
 

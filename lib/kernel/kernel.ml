@@ -304,6 +304,7 @@ type thread = {
   mutable treq : req option;
   mutable started : bool;
   mutable cause : int;    (* rid of the request this thread is handling; 0 = root *)
+  mutable root : int;     (* compact root index of [cause]; 0 = system bucket *)
   mutable out_rid : int;  (* rid of this thread's outstanding Call, for reply matching *)
   occ : int array;
 }
@@ -393,6 +394,7 @@ type event =
   | E_rollback_end of { time : int; ep : Endpoint.t; rid : int; bytes : int }
   | E_restart of { time : int; ep : Endpoint.t; rid : int; policy : string }
   | E_halt of { time : int; halt : halt }
+  | E_spawn of { time : int; ep : Endpoint.t; parent : int }
 
 (* Raw event capture: the flight recorder's zero-dispatch tap. The
    emission sites append each event's scalar fields straight into the
@@ -460,6 +462,19 @@ type t = {
   mutable next_sample : int;
   mutable sample_hook : (int -> unit) option;
   mutable next_rid : int;
+  (* Per-request cycle charging ([enable_request_counts]): every rid is
+     mapped at delivery to the compact index of its causal root (the
+     nearest ancestor delivered with parent = 0), and every clock
+     advance bumps one row of the flat [req_prof] matrix for the active
+     thread's root. Index 0 is the system bucket (boot, idle inbox
+     waits, work outside any request). *)
+  mutable req_counting : bool;
+  mutable rid_slot : int array;    (* rid -> root index; 0 = system *)
+  mutable root_rids : int array;   (* root index -> the root's own rid *)
+  mutable root_owner : int array;  (* root index -> source endpoint *)
+  mutable n_roots : int;
+  mutable req_prof : int array;    (* [root * n_phases + phase] cycles *)
+  mutable n_shed : int;  (* user exits with EAGAIN shed status 75 *)
 }
 
 let create cfg =
@@ -497,7 +512,14 @@ let create cfg =
     sample_interval = 0;
     next_sample = max_int;
     sample_hook = None;
-    next_rid = 0 }
+    next_rid = 0;
+    req_counting = false;
+    rid_slot = [||];
+    root_rids = [||];
+    root_owner = [||];
+    n_roots = 1;
+    req_prof = [||];
+    n_shed = 0 }
 
 let refresh_siting t =
   t.siting <-
@@ -774,6 +796,14 @@ let[@inline never] emit_halt t ~time ~halt =
   | Some f -> f (E_halt { time; halt })
   | None -> ()
 
+let[@inline never] emit_spawn t ~time ~ep ~parent =
+  (match t.capture with
+   | Some c -> cap4 c 13 ~time ~ep ~rid:parent
+   | None -> ());
+  match t.event_hook with
+  | Some f -> f (E_spawn { time; ep; parent })
+  | None -> ()
+
 let set_cycle_hook t hook = t.cycle_hook <- hook
 
 (* Cycle attribution, two consumers:
@@ -795,6 +825,16 @@ let[@inline] cycles t p slot c =
        let g = t.phase_prof in
        Array.unsafe_set g ph (Array.unsafe_get g ph + c)
      end);
+    (* Per-request charging rides the same emission: one more flat
+       array bump keyed by the active thread's cached root index, so
+       the identity "sum over roots of a phase's row = the kernel's
+       phase total" holds exactly whenever both counters are on. *)
+    if t.req_counting then begin
+      let ri = match p.active with Some th -> th.root | None -> 0 in
+      let i = (ri * n_phases) + Array.unsafe_get slot_phase_idx slot in
+      let rp = t.req_prof in
+      Array.unsafe_set rp i (Array.unsafe_get rp i + c)
+    end;
     match t.cycle_hook with
     | Some f -> f p.ep slot c
     | None -> ()
@@ -832,16 +872,87 @@ let[@inline] alloc_rid t =
   t.next_rid <- t.next_rid + 1;
   t.next_rid
 
+(* Root-index lookup for a rid; 0 (system) for anything unmapped. *)
+let[@inline] root_of t rid =
+  if rid > 0 && rid < Array.length t.rid_slot then
+    Array.unsafe_get t.rid_slot rid
+  else 0
+
+(* Record a freshly delivered rid's causal root. Delivery with
+   parent = 0 opens a new root (a top-level request); anything else
+   inherits its parent's root, so a whole sendrec subtree shares one
+   row of [req_prof]. Growth is amortized doubling; recording is off
+   the per-op hot path (once per delivered message). *)
+let record_rid_root t ~rid ~parent ~src =
+  (if rid >= Array.length t.rid_slot then begin
+     let ncap = max (rid + 1) (max 1024 (2 * Array.length t.rid_slot)) in
+     let a = Array.make ncap 0 in
+     Array.blit t.rid_slot 0 a 0 (Array.length t.rid_slot);
+     t.rid_slot <- a
+   end);
+  if parent = 0 then begin
+    let ri = t.n_roots in
+    (if ri >= Array.length t.root_rids then begin
+       let ncap = max 256 (2 * Array.length t.root_rids) in
+       let rr = Array.make ncap 0 in
+       Array.blit t.root_rids 0 rr 0 (Array.length t.root_rids);
+       t.root_rids <- rr;
+       let ro = Array.make ncap 0 in
+       Array.blit t.root_owner 0 ro 0 (Array.length t.root_owner);
+       t.root_owner <- ro;
+       let pf = Array.make (ncap * n_phases) 0 in
+       Array.blit t.req_prof 0 pf 0 (Array.length t.req_prof);
+       t.req_prof <- pf
+     end);
+    t.n_roots <- ri + 1;
+    t.root_rids.(ri) <- rid;
+    t.root_owner.(ri) <- src;
+    t.rid_slot.(rid) <- ri
+  end
+  else t.rid_slot.(rid) <- root_of t parent
+
+let enable_request_counts t =
+  if not t.req_counting then begin
+    t.req_counting <- true;
+    t.rid_slot <- Array.make (max 1024 (t.next_rid + 1)) 0;
+    t.root_rids <- Array.make 256 0;
+    t.root_owner <- Array.make 256 0;
+    t.req_prof <- Array.make (256 * n_phases) 0;
+    t.n_roots <- 1
+  end
+
+let request_counts_enabled t = t.req_counting
+let request_count t = if t.req_counting then t.n_roots - 1 else 0
+
+let request_rows t =
+  if not t.req_counting then []
+  else
+    List.init (t.n_roots - 1) (fun i ->
+        let ri = i + 1 in
+        (t.root_rids.(ri), t.root_owner.(ri),
+         Array.sub t.req_prof (ri * n_phases) n_phases))
+
+let system_request_row t =
+  if t.req_counting then Array.sub t.req_prof 0 n_phases
+  else Array.make n_phases 0
+
+let request_root_of t rid =
+  let ri = root_of t rid in
+  if ri = 0 then 0 else t.root_rids.(ri)
+
+let shed_exits t = t.n_shed
+
 let set_site_recorder t recorder =
   t.site_recorder <- recorder;
   refresh_siting t
 let set_halt_on_exit t ep = t.halt_on_exit <- Some ep
 
-let fresh_thread p ?(started = true) ?req prog =
+let fresh_thread t p ?(started = true) ?req prog =
   let tid = p.tid_counter in
   p.tid_counter <- p.tid_counter + 1;
   let cause = match req with Some r -> r.rq_rid | None -> 0 in
-  { tid; tstate = T_ready prog; treq = req; started; cause; out_rid = 0;
+  { tid; tstate = T_ready prog; treq = req; started; cause;
+    root = root_of t cause; out_rid = 0;
     occ = Array.make n_op_kinds 0 }
 
 let proc_of t ep = Hashtbl.find_opt t.procs ep
@@ -976,6 +1087,7 @@ let requester_of p =
 
 let deliver_to_inbox t ?at ~src ~src_tid ~call ~rid ~parent dst msg =
   let at = match at with Some a -> a | None -> t.global_now in
+  if t.req_counting then record_rid_root t ~rid ~parent ~src;
   match proc_of t dst with
   | None ->
     t.n_orphans <- t.n_orphans + 1;
@@ -1128,7 +1240,7 @@ and k_go t p =
    | Server_proc ->
      (match p.loop_prog with
       | Some loop ->
-        let th = fresh_thread p loop in
+        let th = fresh_thread t p loop in
         p.threads <- p.threads @ [ th ];
         Queue.push th p.runq
       | None -> ())
@@ -1259,7 +1371,7 @@ let add_server t srv =
       prof = (if t.profiling then prof_row () else [||]) }
   in
   let main =
-    fresh_thread p (Prog.bind srv.srv_init (fun () -> srv.srv_loop))
+    fresh_thread t p (Prog.bind srv.srv_init (fun () -> srv.srv_loop))
   in
   p.threads <- [ main ];
   Queue.push main p.runq;
@@ -1267,7 +1379,7 @@ let add_server t srv =
   t.servers <- t.servers @ [ srv.srv_ep ];
   schedule t p
 
-let spawn_user_at t ~at ~name ~prog ~parent:_ =
+let spawn_user_at t ~at ~name ~prog ~parent =
   let start = if at > t.global_now then at else t.global_now in
   let ep = t.next_user_ep in
   t.next_user_ep <- t.next_user_ep + 1;
@@ -1309,10 +1421,15 @@ let spawn_user_at t ~at ~name ~prog ~parent:_ =
       exit_vtime = -1;
       prof = (if t.profiling then prof_row () else [||]) }
   in
-  let th = fresh_thread p prog in
+  let th = fresh_thread t p prog in
   p.threads <- [ th ];
   Queue.push th p.runq;
   Hashtbl.replace t.procs ep p;
+  (* Arrival record for the analysis layer: the process' birth instant
+     enters the event stream, so latency attribution can anchor
+     arrival -> exit without access to workload metadata. [parent] is
+     the spawning endpoint; 0 marks harness-injected load. *)
+  if observed t then emit_spawn t ~time:start ~ep ~parent;
   (* The clock starts at the global now (or the future arrival
      instant): attribute the pre-existence span so per-process
      attribution still sums to the final clock. *)
@@ -1359,7 +1476,7 @@ let live_update_internal t ep loop =
       (* Retire the old loop thread(s) and start the new code over the
          preserved state, exactly like a recovered clone. *)
       p.threads <- [];
-      let th = fresh_thread p loop in
+      let th = fresh_thread t p loop in
       p.threads <- [ th ];
       Queue.push th p.runq;
       sync_to t p sl_wait_resume t.global_now;
@@ -1412,7 +1529,7 @@ let exec_kcall t p kc : Prog.kresult =
        (match t.cfg.lookup_program path with
         | None -> Prog.Kr_err Errno.ENOENT
         | Some f ->
-          let th = fresh_thread pp (f arg) in
+          let th = fresh_thread t pp (f arg) in
           pp.threads <- [ th ];
           Queue.clear pp.runq;
           pp.active <- None;
@@ -1429,6 +1546,9 @@ let exec_kcall t p kc : Prog.kresult =
           own clock at its exit call — PM teardown excluded. *)
        pp.exit_status <- status;
        pp.exit_vtime <- pp.vtime;
+       (* EAGAIN-shed storm requests exit with status 75; count them
+          so saturation sweeps can plot shedding alongside goodput. *)
+       if status = 75 then t.n_shed <- t.n_shed + 1;
        destroy_user t pp;
        (match t.halt_on_exit with
         | Some root when root = proc -> halt t (H_completed status)
@@ -1831,6 +1951,7 @@ let step t p th prog =
     if p.kind = Server_proc then close_window_if_open ~rid:th.cause t p;
     th.treq <- None;
     th.cause <- 0;
+    th.root <- 0;
     (match op_site t p th Op_receive with
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | Some F_hang ->
@@ -1859,6 +1980,7 @@ let step t p th prog =
                rq_msg = entry.ib_msg;
                rq_rid = entry.ib_rid };
       th.cause <- entry.ib_rid;
+      th.root <- root_of t entry.ib_rid;
       if t.booted then begin
         let tag = Message.Tag.of_msg entry.ib_msg in
         Hashtbl.replace p.handler_tally tag
@@ -1941,7 +2063,7 @@ let step t p th prog =
      | Some (F_crash r) -> crash_proc t p r; raise Thread_finished
      | _ -> ());
     charge t p sl_spawn costs.Costs.c_spawn;
-    let nth = fresh_thread p ~started:false ?req:th.treq prog in
+    let nth = fresh_thread t p ~started:false ?req:th.treq prog in
     p.threads <- p.threads @ [ nth ];
     Queue.push nth p.runq;
     th.tstate <- T_ready (k ())

@@ -225,6 +225,13 @@ type event =
           the image size under [Snapshot] instrumentation. *)
   | E_restart of { time : int; ep : Endpoint.t; rid : int; policy : string }
   | E_halt of { time : int; halt : halt }
+  | E_spawn of { time : int; ep : Endpoint.t; parent : int }
+      (** A user process was born at virtual instant [time] (its
+          arrival, possibly ahead of emission order for open-loop
+          loads scheduled in the future). [parent] is the spawning
+          endpoint — 0 for harness-injected load requests — so the
+          analysis layer can anchor arrival -> exit latency from the
+          event stream alone. *)
 
 val set_event_hook : t -> (event -> unit) option -> unit
 (** Structured observability: invoked for every IPC delivery, reply,
@@ -273,6 +280,7 @@ val set_event_hook : t -> (event -> unit) option -> unit
     12  E_halt           time kind status        + 1 string   (4)
           (kind 0 completed / 1 shutdown / 2 panic / 3 hang;
            the string only for kinds 1 and 2)
+    13  E_spawn          time ep parent                       (4)
     v}
 
     A capture and an event hook can be installed together; per event
@@ -389,6 +397,44 @@ val set_cycle_hook : t -> (Endpoint.t -> slot -> int -> unit) option -> unit
     invocation allocates nothing, and with no hook installed each
     emission point pays a single branch (gated in
     [bench/profiler_bench.ml]). *)
+
+(** {1 Per-request cycle charging}
+
+    The per-process/per-slot counters above answer {e where} cycles
+    went; these answer {e on whose behalf}. Every delivered rid is
+    mapped to its causal root — the nearest ancestor delivered with
+    [parent = 0], i.e. a top-level request — and each clock advance
+    also bumps one per-phase row keyed by the active thread's root.
+    Root index 0 is the system bucket: boot, idle inbox waits, and
+    work outside any request. Enabled before {!boot}, the counters
+    satisfy the exact identity: for every phase, the sum over all
+    roots (system included) of that phase's row equals
+    {!total_phase_cycles} — gated with zero tolerance in
+    [bench/critpath_bench.ml], alongside its <3% attached-overhead
+    gate vs per-slot counting alone. *)
+
+val enable_request_counts : t -> unit
+(** Switch per-request charging on (idempotent; cannot be disabled).
+    Enable before {!boot} for the conservation identity to hold —
+    rids allocated earlier fall into the system bucket. *)
+
+val request_counts_enabled : t -> bool
+
+val request_count : t -> int
+(** Number of request roots charged so far (system bucket excluded). *)
+
+val request_rows : t -> (int * Endpoint.t * int array) list
+(** [(root_rid, src, row)] per root in creation order: the root's own
+    rid, the endpoint that sent it, and its per-phase cycle row
+    (indexed by {!phase_index}, a fresh copy). *)
+
+val system_request_row : t -> int array
+(** The system bucket's per-phase row (a fresh copy; zeros before
+    {!enable_request_counts}). *)
+
+val request_root_of : t -> int -> int
+(** The root rid a delivered rid was charged under (0 = system /
+    unknown). *)
 
 val live_update : t -> Endpoint.t -> unit Prog.t -> (unit, string) result
 (** Replace a server's request-processing loop with a new version,
@@ -516,3 +562,8 @@ val proc_vtime : t -> Endpoint.t -> int
 
 val user_count : t -> int
 (** User processes created over the run's lifetime. *)
+
+val shed_exits : t -> int
+(** User processes that exited with the EAGAIN-shed status 75 — storm
+    requests the session layer refused at admission. Feeds the
+    [kernel.shed] timeseries source and the shed-load metric. *)

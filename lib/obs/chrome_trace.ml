@@ -90,7 +90,29 @@ let add_counter buf sep (c : counter_sample) =
     c.cs_values;
   Buffer.add_string buf "}}"
 
-let of_spans ?(events = []) ?(counters = []) spans =
+type flow_anchor = { fa_tid : int; fa_ts : int }
+
+(* Flow arrows ("s" start / "t" step / "f" finish sharing one id) let
+   Perfetto draw a request's critical path across server tracks.
+   Anchors must land inside a slice on their track to attach; callers
+   anchor them at span starts. Fewer than two anchors draws nothing —
+   skip. *)
+let add_flow buf sep ~id anchors =
+  let n = List.length anchors in
+  if n >= 2 then
+    List.iteri
+      (fun i a ->
+         next sep buf;
+         let ph = if i = 0 then "s" else if i = n - 1 then "f" else "t" in
+         Buffer.add_string buf
+           (Printf.sprintf
+              "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"id\":%d,\
+               \"name\":\"critpath\",\"cat\":\"critpath\"%s}"
+              ph a.fa_tid a.fa_ts id
+              (if ph = "f" then ",\"bp\":\"e\"" else "")))
+      anchors
+
+let of_spans ?(events = []) ?(counters = []) ?(flows = []) spans =
   let buf = Buffer.create 4096 in
   let sep = { first = true } in
   Buffer.add_string buf "{\"traceEvents\":[\n";
@@ -126,5 +148,6 @@ let of_spans ?(events = []) ?(counters = []) spans =
       | _ -> ())
     events;
   List.iter (add_counter buf sep) counters;
+  List.iter (fun (id, anchors) -> add_flow buf sep ~id anchors) flows;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -24,11 +24,22 @@ type counter_sample = {
   cs_values : (string * int) list;  (** Series name -> value. *)
 }
 
+type flow_anchor = {
+  fa_tid : int;  (** Track (endpoint) the anchor attaches to. *)
+  fa_ts : int;   (** Timestamp inside a slice on that track. *)
+}
+
 val of_spans :
   ?events:Kernel.event list -> ?counters:counter_sample list ->
+  ?flows:(int * flow_anchor list) list ->
   Span.t list -> string
 (** Serialize a span forest (plus optional instants from the raw
-    stream and counter tracks) to a Chrome trace-event JSON string. *)
+    stream and counter tracks) to a Chrome trace-event JSON string.
+    Each [flows] entry [(id, anchors)] draws one flow arrow chain
+    ("s"/"t"/"f" events sharing [id], category ["critpath"]) through
+    its anchors in order — how [osiris why --perfetto] overlays a tail
+    request's critical path across the server tracks. Chains with
+    fewer than two anchors are skipped. *)
 
 val escaped : string -> string
 (** [escaped s] is [s] as a quoted JSON string literal with the

@@ -505,6 +505,14 @@ let enc_restart w ~time ~ep ~rid ~policy =
     flush_record w
   end
 
+(* [time] joins the shared delta chain even though spawn arrivals can
+   sit ahead of emission order (open-loop futures): the zigzag coding
+   absorbs the negative deltas the next record then pays back. *)
+let enc_spawn w ~time ~ep ~parent =
+  let start = begin_direct w 0 in
+  dbyte w 13; dtime w time; dput w ep; dput w parent;
+  finish_direct w start
+
 let[@inline] halt_kind = function
   | Kernel.H_completed _ -> 0
   | Kernel.H_shutdown _ -> 1
@@ -643,6 +651,11 @@ let transcode w =
          in
          enc_halt w ~time:(Array.unsafe_get a (p + 1)) ~hkind
            ~status:(Array.unsafe_get a (p + 3)) ~reason;
+         i := p + 4
+       | 13 ->
+         enc_spawn w ~time:(Array.unsafe_get a (p + 1))
+           ~ep:(Array.unsafe_get a (p + 2))
+           ~parent:(Array.unsafe_get a (p + 3));
          i := p + 4
        | k -> invalid_arg (Printf.sprintf "Journal: corrupt raw log kind %d" k))
     done;
@@ -859,6 +872,7 @@ let write w ev =
     | Kernel.E_restart { time; ep; rid; policy } ->
       app_str4 w 11 ~time ~ep ~rid ~s:policy
     | Kernel.E_halt { time; halt } -> app_halt w ~time ~halt
+    | Kernel.E_spawn { time; ep; parent } -> app4 w 13 ~time ~ep ~rid:parent
 
 (* The kernel-side tap: hand the run's [Kernel.capture] to
    [Kernel.set_capture] and the emission sites append the same entries
@@ -1066,6 +1080,11 @@ let get_ev st c : Kernel.event =
       | n -> bad "unknown halt kind %d" n
     in
     Kernel.E_halt { time; halt }
+  | 13 ->
+    let time = get_time st c in
+    let ep = get_int c in
+    let parent = get_int c in
+    Kernel.E_spawn { time; ep; parent }
   | n -> bad "unknown event tag %d" n
 
 (* Unframe one record: varint(len) + payload + CRC. Returns a cursor
@@ -1153,7 +1172,7 @@ let event_rid = function
   | Kernel.E_kcall { rid; _ } | Kernel.E_crash { rid; _ }
   | Kernel.E_rollback_begin { rid; _ } | Kernel.E_rollback_end { rid; _ }
   | Kernel.E_restart { rid; _ } -> rid
-  | Kernel.E_hang_detected _ | Kernel.E_halt _ -> 0
+  | Kernel.E_hang_detected _ | Kernel.E_halt _ | Kernel.E_spawn _ -> 0
 
 let event_time = function
   | Kernel.E_msg { time; _ } | Kernel.E_reply { time; _ }
@@ -1162,7 +1181,7 @@ let event_time = function
   | Kernel.E_kcall { time; _ } | Kernel.E_crash { time; _ }
   | Kernel.E_hang_detected { time; _ } | Kernel.E_rollback_begin { time; _ }
   | Kernel.E_rollback_end { time; _ } | Kernel.E_restart { time; _ }
-  | Kernel.E_halt { time; _ } -> time
+  | Kernel.E_halt { time; _ } | Kernel.E_spawn { time; _ } -> time
 
 let event_ep = function
   | Kernel.E_msg { dst; _ } -> Some dst
@@ -1171,5 +1190,6 @@ let event_ep = function
   | Kernel.E_checkpoint { ep; _ } | Kernel.E_store_logged { ep; _ }
   | Kernel.E_kcall { ep; _ } | Kernel.E_crash { ep; _ }
   | Kernel.E_hang_detected { ep; _ } | Kernel.E_rollback_begin { ep; _ }
-  | Kernel.E_rollback_end { ep; _ } | Kernel.E_restart { ep; _ } -> Some ep
+  | Kernel.E_rollback_end { ep; _ } | Kernel.E_restart { ep; _ }
+  | Kernel.E_spawn { ep; _ } -> Some ep
   | Kernel.E_halt _ -> None

@@ -83,7 +83,7 @@ let update m = function
   | Kernel.E_rollback_begin _ -> Metrics.incr m.m_rollbacks
   | Kernel.E_rollback_end { bytes; _ } -> Metrics.add m.m_rollback_bytes bytes
   | Kernel.E_restart _ -> Metrics.incr m.m_restarts
-  | Kernel.E_halt _ -> ()
+  | Kernel.E_halt _ | Kernel.E_spawn _ -> ()
 
 let record t ev =
   if t.n = Array.length t.evs then begin
@@ -106,6 +106,11 @@ let clear t = t.n <- 0
 let metrics t = t.registry
 
 let snapshot_server_stats m kernel =
+  (* Kernel-wide load-shedding tally. Shed exits (status 75) are not in
+     the event stream — the exit status rides the PM call payload — so
+     the meter path can't count them; snapshot from the kernel's own
+     counter instead. *)
+  Metrics.set (Metrics.gauge m "osiris.shed_exits") (Kernel.shed_exits kernel);
   List.iter
     (fun ep ->
        let ss = Kernel.server_stats kernel ep in

@@ -124,6 +124,9 @@ let pp_event = function
       (Endpoint.server_name ep) policy rid
   | Kernel.E_halt { time; halt } ->
     Printf.sprintf "halt t=%d %s" time (Kernel.halt_to_string halt)
+  | Kernel.E_spawn { time; ep; parent } ->
+    Printf.sprintf "spawn t=%d %s parent=%s" time
+      (Endpoint.server_name ep) (Endpoint.server_name parent)
 
 let render o =
   let b = Buffer.create 512 in

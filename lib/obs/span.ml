@@ -1,10 +1,11 @@
-type span_kind = Request | Notify | Recovery | Rollback
+type span_kind = Request | Notify | Recovery | Rollback | Session
 
 let kind_to_string = function
   | Request -> "request"
   | Notify -> "notify"
   | Recovery -> "recovery"
   | Rollback -> "rollback"
+  | Session -> "session"
 
 type t = {
   sp_id : int;
@@ -37,6 +38,10 @@ let build events =
   let order = ref [] in  (* creation order, reversed *)
   let recovery_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let rollback_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Live user endpoint -> its session span. User endpoints are never
+     reused, so an entry stays valid for the whole stream; exit retries
+     after a PM crash just re-close the same span at a later time. *)
+  let session_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let synth = ref 0 in
   let last_time = ref 0 in
   let fresh_synth () = decr synth; !synth in
@@ -66,12 +71,33 @@ let build events =
         | Kernel.E_hang_detected { time; _ }
         | Kernel.E_rollback_begin { time; _ }
         | Kernel.E_rollback_end { time; _ } | Kernel.E_restart { time; _ }
-        | Kernel.E_halt { time; _ } -> last_time := max !last_time time);
+        | Kernel.E_halt { time; _ } -> last_time := max !last_time time
+        (* Spawn arrivals can sit ahead of emission order (open-loop
+           futures); they must not drag the truncation cap forward. *)
+        | Kernel.E_spawn _ -> ());
        match ev with
        | Kernel.E_msg { time; src; dst; tag; call; rid; parent; cls = _ } ->
+         (* A top-level message from a session-tracked user process
+            nests under its session root instead of floating free, so
+            storm requests keep their arrival context. *)
+         let parent =
+           if parent = 0 then
+             Option.value ~default:0 (Hashtbl.find_opt session_of src)
+           else parent
+         in
          open_span ~id:rid ~parent
            ~kind:(if call then Request else Notify)
-           ~name:(Message.Tag.to_string tag) ~src ~ep:dst ~start:time
+           ~name:(Message.Tag.to_string tag) ~src ~ep:dst ~start:time;
+         if tag = Message.Tag.T_exit then
+           (match Hashtbl.find_opt session_of src with
+            | Some sid -> close_span sid time
+            | None -> ())
+       | Kernel.E_spawn { time; ep; parent } ->
+         let id = fresh_synth () in
+         open_span ~id ~parent:0 ~kind:Session
+           ~name:(if parent = 0 then "session" else "session (forked)")
+           ~src:(if parent = 0 then ep else parent) ~ep ~start:time;
+         Hashtbl.replace session_of ep id
        | Kernel.E_reply { rid; time; _ } -> close_span rid time
        | Kernel.E_crash { time; ep; rid; policy; _ } ->
          let id = fresh_synth () in
@@ -144,6 +170,15 @@ let build events =
       sp_children = List.map freeze kids }
   in
   List.map freeze (by_start !roots)
+
+let top_requests spans =
+  List.concat_map
+    (fun s ->
+       match s.sp_kind with
+       | Request -> [ s ]
+       | Session -> List.filter (fun c -> c.sp_kind = Request) s.sp_children
+       | _ -> [])
+    spans
 
 let rec flatten spans =
   List.concat_map (fun s -> s :: flatten s.sp_children) spans

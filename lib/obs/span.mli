@@ -16,9 +16,17 @@
     Spans still open when the stream ends are closed at the last event
     time with [sp_complete = false]. A parent id that never appears in
     the stream (e.g. evicted from a ring buffer) makes the span a
-    root. *)
+    root.
 
-type span_kind = Request | Notify | Recovery | Rollback
+    A third family, {e session spans}: an [E_spawn] opens a [Session]
+    root for the new user process, anchored at its {e arrival} vtime
+    (which, for open-loop load, precedes its first instruction). The
+    process' top-level messages — including requests that
+    session-connect via [Message.Adopt] — nest under it, and the exit
+    call through PM closes it, so a storm request's whole life is one
+    subtree carrying its arrival. *)
+
+type span_kind = Request | Notify | Recovery | Rollback | Session
 
 val kind_to_string : span_kind -> string
 
@@ -40,6 +48,12 @@ type t = {
 val build : Kernel.event list -> t list
 (** Fold an oldest-first event stream into root spans ordered by start
     time. *)
+
+val top_requests : t list -> t list
+(** Top-level request spans: [Request] roots plus [Request] children
+    of [Session] roots — the spans whose durations are end-to-end
+    request latencies (what the timeline's sliding percentile windows
+    consume). *)
 
 val flatten : t list -> t list
 (** Pre-order traversal of the forest. *)

@@ -23,7 +23,7 @@ type t = {
 
 (* Nearest-rank percentile over a sorted int slice — all integer, so
    artifacts carry no platform-dependent float formatting. *)
-let rank_of p n = max 1 (min n ((((p * n) + 99) / 100)))
+let rank_of p n = Osiris_util.Stats.rank ~num:p ~den:100 n
 
 let pct_sorted a lo len p =
   if len = 0 then 0 else a.(lo + rank_of p len - 1)

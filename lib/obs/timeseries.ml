@@ -69,6 +69,7 @@ let add_kernel_sources t k =
     (fun () -> Kernel.messages_delivered k);
   add_source t ~name:"kernel.crashes" ~kind:Delta (fun () -> Kernel.crashes k);
   add_source t ~name:"kernel.restarts" ~kind:Delta (fun () -> Kernel.restarts k);
+  add_source t ~name:"kernel.shed" ~kind:Delta (fun () -> Kernel.shed_exits k);
   add_source t ~name:"kernel.runq" ~kind:Gauge
     (fun () -> Kernel.run_queue_depth k);
   List.iter

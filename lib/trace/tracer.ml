@@ -111,6 +111,9 @@ let pp_event = function
       (Endpoint.server_name ep) policy rid
   | Kernel.E_halt { time; halt } ->
     Printf.sprintf "%10d  HALT %s" time (Kernel.halt_to_string halt)
+  | Kernel.E_spawn { time; ep; parent } ->
+    Printf.sprintf "%10d  SPAWN %s parent=%s" time
+      (Endpoint.server_name ep) (Endpoint.server_name parent)
 
 let touches ep = function
   | Kernel.E_msg { src; dst; _ } | Kernel.E_reply { src; dst; _ } ->
@@ -124,7 +127,8 @@ let touches ep = function
   | Kernel.E_kcall { ep = e; _ }
   | Kernel.E_hang_detected { ep = e; _ }
   | Kernel.E_rollback_begin { ep = e; _ }
-  | Kernel.E_rollback_end { ep = e; _ } -> e = ep
+  | Kernel.E_rollback_end { ep = e; _ }
+  | Kernel.E_spawn { ep = e; _ } -> e = ep
   | Kernel.E_halt _ -> true
 
 let timeline ?only t =

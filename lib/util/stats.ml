@@ -23,14 +23,17 @@ let sorted_array xs =
   Array.sort compare a;
   a
 
+(* The one nearest-rank definition: rank of the [num/den] quantile in a
+   sample of [n], 1-based, all integer. ceil(n*num/den) clamped to
+   [1, n]. Timeline's sliding windows and the load generator's summary
+   quote quantiles through this same formula so cross-surface numbers
+   agree exactly. *)
+let rank ~num ~den n = max 1 (min n (((n * num) + den - 1) / den))
+
 let percentile_sorted a p =
   let n = Array.length a in
   if n = 0 then 0.
-  else begin
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    a.(idx)
-  end
+  else a.(rank ~num:(int_of_float (Float.round (p *. 100.))) ~den:10_000 n - 1)
 
 let median xs =
   match sorted xs with

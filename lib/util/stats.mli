@@ -21,6 +21,15 @@ val percentile : float -> float list -> float
 val sorted_array : float list -> float array
 (** The sample as a freshly sorted (ascending) array. *)
 
+val rank : num:int -> den:int -> int -> int
+(** [rank ~num ~den n]: 1-based nearest rank of the [num/den] quantile
+    ([num/den] in (0, 1]]) in a sorted sample of size [n] —
+    [ceil (n * num / den)] clamped to [\[1, n\]], all in integer
+    arithmetic. Every percentile surface (this module, the timeline's
+    sliding windows, the load generator) indexes through this one
+    definition, so the same sample quotes the same quantile
+    everywhere. *)
+
 val percentile_sorted : float array -> float -> float
 (** [percentile_sorted a p]: nearest-rank percentile over an array that
     is {e already sorted ascending} ([a] as produced by

@@ -260,8 +260,4 @@ let goodput_rps o =
 
 let percentile a ~num ~den =
   let n = Array.length a in
-  if n = 0 then 0
-  else begin
-    let rank = ((n * num) + den - 1) / den in
-    a.(max 0 (min (n - 1) (rank - 1)))
-  end
+  if n = 0 then 0 else a.(Osiris_util.Stats.rank ~num ~den n - 1)

@@ -6,7 +6,10 @@
    and (separately) with the embedded old-heap oracle and requires all
    three to agree. *)
 
-let golden_digest = "094e7df161db5f94d26f690e848fc7e4"
+(* Recaptured when the kernel.shed series joined the standard kernel
+   sources (the grid gained a column; the sampled values and every
+   other series are unchanged). *)
+let golden_digest = "fc30955885a17122ddf64d6c05348c86"
 
 let run_grid () =
   let ts = Timeseries.create ~interval:2048 () in
