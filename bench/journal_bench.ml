@@ -311,6 +311,12 @@ let run () =
     \    \"finalize_ns\": %.0f, \"overhead_pct\": %.3f,\n\
     \    \"ns_per_event\": %.1f},\n"
     sbase_ns sjournal_ns !fin_suite stress_pct stress_ns_per_event;
+  (* The stress overhead (~11% on the reference host) is an un-gated
+     trend figure from a wall-clock ratio on the densest event stream
+     we can produce — inherently noisy run to run. Declare a wide
+     per-path tolerance so bench_diff surfaces only real regressions
+     instead of flapping on every CI host wobble. *)
+  f buf "  \"tolerances\": {\"stress.overhead_pct\": 50.0},\n";
   f buf "  \"gates\": {%s}\n"
     (String.concat ", "
        (List.map (fun (n, ok) -> Printf.sprintf "\"%s\": %s" n (json_bool ok))

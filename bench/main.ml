@@ -669,7 +669,7 @@ let all_experiments =
     ("matrix", Matrix_bench.run); ("profiler", Profiler_bench.run);
     ("journal", Journal_bench.run); ("parfan", Parfan_bench.run);
     ("timeseries", Timeseries_bench.run); ("sched", Sched_bench.run);
-    ("critpath", Critpath_bench.run) ]
+    ("critpath", Critpath_bench.run); ("query", Query_bench.run) ]
 
 let () =
   let requested =

@@ -1474,6 +1474,26 @@ let journal_path_arg =
          ~doc:"Journal file (default from OSIRIS_JOURNAL or \
                osiris.journal).")
 
+let read_raw path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | bytes -> Ok bytes
+  | exception Sys_error m -> Error m
+
+(* Sidecar loading degrades, never fails: a missing, damaged, or stale
+   index means a full scan with a stderr warning — identical answers,
+   just slower. *)
+let load_index ~journal path =
+  let ipath = path ^ Journal.index_suffix in
+  if not (Sys.file_exists ipath) then None
+  else
+    match Journal.read_index_file ~journal ipath with
+    | Ok ix -> Some ix
+    | Error m ->
+      Printf.eprintf
+        "warning: ignoring sidecar %s (%s); falling back to full scan\n%!"
+        ipath m;
+      None
+
 let record_cmd =
   let spec_str_arg =
     Arg.(value & opt (some string) None
@@ -1498,7 +1518,23 @@ let record_cmd =
                  ring, frozen at each crash and spilled at halt (default: \
                  full-fidelity streaming).")
   in
-  let run policy spec seed arch workload crash count ring journal =
+  let no_index_arg =
+    Arg.(value & flag
+         & info [ "no-index" ]
+           ~doc:"Skip writing the seekable sidecar block index \
+                 (PATH.idx); queries over this journal will full-scan.")
+  in
+  let perturb_arg =
+    Arg.(value & flag
+         & info [ "perturb-cost" ]
+           ~doc:"Record under a cost table with one entry perturbed \
+                 while keeping the header's fingerprint — produces a \
+                 journal whose trajectory diverges from an unperturbed \
+                 recording of the same header (the $(b,osiris diff) \
+                 structural-divergence fixture).")
+  in
+  let run policy spec seed arch workload crash count ring no_index perturb
+      journal =
     setup_logs ();
     let spec = match spec with Some s -> s | None -> policy.Policy.name in
     let crash_name =
@@ -1513,28 +1549,41 @@ let record_cmd =
     with
     | Error m -> prerr_endline ("record: " ^ m); 1
     | Ok header ->
-      (match Flight.record ~path ?ring header with
+      let costs =
+        if perturb then
+          let base =
+            match header.Journal.jh_arch with
+            | Kernel.Microkernel -> Costs.microkernel
+            | Kernel.Monolithic -> Costs.monolithic
+          in
+          Some { base with Costs.c_reply = base.Costs.c_reply + 1 }
+        else None
+      in
+      (match Flight.record ~path ?ring ?costs ~index:(not no_index) header
+       with
        | Error m -> prerr_endline ("record: " ^ m); 1
        | Ok r ->
          Printf.printf "recorded: %s\n" (Journal.header_to_string header);
          Printf.printf "halted: %s\n"
            (Kernel.halt_to_string r.Flight.rec_halt);
-         Printf.printf "%d records, %d bytes%s -> %s\n" r.Flight.rec_records
-           r.Flight.rec_bytes
+         Printf.printf "%d records, %d bytes%s -> %s%s\n"
+           r.Flight.rec_records r.Flight.rec_bytes
            (if r.Flight.rec_snapshots > 0 then
               Printf.sprintf " (ring mode, %d crash snapshot(s))"
                 r.Flight.rec_snapshots
             else "")
-           path;
+           path
+           (if no_index then ""
+            else Printf.sprintf " (+ index %s)" (path ^ Journal.index_suffix));
          0)
   in
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a workload with the flight recorder attached, writing a \
-             replayable event journal.")
+             replayable event journal and its seekable sidecar index.")
     Term.(const run $ policy_arg $ spec_str_arg $ seed_arg $ arch_arg
-          $ workload_arg $ crash_arg $ count_arg $ ring_arg
-          $ journal_path_arg)
+          $ workload_arg $ crash_arg $ count_arg $ ring_arg $ no_index_arg
+          $ perturb_arg $ journal_path_arg)
 
 let replay_cmd =
   let json_arg =
@@ -1555,26 +1604,43 @@ let replay_cmd =
     let path =
       out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
     in
-    match Journal.read_file path with
+    match read_raw path with
     | Error m -> prerr_endline m; 1
-    | Ok (header, events) ->
-      let costs =
-        if perturb then
-          let base =
-            match header.Journal.jh_arch with
-            | Kernel.Microkernel -> Costs.microkernel
-            | Kernel.Monolithic -> Costs.monolithic
-          in
-          Some { base with Costs.c_reply = base.Costs.c_reply + 1 }
-        else None
-      in
-      let outcome = Flight.replay ?costs header events in
-      print_string (Replay.render outcome);
-      write_file
-        (out_path ~flag:json ~env:"OSIRIS_REPLAY_JSON"
-           ~default:"osiris_replay.json")
-        (Replay.to_json outcome);
-      Replay.exit_code outcome
+    | Ok bytes ->
+      (match Journal.stream_of_string bytes with
+       | Error m -> prerr_endline m; 1
+       | Ok (header, st) ->
+         let costs =
+           if perturb then
+             let base =
+               match header.Journal.jh_arch with
+               | Kernel.Microkernel -> Costs.microkernel
+               | Kernel.Monolithic -> Costs.monolithic
+             in
+             Some { base with Costs.c_reply = base.Costs.c_reply + 1 }
+           else None
+         in
+         (* Streaming cursor: the journal is never materialized as an
+            array. In-record damage ends the stream and is reported as
+            a read error (exit 1), not a divergence. *)
+         let decode_err = ref None in
+         let next () =
+           match Journal.stream_next st with
+           | Ok ev -> ev
+           | Error m ->
+             if !decode_err = None then decode_err := Some m;
+             None
+         in
+         let outcome = Flight.replay_stream ?costs header ~next in
+         (match !decode_err with
+          | Some m -> prerr_endline ("replay: " ^ m); 1
+          | None ->
+            print_string (Replay.render outcome);
+            write_file
+              (out_path ~flag:json ~env:"OSIRIS_REPLAY_JSON"
+                 ~default:"osiris_replay.json")
+              (Replay.to_json outcome);
+            Replay.exit_code outcome))
   in
   Cmd.v
     (Cmd.info "replay"
@@ -1595,16 +1661,19 @@ let postmortem_cmd =
     let path =
       out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
     in
-    match Journal.read_file path with
+    match read_raw path with
     | Error m -> prerr_endline m; 1
-    | Ok (header, events) ->
-      let report = Flight.postmortem header events in
-      print_string (Postmortem.render header report);
-      write_file
-        (out_path ~flag:json ~env:"OSIRIS_POSTMORTEM_JSON"
-           ~default:"osiris_postmortem.json")
-        (Postmortem.to_json report);
-      0
+    | Ok bytes ->
+      (match Postmortem.analyze_journal bytes with
+       | Error m -> prerr_endline m; 1
+       | Ok report ->
+         print_string
+           (Postmortem.render report.Postmortem.pm_header report);
+         write_file
+           (out_path ~flag:json ~env:"OSIRIS_POSTMORTEM_JSON"
+              ~default:"osiris_postmortem.json")
+           (Postmortem.to_json report);
+         0)
   in
   Cmd.v
     (Cmd.info "postmortem"
@@ -1612,6 +1681,171 @@ let postmortem_cmd =
              rid chain to its root cause; report recovery outcome and \
              latency without re-executing.")
     Term.(const run $ journal_path_arg $ json_arg)
+
+(* ---- Trace query engine: index / query / diff ---- *)
+
+let index_cmd =
+  let block_arg =
+    Arg.(value & opt int Journal.default_block_records
+         & info [ "block-records" ] ~docv:"N"
+           ~doc:"Records per index block (smaller blocks skip more, \
+                 cost more summaries).")
+  in
+  let run journal block_records =
+    setup_logs ();
+    let path =
+      out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
+    in
+    match read_raw path with
+    | Error m -> prerr_endline ("index: " ^ m); 1
+    | Ok bytes ->
+      (match Journal.build_index ~block_records bytes with
+       | Error m -> prerr_endline ("index: " ^ m); 1
+       | Ok ix ->
+         let ipath = path ^ Journal.index_suffix in
+         Journal.write_index_file ~path:ipath ix;
+         Printf.printf "indexed %s: %d records in %d blocks -> %s\n" path
+           ix.Journal.ix_records
+           (Array.length ix.Journal.ix_blocks)
+           ipath;
+         0)
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"(Re)build the seekable sidecar block index for a journal — \
+             byte-identical to the one $(b,osiris record) writes.")
+    Term.(const run $ journal_path_arg $ block_arg)
+
+let query_cmd =
+  let filter_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILTER"
+           ~doc:"Filter terms, AND-ed: key=v1,v2,... over server, kind, \
+                 tag, rid, chain, policy; vtime bounds time>=N / time<N; \
+                 a leading ! negates a term. Empty matches everything.")
+  in
+  let agg_arg =
+    Arg.(value & opt string "count"
+         & info [ "agg" ] ~docv:"AGG"
+           ~doc:"Aggregation: count, rate:WIDTH (matches per vtime \
+                 bucket), percentiles:FIELD (bytes|cycles|latency), or \
+                 by:DIM (server|kind|tag|policy).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH" ~doc:"Write the JSON artifact.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Write the CSV artifact.")
+  in
+  let no_index_arg =
+    Arg.(value & flag
+         & info [ "no-index" ]
+           ~doc:"Ignore any sidecar index and full-scan (same answers; \
+                 the byte-identity is a bench gate).")
+  in
+  let parse_agg s =
+    if s = "count" then Ok Query.Count
+    else
+      match String.index_opt s ':' with
+      | Some i ->
+        let key = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        (match key with
+         | "rate" ->
+           (match int_of_string_opt v with
+            | Some w when w > 0 -> Ok (Query.Rate w)
+            | _ -> Error (Printf.sprintf "bad rate bucket width %S" v))
+         | "percentiles" | "p" ->
+           (match Query.field_of_name v with
+            | Some f -> Ok (Query.Percentiles f)
+            | None -> Error (Printf.sprintf "unknown field %S" v))
+         | "by" | "group" ->
+           (match Query.dim_of_name v with
+            | Some d -> Ok (Query.Group_by d)
+            | None -> Error (Printf.sprintf "unknown dimension %S" v))
+         | _ -> Error (Printf.sprintf "unknown aggregation %S" s))
+      | None -> Error (Printf.sprintf "unknown aggregation %S" s)
+  in
+  let run journal no_index agg_s json csv terms =
+    setup_logs ();
+    let path =
+      out_path ~flag:journal ~env:"OSIRIS_JOURNAL" ~default:"osiris.journal"
+    in
+    match read_raw path with
+    | Error m -> prerr_endline ("query: " ^ m); 1
+    | Ok bytes ->
+      (match Query.parse_filter (String.concat " " terms) with
+       | Error m -> prerr_endline ("query: " ^ m); 1
+       | Ok filter ->
+         (match parse_agg agg_s with
+          | Error m -> prerr_endline ("query: " ^ m); 1
+          | Ok agg ->
+            let index =
+              if no_index then None else load_index ~journal:bytes path
+            in
+            let stats = Journal.scan_stats () in
+            (match Query.run ?index ~stats ~filter ~agg bytes with
+             | Error m -> prerr_endline ("query: " ^ m); 1
+             | Ok o ->
+               print_string (Query.render o (Some stats));
+               (match json with
+                | Some p -> write_file p (Query.to_json o)
+                | None -> ());
+               (match csv with
+                | Some p -> write_file p (Query.to_csv o)
+                | None -> ());
+               0)))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run a typed filter + aggregation over a journal in one \
+             streaming pass, using the sidecar index to decode only \
+             blocks that can match.")
+    Term.(const run $ journal_path_arg $ no_index_arg $ agg_arg $ json_arg
+          $ csv_arg $ filter_arg)
+
+let diff_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOURNAL_A" ~doc:"Baseline journal.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"JOURNAL_B" ~doc:"Journal to compare against A.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+           ~doc:"JSON artifact path (default from OSIRIS_DIFF_JSON or \
+                 osiris_diff.json).")
+  in
+  let run a b json =
+    setup_logs ();
+    match read_raw a with
+    | Error m -> prerr_endline ("diff: " ^ m); 1
+    | Ok ja ->
+      (match read_raw b with
+       | Error m -> prerr_endline ("diff: " ^ m); 1
+       | Ok jb ->
+         (match Rundiff.compare_runs ~label_a:a ~label_b:b ja jb with
+          | Error m -> prerr_endline ("diff: " ^ m); 1
+          | Ok r ->
+            print_string (Rundiff.render r);
+            write_file
+              (out_path ~flag:json ~env:"OSIRIS_DIFF_JSON"
+                 ~default:"osiris_diff.json")
+              (Rundiff.to_json r);
+            Rundiff.exit_code r))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Differential diagnosis of two recorded runs: structural \
+             first-divergence with its causal chain, plus event-mix, \
+             per-server latency, MTTR, and critical-path blame deltas. \
+             Exit 0 when identical, 2 on any difference, 1 on errors.")
+    Term.(const run $ a_arg $ b_arg $ json_arg)
 
 let main =
   Cmd.group
@@ -1621,6 +1855,6 @@ let main =
       survivability_cmd; policies_cmd; disrupt_cmd; sites_cmd; fsck_cmd;
       stress_cmd; events_cmd; timeline_cmd; load_cmd; why_cmd; trace_cmd;
       report_cmd; profile_cmd; health_cmd; record_cmd; replay_cmd;
-      postmortem_cmd ]
+      postmortem_cmd; index_cmd; query_cmd; diff_cmd ]
 
 let () = Stdlib.exit (Cmd.eval' main)

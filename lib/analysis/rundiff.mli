@@ -1,0 +1,72 @@
+(** Cross-run differential diagnosis: [osiris diff A B].
+
+    Two recorded runs — same workload under different policies, costs,
+    or seeds — are compared on two axes:
+
+    - {b structural}: the first record index at which the two event
+      streams differ (or one ends early), reported in Replay's
+      divergence shape with the causal rid chain at that point. Run A
+      plays the "recorded" side, B the "replayed" side. This is the
+      trajectory answer: {e did} the runs do different things, and
+      where did they first part ways.
+
+    - {b statistical}: even byte-divergent runs (or runs whose headers
+      differ only in policy spec) are summarized side by side — event
+      mix by kind, per-server event counts and call->reply turnaround
+      percentiles, crash->restart MTTR episodes, and the critical-path
+      p99-vs-p50 blame table ({!Tailprof}) — so "which compartment's
+      service time moved" has a one-screen answer with explicit
+      deltas.
+
+    Everything derives deterministically from the two journals: same
+    inputs, byte-identical report and JSON. *)
+
+type mttr = { mt_episodes : int; mt_total : int; mt_max : int }
+(** Crash->restart episodes: count, summed latency, worst latency. *)
+
+type latency = { lt_count : int; lt_p50 : int; lt_p95 : int; lt_p99 : int }
+(** Call->reply turnaround percentiles for one server, from a
+    log-bucketed {!Histogram} (integer cycles). *)
+
+type side = {
+  sd_label : string;
+  sd_header : Journal.header;
+  sd_records : int;
+  sd_halt : Kernel.halt option;
+  sd_kind_counts : int array;    (** Length {!Journal.n_kinds}. *)
+  sd_server_events : int array;  (** Per endpoint 0..[Endpoint.bdev]. *)
+  sd_latency : latency array;    (** Same indexing, keyed by call dst. *)
+  sd_mttr : mttr;
+  sd_requests : int;             (** Completed critpath requests. *)
+  sd_blame : int array option;
+      (** {!Tailprof} blame per bucket (declaration order, tenths of
+          cycles); [None] when the side has no completed requests. *)
+}
+
+type report = {
+  rd_a : side;
+  rd_b : side;
+  rd_headers_equal : bool;
+  rd_divergence : Replay.divergence option;
+}
+
+val compare_runs :
+  label_a:string ->
+  label_b:string ->
+  string ->
+  string ->
+  (report, string) result
+(** [compare_runs ~label_a ~label_b bytes_a bytes_b] decodes both
+    journals and builds the report. [Error] names the undecodable
+    side. *)
+
+val exit_code : report -> int
+(** [0] when the trajectories are byte-identical {e and} the headers
+    are equal; [2] when anything differs — the [osiris diff]
+    convention (1 is reserved for I/O and decode errors). *)
+
+val render : report -> string
+(** Multi-line human-readable differential report. *)
+
+val to_json : report -> string
+(** Deterministic JSON artifact. *)

@@ -92,14 +92,49 @@ type recording = {
   rec_snapshots : int;
 }
 
-let record ~path ?ring header =
+(* Sidecar indexing at record time is a post-pass over the encoded
+   bytes — the same [Journal.build_index] the [osiris index] rebuild
+   runs, so the two paths cannot produce different sidecars. The
+   summary scan is a small fraction of the run itself (the <5% gate in
+   bench/query_bench.ml). *)
+let write_sidecar ~path encoded =
+  (* [encoded] was produced by this process moments ago, so the
+     per-record CRC re-verification is skipped; [osiris index] rebuilds
+     from disk keep it. *)
+  match Journal.build_index ~verify_crc:false encoded with
+  | Ok ix ->
+    Journal.write_index_file ~path:(path ^ Journal.index_suffix) ix;
+    Ok ()
+  | Error m -> Error m
+
+let record ~path ?ring ?costs ?(index = true) header =
   match resolve header with
   | Error m -> Error m
   | Ok resolved ->
     (match ring with
+     | None when index ->
+       (* The sidecar builder needs the encoded bytes anyway, so record
+          into memory and write the file once rather than streaming to
+          disk and reading it straight back. *)
+       let w = Journal.to_memory header in
+       let halt = run_resolved ?costs ~journal:w header resolved in
+       Journal.close w;
+       let encoded = Journal.contents w in
+       (try
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc encoded);
+          match write_sidecar ~path encoded with
+          | Error m -> Error ("index: " ^ m)
+          | Ok () ->
+            Ok
+              { rec_halt = halt;
+                rec_records = Journal.records_written w;
+                rec_bytes = Journal.bytes_written w;
+                rec_snapshots = 0 }
+        with Sys_error m -> Error m)
      | None ->
        let w = Journal.to_file ~path header in
-       let halt = run_resolved ~journal:w header resolved in
+       let halt = run_resolved ?costs ~journal:w header resolved in
        Journal.close w;
        Ok
          { rec_halt = halt;
@@ -110,7 +145,9 @@ let record ~path ?ring header =
        let t = Tracer.create ~capacity () in
        Tracer.set_snapshot_on t
          (Some (function Kernel.E_crash _ -> true | _ -> false));
-       let halt = run_resolved ~event_hook:(Tracer.record t) header resolved in
+       let halt =
+         run_resolved ?costs ~event_hook:(Tracer.record t) header resolved
+       in
        let snapshots = Tracer.snapshots_taken t in
        (* Spill the crash snapshot — or, with no crash, the final ring
           contents, so the run's tail is preserved either way. *)
@@ -121,11 +158,14 @@ let record ~path ?ring header =
        (try
           Out_channel.with_open_bin path (fun oc ->
               Out_channel.output_string oc encoded);
-          Ok
-            { rec_halt = halt;
-              rec_records = List.length events;
-              rec_bytes = String.length encoded;
-              rec_snapshots = snapshots }
+          match (if index then write_sidecar ~path encoded else Ok ()) with
+          | Error m -> Error ("index: " ^ m)
+          | Ok () ->
+            Ok
+              { rec_halt = halt;
+                rec_records = List.length events;
+                rec_bytes = String.length encoded;
+                rec_snapshots = snapshots }
         with Sys_error m -> Error m))
 
 let exec ?prepare header ~hook =
@@ -133,7 +173,7 @@ let exec ?prepare header ~hook =
   | Error m -> invalid_arg ("Flight.exec: " ^ m)
   | Ok resolved -> run_resolved ~event_hook:hook ?prepare header resolved
 
-let replay ?costs header events =
+let replay_exec ?costs header =
   let table =
     match costs with
     | Some c -> c
@@ -145,6 +185,14 @@ let replay ?costs header events =
     | Ok resolved ->
       run_resolved ~costs:table ~event_hook:hook header resolved
   in
-  Replay.run ~exec ~cost_fingerprint:(Costs.fingerprint table) header events
+  (exec, Costs.fingerprint table)
+
+let replay ?costs header events =
+  let exec, fingerprint = replay_exec ?costs header in
+  Replay.run ~exec ~cost_fingerprint:fingerprint header events
+
+let replay_stream ?costs header ~next =
+  let exec, fingerprint = replay_exec ?costs header in
+  Replay.run_stream ~exec ~cost_fingerprint:fingerprint header ~next
 
 let postmortem = Postmortem.analyze

@@ -52,14 +52,26 @@ type recording = {
 }
 
 val record :
-  path:string -> ?ring:int -> Journal.header -> (recording, string) result
+  path:string ->
+  ?ring:int ->
+  ?costs:Costs.t ->
+  ?index:bool ->
+  Journal.header ->
+  (recording, string) result
 (** Execute the run the header describes, journaling to [path]. Full
     fidelity by default: every event streams to disk as it happens.
     [ring] bounds memory instead: the last-N events ride a tracer ring
     whose contents are frozen at each crash ({!Tracer.set_snapshot_on})
     and spilled to [path] at halt — newest crash wins, and with no
     crash the final ring contents are spilled, so the tail of the run
-    is always preserved. *)
+    is always preserved.
+
+    [index] (default true) writes the seekable sidecar block index to
+    [path ^ Journal.index_suffix] after the journal closes — identical
+    bytes to a post-hoc [osiris index] rebuild. [costs] overrides the
+    execution cost table {e without} changing the header's fingerprint:
+    the perturbed-cost fixture, producing a journal whose events
+    diverge from what its header re-executes to. *)
 
 val exec :
   ?prepare:(System.t -> unit) ->
@@ -82,6 +94,15 @@ val replay :
     ([costs] overrides the header arch's — the perturbation fixture)
     threaded both into the rebuilt system and into the outcome's
     fingerprint check. *)
+
+val replay_stream :
+  ?costs:Costs.t ->
+  Journal.header ->
+  next:(unit -> Kernel.event option) ->
+  Replay.outcome
+(** {!Replay.run_stream} over {!exec} — the streaming CLI path: feed
+    it a {!Journal.stream_next} cursor and the journal is never
+    materialized as an array. *)
 
 val postmortem : Journal.header -> Kernel.event array -> Postmortem.report
 (** {!Postmortem.analyze} (re-exported so CLI and tests need only

@@ -923,7 +923,7 @@ exception Bad of string
 
 let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
 
-type cursor = { src : string; mutable rpos : int; limit : int }
+type cursor = { src : string; mutable rpos : int; mutable limit : int }
 
 let get_byte c =
   if c.rpos >= c.limit then bad "truncated varint";
@@ -931,30 +931,29 @@ let get_byte c =
   c.rpos <- c.rpos + 1;
   b
 
-let get_int c =
-  let v = ref 0 and shift = ref 0 and continue = ref true in
-  while !continue do
-    if !shift > 63 then bad "varint too long";
-    let b = get_byte c in
-    v := !v lor ((b land 0x7f) lsl !shift);
-    shift := !shift + 7;
-    if b land 0x80 = 0 then continue := false
-  done;
-  unzigzag !v
+(* Continuation bytes past the first; tail-recursive so decode
+   allocates nothing (a [ref]-based loop would box three cells per
+   varint without flambda — measurable on the index-build hot path). *)
+let rec varint_rest c v shift =
+  if shift > 63 then bad "varint too long";
+  let b = get_byte c in
+  let v = v lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then v else varint_rest c v (shift + 7)
+
+(* Single-byte fast path first: endpoints, tags, flags and most deltas
+   fit in 7 bits — the same asymmetry [put_int]'s encoder fast path
+   exploits. *)
+let[@inline] get_int c =
+  let b = get_byte c in
+  if b land 0x80 = 0 then unzigzag b
+  else unzigzag (varint_rest c (b land 0x7f) 7)
 
 (* Record lengths are framed as raw (non-zigzag) varints — they are
    never negative, and the frame writer in [flush_record] emits them
    raw. *)
-let get_uint c =
-  let v = ref 0 and shift = ref 0 and continue = ref true in
-  while !continue do
-    if !shift > 63 then bad "varint too long";
-    let b = get_byte c in
-    v := !v lor ((b land 0x7f) lsl !shift);
-    shift := !shift + 7;
-    if b land 0x80 = 0 then continue := false
-  done;
-  !v
+let[@inline] get_uint c =
+  let b = get_byte c in
+  if b land 0x80 = 0 then b else varint_rest c (b land 0x7f) 7
 
 let get_str c =
   let len = get_int c in
@@ -1088,8 +1087,11 @@ let get_ev st c : Kernel.event =
   | n -> bad "unknown event tag %d" n
 
 (* Unframe one record: varint(len) + payload + CRC. Returns a cursor
-   scoped to the payload; [which] names the record in errors. *)
-let next_record src pos ~which =
+   scoped to the payload; [which] names the record in errors.
+   [check_crc:false] skips the payload checksum (framing and bounds
+   are still enforced) — only for callers that just produced the
+   bytes in-process and cannot have picked up storage corruption. *)
+let next_record ?(check_crc = true) src pos ~which =
   let c = { src; rpos = pos; limit = String.length src } in
   let len =
     try get_uint c with Bad _ -> bad "%s: truncated length" which
@@ -1098,16 +1100,18 @@ let next_record src pos ~which =
   if payload_off + len + 4 > String.length src then
     bad "%s: truncated record (need %d bytes past offset %d)" which len
       payload_off;
-  let stored_crc =
-    Char.code src.[payload_off + len]
-    lor (Char.code src.[payload_off + len + 1] lsl 8)
-    lor (Char.code src.[payload_off + len + 2] lsl 16)
-    lor (Char.code src.[payload_off + len + 3] lsl 24)
-  in
-  let actual = crc32_string src ~off:payload_off ~len in
-  if actual <> stored_crc then
-    bad "%s: CRC mismatch (stored %08x, computed %08x)" which stored_crc
-      actual;
+  if check_crc then begin
+    let stored_crc =
+      Char.code src.[payload_off + len]
+      lor (Char.code src.[payload_off + len + 1] lsl 8)
+      lor (Char.code src.[payload_off + len + 2] lsl 16)
+      lor (Char.code src.[payload_off + len + 3] lsl 24)
+    in
+    let actual = crc32_string src ~off:payload_off ~len in
+    if actual <> stored_crc then
+      bad "%s: CRC mismatch (stored %08x, computed %08x)" which stored_crc
+        actual
+  end;
   ({ src; rpos = payload_off; limit = payload_off + len },
    payload_off + len + 4)
 
@@ -1193,3 +1197,551 @@ let event_ep = function
   | Kernel.E_rollback_end { ep; _ } | Kernel.E_restart { ep; _ }
   | Kernel.E_spawn { ep; _ } -> Some ep
   | Kernel.E_halt _ -> None
+
+(* Wire tag, declaration order — the same code the encoders pack into
+   the lead byte, re-exposed so block summaries and queries can talk
+   about event kinds without a constructor match each. *)
+let event_kind = function
+  | Kernel.E_msg _ -> 0
+  | Kernel.E_reply _ -> 1
+  | Kernel.E_window_open _ -> 2
+  | Kernel.E_window_close _ -> 3
+  | Kernel.E_checkpoint _ -> 4
+  | Kernel.E_store_logged _ -> 5
+  | Kernel.E_kcall _ -> 6
+  | Kernel.E_crash _ -> 7
+  | Kernel.E_hang_detected _ -> 8
+  | Kernel.E_rollback_begin _ -> 9
+  | Kernel.E_rollback_end _ -> 10
+  | Kernel.E_restart _ -> 11
+  | Kernel.E_halt _ -> 12
+  | Kernel.E_spawn _ -> 13
+
+let n_kinds = 14
+
+let kind_names =
+  [| "msg"; "reply"; "window_open"; "window_close"; "checkpoint"; "store";
+     "kcall"; "crash"; "hang"; "rollback_begin"; "rollback_end"; "restart";
+     "halt"; "spawn" |]
+
+let kind_name k =
+  if k >= 0 && k < n_kinds then kind_names.(k)
+  else invalid_arg "Journal.kind_name"
+
+let kind_of_name s =
+  let rec find i =
+    if i >= n_kinds then None
+    else if kind_names.(i) = s then Some i
+    else find (i + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Streaming decode                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header_of_string s =
+  try
+    if String.length s < String.length magic
+       || String.sub s 0 (String.length magic) <> magic
+    then bad "bad magic (not an OSIRIS journal)";
+    let hc, pos = next_record s (String.length magic) ~which:"header" in
+    let header = get_header hc in
+    if hc.rpos <> hc.limit then bad "header: trailing bytes";
+    Ok (header, pos)
+  with Bad m -> Error ("journal: " ^ m)
+
+type stream = {
+  st_src : string;
+  mutable st_pos : int;
+  mutable st_n : int;
+  st_delta : delta;
+}
+
+let stream_of_string s =
+  match header_of_string s with
+  | Error m -> Error m
+  | Ok (header, pos) ->
+    Ok (header,
+        { st_src = s; st_pos = pos; st_n = 0;
+          st_delta = { d_time = 0; d_rid = 0 } })
+
+let stream_next st =
+  if st.st_pos >= String.length st.st_src then Ok None
+  else
+    let which = Printf.sprintf "record %d" st.st_n in
+    try
+      let rc, pos' = next_record st.st_src st.st_pos ~which in
+      let ev = try get_ev st.st_delta rc with Bad m -> bad "%s: %s" which m in
+      if rc.rpos <> rc.limit then bad "%s: trailing bytes in record" which;
+      st.st_pos <- pos';
+      st.st_n <- st.st_n + 1;
+      Ok (Some ev)
+    with Bad m -> Error ("journal: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Sidecar block index                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let index_magic = "OSIRIDX1"
+
+let index_suffix = ".idx"
+
+let default_block_records = 512
+
+type block = {
+  blk_off : int;
+  blk_count : int;
+  blk_base_time : int;
+  blk_base_rid : int;
+  blk_time_min : int;
+  blk_time_max : int;
+  blk_rid_min : int;
+  blk_rid_max : int;
+  blk_ep_mask : int;
+  blk_kind_mask : int;
+  blk_tag_mask : int;
+}
+
+type index = {
+  ix_journal_len : int;
+  ix_head_crc : int;
+  ix_tail_crc : int;
+  ix_records : int;
+  ix_blocks : block array;
+}
+
+(* Presence bitmaps saturate at bit 62 (OCaml ints are 63-bit): values
+   below 62 get an exact bit, everything else shares the top bit. The
+   test is therefore conservative — exact below the clamp, "any
+   clamped value present" above it — which is precisely what predicate
+   pushdown needs: it may only claim a block *cannot* match. *)
+let[@inline] mask_bit i = 1 lsl (if i >= 0 && i < 62 then i else 62)
+
+let mask_mem m i = m land mask_bit i <> 0
+
+(* Journal identity fingerprint: cheap (O(8 KiB)) staleness detection
+   for a sidecar that outlived a re-record. Every realistic rewrite
+   changes the length or one of the edge CRCs; the per-record CRCs in
+   the journal itself still guard the decode. *)
+let fingerprint_span = 4096
+
+let head_crc s =
+  crc32_string s ~off:0 ~len:(min fingerprint_span (String.length s))
+
+let tail_crc s =
+  let len = min fingerprint_span (String.length s) in
+  crc32_string s ~off:(String.length s - len) ~len
+
+(* Index building runs on the record path (the <5% gate in
+   bench/query_bench.ml), so it cannot afford full decode: this
+   scanner mirrors [get_ev]'s layouts field-for-field but extracts
+   only what block summaries need — time, rid, acting endpoint, tag
+   index — skipping string payloads by length and allocating nothing
+   per record. The per-record CRC in [next_record] still guards
+   integrity; the value validation [get_ev] adds (tag range, SEEP
+   class) is re-applied whenever a block is decoded for real, and the
+   summary masks are conservative regardless. *)
+type summary = {
+  mutable su_time : int;
+  mutable su_rid : int;   (* 0 where [event_rid] reports 0 *)
+  mutable su_ep : int;    (* -1 where [event_ep] reports None *)
+  mutable su_tag : int;   (* -1 for kinds without a message tag *)
+}
+
+let[@inline] skip_int c = ignore (get_int c : int)
+
+let skip_str c =
+  let len = get_int c in
+  if len < 0 || c.rpos + len > c.limit then bad "truncated string";
+  c.rpos <- c.rpos + len
+
+(* Returns the record's wire kind; fills [su] in place. Must call
+   [get_rid] exactly where [get_ev] does so the delta state evolves
+   identically. *)
+let scan_summary st c su =
+  let b0 = get_byte c in
+  if b0 land 0x80 <> 0 then bad "bad lead byte %#x" b0;
+  let kind = b0 land 0xf in
+  su.su_time <- get_time st c;
+  su.su_rid <- 0;
+  su.su_ep <- -1;
+  su.su_tag <- -1;
+  (match kind with
+   | 0 ->
+     skip_int c; (* src *)
+     su.su_ep <- get_int c; (* dst, as in [event_ep] *)
+     su.su_tag <- get_int c;
+     su.su_rid <- get_rid st c;
+     skip_int c (* parent offset *)
+   | 1 ->
+     su.su_ep <- get_int c; (* src, as in [event_ep] *)
+     skip_int c; (* dst *)
+     su.su_tag <- get_int c;
+     su.su_rid <- get_rid st c
+   | 2 | 3 | 9 ->
+     su.su_ep <- get_int c;
+     su.su_rid <- get_rid st c
+   | 4 | 5 | 10 ->
+     su.su_ep <- get_int c;
+     su.su_rid <- get_rid st c;
+     skip_int c
+   | 6 | 11 ->
+     su.su_ep <- get_int c;
+     su.su_rid <- get_rid st c;
+     skip_str c
+   | 7 ->
+     su.su_ep <- get_int c;
+     su.su_rid <- get_rid st c;
+     skip_str c;
+     skip_str c
+   | 8 -> su.su_ep <- get_int c
+   | 12 ->
+     (match b0 lsr 4 with
+      | 0 -> skip_int c
+      | 1 | 2 -> skip_str c
+      | 3 -> ()
+      | n -> bad "unknown halt kind %d" n)
+   | 13 ->
+     su.su_ep <- get_int c;
+     skip_int c (* parent: raw int, not rid-delta coded *)
+   | n -> bad "unknown event tag %d" n);
+  kind
+
+let build_index ?(block_records = default_block_records) ?(verify_crc = true)
+    s =
+  if block_records < 1 then invalid_arg "Journal.build_index";
+  try
+    if String.length s < String.length magic
+       || String.sub s 0 (String.length magic) <> magic
+    then bad "bad magic (not an OSIRIS journal)";
+    let hc, pos = next_record s (String.length magic) ~which:"header" in
+    ignore (get_header hc : header);
+    if hc.rpos <> hc.limit then bad "header: trailing bytes";
+    let blocks = ref [] in
+    let n = ref 0 in
+    let pos = ref pos in
+    let st = { d_time = 0; d_rid = 0 } in
+    let su = { su_time = 0; su_rid = 0; su_ep = -1; su_tag = -1 } in
+    let slen = String.length s in
+    (* One cursor reused for every record: with [scan_summary] the hot
+       loop allocates nothing, so indexing at record time does not
+       perturb the GC state the run just left behind. *)
+    let c = { src = s; rpos = 0; limit = slen } in
+    while !pos < slen do
+      (* Restart bases: the decoder's delta state *entering* the
+         block, captured so a seek to [blk_off] decodes exactly. *)
+      let off = !pos in
+      let base_time = st.d_time and base_rid = st.d_rid in
+      let count = ref 0 in
+      let time_min = ref max_int and time_max = ref min_int in
+      let rid_min = ref max_int and rid_max = ref min_int in
+      let ep_mask = ref 0 and kind_mask = ref 0 and tag_mask = ref 0 in
+      while !count < block_records && !pos < slen do
+        (try
+           (* Inline unframe ([next_record] allocates a cursor and a
+              tuple per call — this loop must not). *)
+           c.rpos <- !pos;
+           c.limit <- slen;
+           let len = try get_uint c with Bad _ -> bad "truncated length" in
+           let payload_off = c.rpos in
+           if payload_off + len + 4 > slen then
+             bad "truncated record (need %d bytes past offset %d)" len
+               payload_off;
+           if verify_crc then begin
+             let stored_crc =
+               Char.code s.[payload_off + len]
+               lor (Char.code s.[payload_off + len + 1] lsl 8)
+               lor (Char.code s.[payload_off + len + 2] lsl 16)
+               lor (Char.code s.[payload_off + len + 3] lsl 24)
+             in
+             let actual = crc32_string s ~off:payload_off ~len in
+             if actual <> stored_crc then
+               bad "CRC mismatch (stored %08x, computed %08x)" stored_crc
+                 actual
+           end;
+           c.limit <- payload_off + len;
+           let kind = scan_summary st c su in
+           if c.rpos <> c.limit then bad "trailing bytes in record";
+           if su.su_time < !time_min then time_min := su.su_time;
+           if su.su_time > !time_max then time_max := su.su_time;
+           if su.su_rid < !rid_min then rid_min := su.su_rid;
+           if su.su_rid > !rid_max then rid_max := su.su_rid;
+           if su.su_ep >= 0 then ep_mask := !ep_mask lor mask_bit su.su_ep;
+           kind_mask := !kind_mask lor (1 lsl kind);
+           if su.su_tag >= 0 then tag_mask := !tag_mask lor mask_bit su.su_tag;
+           pos := payload_off + len + 4
+         with Bad m -> bad "record %d: %s" !n m);
+        incr count;
+        incr n
+      done;
+      blocks :=
+        { blk_off = off;
+          blk_count = !count;
+          blk_base_time = base_time;
+          blk_base_rid = base_rid;
+          blk_time_min = !time_min;
+          blk_time_max = !time_max;
+          blk_rid_min = !rid_min;
+          blk_rid_max = !rid_max;
+          blk_ep_mask = !ep_mask;
+          blk_kind_mask = !kind_mask;
+          blk_tag_mask = !tag_mask }
+        :: !blocks
+    done;
+    Ok
+      { ix_journal_len = String.length s;
+        ix_head_crc = head_crc s;
+        ix_tail_crc = tail_crc s;
+        ix_records = !n;
+        ix_blocks = Array.of_list (List.rev !blocks) }
+  with Bad m -> Error ("journal: " ^ m)
+
+(* Sidecar wire format: magic, then framed records in the journal's
+   own framing (varint len + payload + CRC32) — one header record
+   (version, journal fingerprint, record/block counts), one record per
+   block summary. Damage anywhere fails a CRC or the framing, which
+   readers turn into the silent full-scan fallback. *)
+
+let buf_varint b v =
+  let v = ref (zigzag v) in
+  let continue = ref true in
+  while !continue do
+    let x = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char b (Char.unsafe_chr x);
+      continue := false
+    end
+    else Buffer.add_char b (Char.unsafe_chr (x lor 0x80))
+  done
+
+let buf_frame out payload =
+  (* raw (non-zigzag) varint length, as in [flush_record] *)
+  let len = Buffer.length payload in
+  let v = ref len in
+  let continue = ref true in
+  while !continue do
+    let x = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char out (Char.unsafe_chr x);
+      continue := false
+    end
+    else Buffer.add_char out (Char.unsafe_chr (x lor 0x80))
+  done;
+  let s = Buffer.contents payload in
+  Buffer.add_string out s;
+  let crc = crc32_string s ~off:0 ~len in
+  Buffer.add_char out (Char.unsafe_chr (crc land 0xff));
+  Buffer.add_char out (Char.unsafe_chr ((crc lsr 8) land 0xff));
+  Buffer.add_char out (Char.unsafe_chr ((crc lsr 16) land 0xff));
+  Buffer.add_char out (Char.unsafe_chr ((crc lsr 24) land 0xff))
+
+let index_to_string ix =
+  let out = Buffer.create (64 + (Array.length ix.ix_blocks * 32)) in
+  Buffer.add_string out index_magic;
+  let p = Buffer.create 64 in
+  buf_varint p version;
+  buf_varint p ix.ix_journal_len;
+  buf_varint p ix.ix_head_crc;
+  buf_varint p ix.ix_tail_crc;
+  buf_varint p ix.ix_records;
+  buf_varint p (Array.length ix.ix_blocks);
+  buf_frame out p;
+  Array.iter
+    (fun b ->
+       Buffer.clear p;
+       buf_varint p b.blk_off;
+       buf_varint p b.blk_count;
+       buf_varint p b.blk_base_time;
+       buf_varint p b.blk_base_rid;
+       buf_varint p b.blk_time_min;
+       buf_varint p b.blk_time_max;
+       buf_varint p b.blk_rid_min;
+       buf_varint p b.blk_rid_max;
+       buf_varint p b.blk_ep_mask;
+       buf_varint p b.blk_kind_mask;
+       buf_varint p b.blk_tag_mask;
+       buf_frame out p)
+    ix.ix_blocks;
+  Buffer.contents out
+
+let index_of_string ~journal s =
+  try
+    if String.length s < String.length index_magic
+       || String.sub s 0 (String.length index_magic) <> index_magic
+    then bad "bad magic (not an OSIRIS journal index)";
+    let hc, pos = next_record s (String.length index_magic) ~which:"index header" in
+    let v = get_int hc in
+    if v <> version then bad "unsupported index version %d" v;
+    let ix_journal_len = get_int hc in
+    let ix_head_crc = get_int hc in
+    let ix_tail_crc = get_int hc in
+    let ix_records = get_int hc in
+    let n_blocks = get_int hc in
+    if hc.rpos <> hc.limit then bad "index header: trailing bytes";
+    if n_blocks < 0 then bad "index header: negative block count";
+    if ix_journal_len <> String.length journal
+       || ix_head_crc <> head_crc journal
+       || ix_tail_crc <> tail_crc journal
+    then bad "stale index (journal fingerprint mismatch)";
+    let blocks = Array.make n_blocks
+        { blk_off = 0; blk_count = 0; blk_base_time = 0; blk_base_rid = 0;
+          blk_time_min = 0; blk_time_max = 0; blk_rid_min = 0;
+          blk_rid_max = 0; blk_ep_mask = 0; blk_kind_mask = 0;
+          blk_tag_mask = 0 }
+    in
+    let pos = ref pos in
+    for i = 0 to n_blocks - 1 do
+      let which = Printf.sprintf "index block %d" i in
+      let rc, pos' = next_record s !pos ~which in
+      let blk_off = get_int rc in
+      let blk_count = get_int rc in
+      let blk_base_time = get_int rc in
+      let blk_base_rid = get_int rc in
+      let blk_time_min = get_int rc in
+      let blk_time_max = get_int rc in
+      let blk_rid_min = get_int rc in
+      let blk_rid_max = get_int rc in
+      let blk_ep_mask = get_int rc in
+      let blk_kind_mask = get_int rc in
+      let blk_tag_mask = get_int rc in
+      if rc.rpos <> rc.limit then bad "%s: trailing bytes" which;
+      if blk_off < 0 || blk_off >= String.length journal || blk_count < 1
+      then bad "%s: offset/count out of range" which;
+      blocks.(i) <-
+        { blk_off; blk_count; blk_base_time; blk_base_rid; blk_time_min;
+          blk_time_max; blk_rid_min; blk_rid_max; blk_ep_mask;
+          blk_kind_mask; blk_tag_mask };
+      pos := pos'
+    done;
+    if !pos <> String.length s then bad "index: trailing bytes";
+    if Array.fold_left (fun acc b -> acc + b.blk_count) 0 blocks
+       <> ix_records
+    then bad "index: block counts disagree with record count";
+    Ok { ix_journal_len; ix_head_crc; ix_tail_crc; ix_records;
+         ix_blocks = blocks }
+  with Bad m -> Error ("index: " ^ m)
+
+let write_index_file ~path ix =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (index_to_string ix))
+
+let read_index_file ~journal path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> index_of_string ~journal s
+  | exception Sys_error m -> Error ("index: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Selective fold                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type scan_stats = {
+  mutable sc_blocks_total : int;
+  mutable sc_blocks_scanned : int;
+  mutable sc_blocks_skipped : int;
+  mutable sc_records_decoded : int;
+}
+
+let scan_stats () =
+  { sc_blocks_total = 0; sc_blocks_scanned = 0; sc_blocks_skipped = 0;
+    sc_records_decoded = 0 }
+
+let fold_full s pos stats ~init ~f =
+  let acc = ref init in
+  let n = ref 0 in
+  let pos = ref pos in
+  let st = { d_time = 0; d_rid = 0 } in
+  while !pos < String.length s do
+    let which = Printf.sprintf "record %d" !n in
+    let rc, pos' = next_record s !pos ~which in
+    let ev = try get_ev st rc with Bad m -> bad "%s: %s" which m in
+    if rc.rpos <> rc.limit then bad "%s: trailing bytes in record" which;
+    (match stats with
+     | Some sc -> sc.sc_records_decoded <- sc.sc_records_decoded + 1
+     | None -> ());
+    acc := f !acc ev;
+    incr n;
+    pos := pos'
+  done;
+  !acc
+
+(* Decode one indexed block: seek to its offset, seed the delta state
+   from the stored restart bases, decode exactly [blk_count] records. *)
+let fold_block s blk base ~init ~f =
+  let acc = ref init in
+  let pos = ref blk.blk_off in
+  let st = { d_time = blk.blk_base_time; d_rid = blk.blk_base_rid } in
+  for i = 0 to blk.blk_count - 1 do
+    let which = Printf.sprintf "record %d" (base + i) in
+    let rc, pos' = next_record s !pos ~which in
+    let ev = try get_ev st rc with Bad m -> bad "%s: %s" which m in
+    if rc.rpos <> rc.limit then bad "%s: trailing bytes in record" which;
+    acc := f !acc ev;
+    pos := pos'
+  done;
+  !acc
+
+let iter_blocks ?select ?stats ix s ~f =
+  try
+    (match header_of_string s with
+     | Error m -> raise (Bad m)
+     | Ok _ -> ());
+    let want = match select with Some p -> p | None -> fun _ -> true in
+    let base = ref 0 in
+    Array.iter
+      (fun blk ->
+         (match stats with
+          | Some sc -> sc.sc_blocks_total <- sc.sc_blocks_total + 1
+          | None -> ());
+         (if want blk then begin
+            (match stats with
+             | Some sc ->
+               sc.sc_blocks_scanned <- sc.sc_blocks_scanned + 1;
+               sc.sc_records_decoded <- sc.sc_records_decoded + blk.blk_count
+             | None -> ());
+            fold_block s blk !base ~init:() ~f:(fun () ev -> f blk ev)
+          end
+          else
+            match stats with
+            | Some sc -> sc.sc_blocks_skipped <- sc.sc_blocks_skipped + 1
+            | None -> ());
+         base := !base + blk.blk_count)
+      ix.ix_blocks;
+    Ok ()
+  with Bad m -> Error ("journal: " ^ m)
+
+let fold ?index ?select ?stats s ~init ~f =
+  match header_of_string s with
+  | Error m -> Error m
+  | Ok (_, pos) ->
+    (try
+       match index with
+       | Some ix ->
+         let want = match select with Some p -> p | None -> fun _ -> true in
+         let acc = ref init in
+         let base = ref 0 in
+         Array.iter
+           (fun blk ->
+              (match stats with
+               | Some sc -> sc.sc_blocks_total <- sc.sc_blocks_total + 1
+               | None -> ());
+              if want blk then begin
+                (match stats with
+                 | Some sc ->
+                   sc.sc_blocks_scanned <- sc.sc_blocks_scanned + 1;
+                   sc.sc_records_decoded <-
+                     sc.sc_records_decoded + blk.blk_count
+                 | None -> ());
+                acc := fold_block s blk !base ~init:!acc ~f
+              end
+              else
+                (match stats with
+                 | Some sc -> sc.sc_blocks_skipped <- sc.sc_blocks_skipped + 1
+                 | None -> ());
+              base := !base + blk.blk_count)
+           ix.ix_blocks;
+         Ok !acc
+       | None -> Ok (fold_full s pos stats ~init ~f)
+     with Bad m -> Error ("journal: " ^ m))

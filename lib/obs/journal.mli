@@ -135,3 +135,141 @@ val event_time : Kernel.event -> int
 val event_ep : Kernel.event -> Endpoint.t option
 (** The component the event belongs to: [dst] for deliveries, [src]
     for replies, the component itself elsewhere, [None] for halts. *)
+
+val event_kind : Kernel.event -> int
+(** The constructor's wire tag (declaration order, 0–13) — the stable
+    "event kind" code block summaries and queries share. *)
+
+val n_kinds : int
+
+val kind_name : int -> string
+(** ["msg"], ["reply"], ["window_open"], ... ["spawn"].
+    @raise Invalid_argument out of range. *)
+
+val kind_of_name : string -> int option
+
+(** {1 Streaming decode}
+
+    A pull cursor over the framed records: each {!stream_next}
+    unframes, CRC-checks and decodes exactly one record, so consumers
+    that fold over the stream (replay, postmortem, queries) never
+    materialize the event array. Damage surfaces as [Error] at the
+    damaged record, exactly like {!read_string}. *)
+
+val header_of_string : string -> (header * int, string) result
+(** Decode just the header record; also returns the byte offset of the
+    first event record. *)
+
+type stream
+
+val stream_of_string : string -> (header * stream, string) result
+
+val stream_next : stream -> (Kernel.event option, string) result
+(** [Ok None] at end of journal (boundary truncation included,
+    WAL-style); [Error] on in-record damage. *)
+
+(** {1 Sidecar block index}
+
+    The journal stays append-only and delta-coded; seekability comes
+    from a {e sidecar} index ([journal.idx]) that segments the record
+    stream into fixed-count blocks and stores, per block: the byte
+    offset of its first frame, the decoder's delta-state {e restart
+    bases} (time, rid) on entry — what makes a mid-file decode exact —
+    the block's vtime and rid ranges, and presence bitmaps over
+    endpoints, event kinds (wire tags) and message tags. Summaries are
+    CRC-framed like journal records, and the index binds to its
+    journal through a length + head/tail CRC fingerprint, so a
+    truncated, bit-flipped or stale sidecar reads as [Error] — which
+    consumers treat as "no index": silent degradation to a full scan,
+    never a wrong answer. *)
+
+type block = {
+  blk_off : int;        (** Byte offset of the block's first frame. *)
+  blk_count : int;      (** Records in the block (>= 1). *)
+  blk_base_time : int;  (** Delta restart base entering the block. *)
+  blk_base_rid : int;
+  blk_time_min : int;
+  blk_time_max : int;
+  blk_rid_min : int;
+  blk_rid_max : int;
+  blk_ep_mask : int;    (** Presence bitmap over {!event_ep} ({!mask_mem}). *)
+  blk_kind_mask : int;  (** Presence bitmap over {!event_kind} (exact). *)
+  blk_tag_mask : int;   (** Presence bitmap over [Message.Tag.to_index]. *)
+}
+
+type index = {
+  ix_journal_len : int;
+  ix_head_crc : int;
+  ix_tail_crc : int;
+  ix_records : int;
+  ix_blocks : block array;
+}
+
+val index_suffix : string
+(** [".idx"] — the conventional sidecar path is [journal ^ ".idx"]. *)
+
+val default_block_records : int
+
+val mask_mem : int -> int -> bool
+(** [mask_mem mask i]: may a value [i] be present? Exact for [i < 62];
+    values at or above the clamp share a saturating bit, so the answer
+    is conservative (true = maybe) — sound for pushdown either way. *)
+
+val build_index :
+  ?block_records:int -> ?verify_crc:bool -> string -> (index, string) result
+(** One summary-scan pass over the journal bytes (no event
+    materialization). The same function serves record-time indexing
+    ([Flight.record] runs it over the bytes it just encoded) and
+    post-hoc rebuilds ([osiris index]) — both produce identical
+    sidecars. [verify_crc:false] (default [true]) skips the per-record
+    payload checksums; it is only for bytes produced in-process that
+    cannot have picked up storage corruption — rebuilds from disk must
+    keep the default. *)
+
+val index_to_string : index -> string
+
+val index_of_string : journal:string -> string -> (index, string) result
+(** Decode and validate a sidecar against the journal bytes it claims
+    to describe. [Error] on damage of any kind {e or} on a fingerprint
+    mismatch (stale index) — callers fall back to a full scan. *)
+
+val write_index_file : path:string -> index -> unit
+
+val read_index_file : journal:string -> string -> (index, string) result
+
+(** {1 Selective fold} *)
+
+type scan_stats = {
+  mutable sc_blocks_total : int;
+  mutable sc_blocks_scanned : int;
+  mutable sc_blocks_skipped : int;
+  mutable sc_records_decoded : int;  (** Also counted on full scans. *)
+}
+
+val scan_stats : unit -> scan_stats
+(** Fresh zeroed counters. *)
+
+val fold :
+  ?index:index ->
+  ?select:(block -> bool) ->
+  ?stats:scan_stats ->
+  string ->
+  init:'a ->
+  f:('a -> Kernel.event -> 'a) ->
+  ('a, string) result
+(** Stream every event through [f] in record order. With [index], only
+    blocks for which [select] returns true are decoded (default: all);
+    [select] must be conservative — return true whenever the block
+    {e could} contain a matching event — and then the fold over
+    matching events is identical to a full scan's. Without [index] the
+    whole journal is decoded ([select] is not consulted). *)
+
+val iter_blocks :
+  ?select:(block -> bool) ->
+  ?stats:scan_stats ->
+  index ->
+  string ->
+  f:(block -> Kernel.event -> unit) ->
+  (unit, string) result
+(** Block-at-a-time iteration (each event is passed with its block
+    summary) — the lower-level sibling of {!fold}. *)

@@ -55,8 +55,19 @@ let preregister_timeline m =
     (fun name -> ignore (Metrics.gauge m ("osiris.timeline." ^ name)))
     [ "interval"; "sources"; "samples"; "retained"; "dropped" ]
 
+(* Same treatment for the trace-query scan gauges (Query.publish):
+   dumps enumerate them at 0 even when no query ran this session. *)
+let preregister_query m =
+  List.iter
+    (fun name -> ignore (Metrics.gauge m ("osiris.query." ^ name)))
+    [ "blocks_scanned"; "blocks_skipped"; "records_decoded" ]
+
 let create ?metrics () =
-  (match metrics with None -> () | Some m -> preregister_timeline m);
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     preregister_timeline m;
+     preregister_query m);
   { evs = Array.make 1024 dummy_event;
     n = 0;
     registry = metrics;

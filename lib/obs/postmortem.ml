@@ -22,107 +22,183 @@ type report = {
   pm_crashes : crash_report list;
 }
 
-(* Undo-log bytes live in the crashed compartment's *current* window:
-   sum E_store_logged since its last E_window_open, zeroed by
-   E_window_close, scanning backwards from the crash. *)
-let undo_bytes_at events ep crash_idx =
-  let rec scan i acc =
-    if i < 0 then acc
-    else
-      match events.(i) with
-      | Kernel.E_window_open { ep = e; _ } when e = ep -> acc
-      | Kernel.E_window_close { ep = e; _ } when e = ep -> 0
-      | Kernel.E_store_logged { ep = e; bytes; _ } when e = ep ->
-        scan (i - 1) (acc + bytes)
-      | _ -> scan (i - 1) acc
+(* Streaming analysis core. The original implementation scanned the
+   decoded array backwards from each crash (undo-log window state) and
+   forwards to its recovery; this core computes the identical report in
+   two forward passes over any event source, so journals stream through
+   it without materializing the array:
+
+   - Undo-log bytes live in the crashed compartment's *current* window.
+     The backward scan ("sum E_store_logged since the last
+     E_window_open, zeroed by E_window_close") is equivalent to a
+     forward per-compartment accumulator: reset to 0 at both window
+     boundaries, add store bytes unless the last boundary was a close
+     (stores before any boundary count — the backward scan runs off the
+     start of the journal and returns its sum).
+
+   - Recovery resolution ("first rollback/restart after the crash,
+     stopping at the compartment's next crash") becomes a pending
+     episode per compartment: the first E_rollback_end fills the
+     rollback slot, the first E_restart fills the restart slot and
+     closes the episode, a new crash finalizes whatever was pending.
+
+   - Causal chains need the rid -> parent map of the *whole* journal
+     (Replay.rid_chain's contract), so chains and their delivery events
+     resolve after the pass: pass one accrues parents (two ints per
+     E_msg — the only per-record state kept), pass two picks up the
+     first E_msg delivery for exactly the rids on some crash's chain. *)
+
+type pending = {
+  p_index : int;
+  p_time : int;
+  p_ep : Endpoint.t;
+  p_reason : string;
+  p_policy : string;
+  p_window_open : bool;
+  p_rid : int;
+  p_undo : int;
+  mutable p_rollback : (int * int) option;  (* time, bytes *)
+  mutable p_restart : (int * string) option;
+  mutable p_done : bool;
+}
+
+let analyze_iter header ~iter =
+  let parents = Hashtbl.create 256 in
+  let wclosed = Hashtbl.create 8 in  (* ep -> last boundary was a close *)
+  let wacc = Hashtbl.create 8 in     (* ep -> undo bytes in current window *)
+  let pending = Hashtbl.create 8 in  (* ep -> open recovery episode *)
+  let finished = ref [] in
+  let n = ref 0 in
+  let last = ref None in
+  let finalize ep =
+    match Hashtbl.find_opt pending ep with
+    | Some p ->
+      Hashtbl.remove pending ep;
+      finished := p :: !finished
+    | None -> ()
   in
-  scan (crash_idx - 1) 0
-
-(* Recovery resolution: first rollback/restart of this compartment
-   after the crash, stopping at its next crash (each crash owns its own
-   recovery episode). *)
-let recovery_after events ep crash_idx =
-  let n = Array.length events in
-  let rollback = ref None and restart = ref None in
-  let rec scan i =
-    if i >= n then ()
-    else
-      match events.(i) with
-      | Kernel.E_crash { ep = e; _ } when e = ep -> ()
-      | Kernel.E_rollback_end { ep = e; bytes; time; _ }
-        when e = ep && !rollback = None ->
-        rollback := Some (time, bytes);
-        scan (i + 1)
-      | Kernel.E_restart { ep = e; time; policy; _ }
-        when e = ep && !restart = None ->
-        restart := Some (time, policy)
-      | _ -> scan (i + 1)
+  iter (fun ev ->
+      (match ev with
+       | Kernel.E_msg { rid; parent; _ } -> Hashtbl.replace parents rid parent
+       | Kernel.E_window_open { ep; _ } ->
+         Hashtbl.replace wclosed ep false;
+         Hashtbl.replace wacc ep 0
+       | Kernel.E_window_close { ep; _ } ->
+         Hashtbl.replace wclosed ep true;
+         Hashtbl.replace wacc ep 0
+       | Kernel.E_store_logged { ep; bytes; _ } ->
+         if not (Option.value ~default:false (Hashtbl.find_opt wclosed ep))
+         then
+           Hashtbl.replace wacc ep
+             (Option.value ~default:0 (Hashtbl.find_opt wacc ep) + bytes)
+       | Kernel.E_crash { time; ep; reason; window_open; rid; policy } ->
+         finalize ep;
+         Hashtbl.replace pending ep
+           { p_index = !n;
+             p_time = time;
+             p_ep = ep;
+             p_reason = reason;
+             p_policy = policy;
+             p_window_open = window_open;
+             p_rid = rid;
+             p_undo = Option.value ~default:0 (Hashtbl.find_opt wacc ep);
+             p_rollback = None;
+             p_restart = None;
+             p_done = false }
+       | Kernel.E_rollback_end { time; ep; bytes; _ } ->
+         (match Hashtbl.find_opt pending ep with
+          | Some p when (not p.p_done) && p.p_rollback = None ->
+            p.p_rollback <- Some (time, bytes)
+          | _ -> ())
+       | Kernel.E_restart { time; ep; policy; _ } ->
+         (match Hashtbl.find_opt pending ep with
+          | Some p when (not p.p_done) && p.p_restart = None ->
+            p.p_restart <- Some (time, policy);
+            p.p_done <- true
+          | _ -> ())
+       | _ -> ());
+      last := Some ev;
+      incr n);
+  Hashtbl.iter (fun _ p -> finished := p :: !finished) pending;
+  Hashtbl.reset pending;
+  let crashes =
+    List.sort (fun a b -> compare a.p_index b.p_index) !finished
   in
-  scan (crash_idx + 1);
-  (!rollback, !restart)
-
-let chain_msgs events chain =
-  let find rid =
-    Array.fold_left
-      (fun acc ev ->
-        match acc, ev with
-        | None, Kernel.E_msg { rid = r; _ } when r = rid -> Some ev
-        | _ -> acc)
-      None events
+  let chains =
+    List.map (fun p -> Replay.chain_of_parents parents p.p_rid) crashes
   in
-  List.filter_map find chain
-
-let crash_report events idx =
-  match events.(idx) with
-  | Kernel.E_crash { time; ep; reason; window_open; rid; policy } ->
-    let chain = Replay.rid_chain events rid in
-    let rollback, restart = recovery_after events ep idx in
-    let latency =
-      match restart, rollback with
-      | Some (t, _), _ -> Some (t - time)
-      | None, Some (t, _) -> Some (t - time)
-      | None, None -> None
-    in
-    Some
-      { cr_index = idx;
-        cr_time = time;
-        cr_ep = ep;
-        cr_server = Endpoint.server_name ep;
-        cr_reason = reason;
-        cr_policy = policy;
-        cr_window_open = window_open;
-        cr_rid = rid;
-        cr_chain = chain;
-        cr_chain_msgs = chain_msgs events chain;
-        cr_undo_bytes = undo_bytes_at events ep idx;
-        cr_rollback_bytes = Option.map snd rollback;
-        cr_restart = restart;
-        cr_recovery_latency = latency }
-  | _ -> None
-
-let analyze header events =
-  let crashes = ref [] in
-  Array.iteri
-    (fun i ev ->
-      match ev with
-      | Kernel.E_crash _ ->
-        (match crash_report events i with
-         | Some c -> crashes := c :: !crashes
-         | None -> ())
-      | _ -> ())
-    events;
+  (* Second pass only when some chain needs its deliveries resolved:
+     first E_msg per needed rid, nothing else retained. *)
+  let needed = Hashtbl.create 64 in
+  List.iter
+    (fun chain ->
+       List.iter
+         (fun rid ->
+            if not (Hashtbl.mem needed rid) then Hashtbl.add needed rid None)
+         chain)
+    chains;
+  if Hashtbl.length needed > 0 then
+    iter (fun ev ->
+        match ev with
+        | Kernel.E_msg { rid; _ } ->
+          (match Hashtbl.find_opt needed rid with
+           | Some None -> Hashtbl.replace needed rid (Some ev)
+           | _ -> ())
+        | _ -> ());
+  let reports =
+    List.map2
+      (fun p chain ->
+         let latency =
+           match p.p_restart, p.p_rollback with
+           | Some (t, _), _ -> Some (t - p.p_time)
+           | None, Some (t, _) -> Some (t - p.p_time)
+           | None, None -> None
+         in
+         { cr_index = p.p_index;
+           cr_time = p.p_time;
+           cr_ep = p.p_ep;
+           cr_server = Endpoint.server_name p.p_ep;
+           cr_reason = p.p_reason;
+           cr_policy = p.p_policy;
+           cr_window_open = p.p_window_open;
+           cr_rid = p.p_rid;
+           cr_chain = chain;
+           cr_chain_msgs =
+             List.filter_map
+               (fun rid -> Option.join (Hashtbl.find_opt needed rid))
+               chain;
+           cr_undo_bytes = p.p_undo;
+           cr_rollback_bytes = Option.map snd p.p_rollback;
+           cr_restart = p.p_restart;
+           cr_recovery_latency = latency })
+      crashes chains
+  in
   let halt =
-    let n = Array.length events in
-    if n > 0 then
-      match events.(n - 1) with
-      | Kernel.E_halt { halt; _ } -> Some halt
-      | _ -> None
-    else None
+    match !last with
+    | Some (Kernel.E_halt { halt; _ }) -> Some halt
+    | _ -> None
   in
   { pm_header = header;
-    pm_records = Array.length events;
+    pm_records = !n;
     pm_halt = halt;
-    pm_crashes = List.rev !crashes }
+    pm_crashes = reports }
+
+let analyze header events =
+  analyze_iter header ~iter:(fun f -> Array.iter f events)
+
+let analyze_journal s =
+  match Journal.header_of_string s with
+  | Error m -> Error m
+  | Ok (header, _) ->
+    let exception Err of string in
+    (try
+       let iter f =
+         match Journal.fold s ~init:() ~f:(fun () ev -> f ev) with
+         | Ok () -> ()
+         | Error m -> raise (Err m)
+       in
+       Ok (analyze_iter header ~iter)
+     with Err m -> Error m)
 
 let attribution header c =
   let root =

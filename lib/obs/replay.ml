@@ -18,13 +18,7 @@ type outcome = {
 (* rid -> parent, from the recorded deliveries. Replayed events are
    never consulted: past the divergence the replay's causality is
    suspect, the journal's is ground truth. *)
-let rid_chain recorded rid =
-  let parents = Hashtbl.create 256 in
-  Array.iter
-    (function
-      | Kernel.E_msg { rid; parent; _ } -> Hashtbl.replace parents rid parent
-      | _ -> ())
-    recorded;
+let chain_of_parents parents rid =
   let rec walk acc rid =
     if rid = 0 || List.mem rid acc then List.rev acc
     else
@@ -34,26 +28,61 @@ let rid_chain recorded rid =
   in
   walk [] rid
 
-let run ~exec ?cost_fingerprint header recorded =
-  let n = Array.length recorded in
+let parents_of_events recorded =
+  let parents = Hashtbl.create 256 in
+  Array.iter
+    (function
+      | Kernel.E_msg { rid; parent; _ } -> Hashtbl.replace parents rid parent
+      | _ -> ())
+    recorded;
+  parents
+
+let rid_chain recorded rid = chain_of_parents (parents_of_events recorded) rid
+
+(* The streaming core: the recorded side is a pull cursor, consumed
+   exactly once and in order, so the journal never materializes. The
+   parents map accrues from every record pulled; after the run the
+   remaining records are drained so the map (and the record count)
+   cover the whole journal — [Hashtbl.replace] order matches the
+   array-based walk, keeping divergence chains byte-identical. *)
+let run_stream ~exec ?cost_fingerprint header ~next =
+  let parents = Hashtbl.create 256 in
+  let pulled = ref 0 in
+  let ended = ref false in
+  let pull () =
+    if !ended then None
+    else
+      match next () with
+      | None ->
+        ended := true;
+        None
+      | Some ev ->
+        (match ev with
+         | Kernel.E_msg { rid; parent; _ } ->
+           Hashtbl.replace parents rid parent
+         | _ -> ());
+        incr pulled;
+        Some ev
+  in
   let i = ref 0 in
   let first_mismatch = ref None in
   let hook ev =
     (if !first_mismatch = None then
-       if !i >= n then first_mismatch := Some (!i, None, Some ev)
-       else begin
-         let want = recorded.(!i) in
-         if ev <> want then
-           first_mismatch := Some (!i, Some want, Some ev)
-       end);
+       match pull () with
+       | None -> first_mismatch := Some (!i, None, Some ev)
+       | Some want ->
+         if ev <> want then first_mismatch := Some (!i, Some want, Some ev));
     incr i
   in
   let halt = exec header ~hook in
   (* Replay ended with journal records left over: the journal's next
      record is the divergence (its rid names the request the replay
      never reached). *)
-  (if !first_mismatch = None && !i < n then
-     first_mismatch := Some (!i, Some recorded.(!i), None));
+  (if !first_mismatch = None then
+     match pull () with
+     | Some want -> first_mismatch := Some (!i, Some want, None)
+     | None -> ());
+  while pull () <> None do () done;
   let divergence =
     match !first_mismatch with
     | None -> None
@@ -69,10 +98,10 @@ let run ~exec ?cost_fingerprint header recorded =
           div_recorded = rec_ev;
           div_replayed = rep_ev;
           div_rid = rid;
-          div_chain = rid_chain recorded rid }
+          div_chain = chain_of_parents parents rid }
   in
   { rp_header = header;
-    rp_recorded = n;
+    rp_recorded = !pulled;
     rp_replayed = !i;
     rp_halt = halt;
     rp_cost_mismatch =
@@ -80,6 +109,18 @@ let run ~exec ?cost_fingerprint header recorded =
        | Some fp -> fp <> header.Journal.jh_cost_fingerprint
        | None -> false);
     rp_divergence = divergence }
+
+let run ~exec ?cost_fingerprint header recorded =
+  let i = ref 0 in
+  let next () =
+    if !i < Array.length recorded then begin
+      let ev = recorded.(!i) in
+      incr i;
+      Some ev
+    end
+    else None
+  in
+  run_stream ~exec ?cost_fingerprint header ~next
 
 let exit_code o = match o.rp_divergence with None -> 0 | Some _ -> 2
 

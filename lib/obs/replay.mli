@@ -48,6 +48,25 @@ val rid_chain : Kernel.event array -> int -> int list
     from [rid] (inclusive, innermost first) to its root request.
     Cycles and unknown rids terminate the walk. *)
 
+val chain_of_parents : (int, int) Hashtbl.t -> int -> int list
+(** The same walk over a prebuilt rid -> parent map — the shared diff
+    core for streaming consumers ([Postmortem], [Rundiff]) that accrue
+    parents in one pass instead of rescanning an array per chain. *)
+
+val run_stream :
+  exec:(Journal.header -> hook:(Kernel.event -> unit) -> Kernel.halt) ->
+  ?cost_fingerprint:int ->
+  Journal.header ->
+  next:(unit -> Kernel.event option) ->
+  outcome
+(** {!run} over a pull cursor instead of a decoded array: [next] is
+    called at most once per recorded record, in order, and the whole
+    journal is consumed by the time the outcome returns (the leftover
+    records past a divergence are drained so [rp_recorded] and the
+    causal chain still describe the full journal). [run] is this with
+    an array cursor; the streaming CLI path feeds
+    [Journal.stream_next]. *)
+
 val run :
   exec:(Journal.header -> hook:(Kernel.event -> unit) -> Kernel.halt) ->
   ?cost_fingerprint:int ->
